@@ -1,0 +1,86 @@
+// Shared helpers for the per-figure benchmark binaries.
+#ifndef PJOIN_BENCH_BENCH_COMMON_H_
+#define PJOIN_BENCH_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util/harness.h"
+#include "bench_util/workloads.h"
+#include "engine/executor.h"
+#include "tpch/gen.h"
+#include "tpch/queries.h"
+#include "util/env.h"
+#include "util/table_printer.h"
+
+namespace pjoin {
+namespace bench {
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref,
+                        const std::string& setup) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  if (!setup.empty()) std::printf("setup:      %s\n", setup.c_str());
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+inline ExecOptions Options(JoinStrategy strategy, int threads,
+                           bool late_materialization = false) {
+  ExecOptions options;
+  options.join_strategy = strategy;
+  options.num_threads = threads;
+  options.late_materialization = late_materialization;
+  return options;
+}
+
+// The thread counts swept by the scalability figures: 1..hardware, plus the
+// hyper-threaded range up to 2x (flagged "HT" in the paper's plots).
+inline std::vector<int> ThreadSweep() {
+  int hw = DefaultThreads();
+  std::vector<int> sweep;
+  for (int t = 1; t <= 2 * hw; t *= 2) sweep.push_back(t);
+  if (sweep.back() != 2 * hw) sweep.push_back(2 * hw);
+  return sweep;
+}
+
+// Runs a multi-step TPC-H query to a median-stats measurement.
+inline QueryStats MeasureTpch(const TpchQuery& query, const TpchDb& db,
+                              const ExecOptions& options, int reps,
+                              ThreadPool* pool) {
+  return MeasureRuns(
+      [&](QueryStats* stats) { query.run(db, options, stats, pool); }, reps);
+}
+
+// Paired relative comparison: interleaves A/B runs (A,B,A,B,...) and
+// returns the median of the per-round deltas (a - b) / a. Pairing cancels
+// the slow host drift that dominates absolute medians for ms-scale queries
+// (important for the per-join flip experiments of Figures 1 and 12).
+inline double PairedDelta(const std::function<double()>& run_a,
+                          const std::function<double()>& run_b, int reps) {
+  run_a();  // warm-up
+  run_b();
+  std::vector<double> deltas;
+  deltas.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    double a = run_a();
+    double b = run_b();
+    deltas.push_back((a - b) / a);
+  }
+  std::sort(deltas.begin(), deltas.end());
+  return deltas[deltas.size() / 2];
+}
+
+inline std::string Gts(double tuples_per_sec) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", tuples_per_sec / 1e9);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace pjoin
+
+#endif  // PJOIN_BENCH_BENCH_COMMON_H_

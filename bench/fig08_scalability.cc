@@ -1,0 +1,102 @@
+// Figure 8: scalability and comparison to Balkesen et al.
+//
+// Workloads A and B; our system joins (BHJ, RJ) against the stand-alone
+// prior-work joins (NPJ, PRJ) across a thread sweep. Throughput is processed
+// tuples per second. On a single-core host the sweep still runs (the morsel
+// scheduler and all synchronization are real), but wall-clock speedup is
+// hardware-gated — the series then shows the *overhead* of extra workers,
+// not speedup (see EXPERIMENTS.md).
+#include "baseline/balkesen.h"
+#include "bench/bench_common.h"
+#include "util/stopwatch.h"
+
+namespace pjoin {
+namespace {
+
+template <typename Tuple>
+void FillBaselineArrays(const MicroWorkload& w, std::vector<Tuple>* build,
+                        std::vector<Tuple>* probe) {
+  build->resize(w.build.num_rows());
+  probe->resize(w.probe.num_rows());
+  const bool narrow = sizeof(Tuple) == 8;
+  for (uint64_t r = 0; r < w.build.num_rows(); ++r) {
+    (*build)[r].key = narrow ? w.build.column(0).GetInt32(r)
+                             : w.build.column(0).GetInt64(r);
+    (*build)[r].payload = static_cast<decltype(Tuple::payload)>(r);
+  }
+  for (uint64_t r = 0; r < w.probe.num_rows(); ++r) {
+    (*probe)[r].key = narrow ? w.probe.column(0).GetInt32(r)
+                             : w.probe.column(0).GetInt64(r);
+    (*probe)[r].payload = static_cast<decltype(Tuple::payload)>(r);
+  }
+}
+
+template <typename Tuple>
+void RunWorkload(const char* label, const MicroWorkload& w, int reps) {
+  std::vector<Tuple> build, probe;
+  FillBaselineArrays(w, &build, &probe);
+  const uint64_t total_tuples = w.build_tuples + w.probe_tuples;
+  auto plan = CountJoinPlan(w);
+
+  std::printf("Workload %s (%s build, %s probe)\n", label,
+              TablePrinter::Mib(static_cast<double>(w.build.TotalBytes()))
+                  .c_str(),
+              TablePrinter::Mib(static_cast<double>(w.probe.TotalBytes()))
+                  .c_str());
+  TablePrinter table({"threads", "NPJ [G T/s]", "PRJ [G T/s]", "BHJ [G T/s]",
+                      "RJ [G T/s]"});
+  for (int threads : bench::ThreadSweep()) {
+    ThreadPool pool(threads);
+    QueryStats npj = MeasureRuns(
+        [&](QueryStats* stats) {
+          Stopwatch watch;
+          BalkesenNPJ(build, probe, pool);
+          stats->seconds = watch.ElapsedSeconds();
+          stats->source_tuples = total_tuples;
+        },
+        reps);
+    QueryStats prj = MeasureRuns(
+        [&](QueryStats* stats) {
+          Stopwatch watch;
+          BalkesenPRJ(build, probe, pool);
+          stats->seconds = watch.ElapsedSeconds();
+          stats->source_tuples = total_tuples;
+        },
+        reps);
+    QueryStats bhj = MeasurePlan(
+        *plan, bench::Options(JoinStrategy::kBHJ, threads), reps, &pool);
+    QueryStats rj = MeasurePlan(
+        *plan, bench::Options(JoinStrategy::kRJ, threads), reps, &pool);
+    table.AddRow({std::to_string(threads), bench::Gts(npj.Throughput()),
+                  bench::Gts(prj.Throughput()), bench::Gts(bhj.Throughput()),
+                  bench::Gts(rj.Throughput())});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace pjoin
+
+int main() {
+  using namespace pjoin;
+  const int64_t divisor = WorkloadScaleDivisor();
+  const int reps = BenchRepetitions();
+  bench::PrintHeader("Figure 8: Scalability and comparison to Balkesen et al.",
+                     "Bandle et al., Figure 8",
+                     "scale divisor " + std::to_string(divisor) + ", " +
+                         std::to_string(reps) + " reps (median)");
+  {
+    MicroWorkload a = MakeWorkloadA(divisor);
+    RunWorkload<Tuple8>("A", a, reps);
+  }
+  {
+    MicroWorkload b = MakeWorkloadB(divisor);
+    RunWorkload<Tuple4>("B", b, reps);
+  }
+  std::printf(
+      "paper shape: all joins scale with hardware contexts; RJ gains more\n"
+      "from physical cores, NPJ/BHJ gain more from hyper-threads; workload A\n"
+      "saturates memory bandwidth before workload B.\n");
+  return 0;
+}

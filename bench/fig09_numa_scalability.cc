@@ -1,0 +1,48 @@
+// Figure 9: scalability on different machines (NUMA Sandy Bridge, Ryzen 9).
+//
+// The paper runs the workload-A/B thread sweeps on a 2-socket NUMA machine
+// and a chiplet-based Ryzen 9, showing RJ's bandwidth ceiling. We cannot
+// conjure extra sockets, so this bench reproduces the *series* on the host:
+// BHJ and RJ over workloads A and B across the thread sweep. The
+// NUMA-relevant code path — worker-local chunked partition output so pass-1
+// writes never cross workers — is exercised on every run (and unit-tested);
+// only the multi-socket wall-clock effect is hardware-gated.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace pjoin;
+  const int64_t divisor = WorkloadScaleDivisor();
+  const int reps = BenchRepetitions();
+  bench::PrintHeader(
+      "Figure 9: Scalability on different machines",
+      "Bandle et al., Figure 9",
+      "single host; NUMA effect hardware-gated, see EXPERIMENTS.md");
+
+  MicroWorkload a = MakeWorkloadA(divisor);
+  MicroWorkload b = MakeWorkloadB(divisor);
+  auto plan_a = CountJoinPlan(a);
+  auto plan_b = CountJoinPlan(b);
+
+  TablePrinter table({"threads", "BHJ A [G T/s]", "RJ A [G T/s]",
+                      "BHJ B [G T/s]", "RJ B [G T/s]"});
+  for (int threads : bench::ThreadSweep()) {
+    ThreadPool pool(threads);
+    QueryStats bhj_a = MeasurePlan(
+        *plan_a, bench::Options(JoinStrategy::kBHJ, threads), reps, &pool);
+    QueryStats rj_a = MeasurePlan(
+        *plan_a, bench::Options(JoinStrategy::kRJ, threads), reps, &pool);
+    QueryStats bhj_b = MeasurePlan(
+        *plan_b, bench::Options(JoinStrategy::kBHJ, threads), reps, &pool);
+    QueryStats rj_b = MeasurePlan(
+        *plan_b, bench::Options(JoinStrategy::kRJ, threads), reps, &pool);
+    table.AddRow({std::to_string(threads), bench::Gts(bhj_a.Throughput()),
+                  bench::Gts(rj_a.Throughput()), bench::Gts(bhj_b.Throughput()),
+                  bench::Gts(rj_b.Throughput())});
+  }
+  table.Print();
+  std::printf(
+      "\npaper shape: on Sandy Bridge the RJ scales 10-16x across sockets;\n"
+      "on the bandwidth-starved Ryzen 9 it flattens and then degrades under\n"
+      "contention, while the BHJ behaves alike on all machines.\n");
+  return 0;
+}

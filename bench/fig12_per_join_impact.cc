@@ -1,0 +1,59 @@
+// Figure 12: relative impact per join for selected TPC-H queries.
+//
+// For each join j of a query we fix all other joins to BHJ and flip only j
+// to BRJ, then report the pairwise change in total execution time
+// (negative = BHJ faster for that join, positive = BRJ faster) — the
+// methodology of Section 5.3.2.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace pjoin;
+  const double sf = BenchScaleFactor();
+  const int reps = BenchRepetitions();
+  const int threads = DefaultThreads();
+  bench::PrintHeader(
+      "Figure 12: Relative impact per join (BHJ vs BRJ)",
+      "Bandle et al., Figure 12",
+      "TPC-H SF " + std::to_string(sf) +
+          "; join numbers are post-order as in the paper");
+
+  auto db = GenerateTpch(sf);
+  ThreadPool pool(threads);
+
+  for (int qid : {5, 7, 8, 9, 21, 22}) {
+    const TpchQuery& query = GetTpchQuery(qid);
+    ExecOptions base_options = bench::Options(JoinStrategy::kBHJ, threads);
+    QueryStats base = bench::MeasureTpch(query, *db, base_options, reps,
+                                         &pool);
+    TablePrinter table({"join #", "all-BHJ [ms]", "BHJ vs BRJ (paired)"});
+    for (int j = 0; j < query.num_joins; ++j) {
+      ExecOptions mixed = base_options;
+      mixed.join_overrides[j] = JoinStrategy::kBRJ;
+      // Paired interleaved timing; positive = flipping this join to BRJ
+      // made the whole query faster.
+      double delta = bench::PairedDelta(
+          [&] {
+            QueryStats stats;
+            query.run(*db, base_options, &stats, &pool);
+            return stats.seconds;
+          },
+          [&] {
+            QueryStats stats;
+            query.run(*db, mixed, &stats, &pool);
+            return stats.seconds;
+          },
+          reps);
+      table.AddRow({std::to_string(j + 1),
+                    TablePrinter::Double(base.seconds * 1e3, 1),
+                    TablePrinter::Percent(delta)});
+    }
+    std::printf("Q%d (%s)\n", qid, query.name.c_str());
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "paper shape: most joins barely matter; a wrong choice on an\n"
+      "expensive join costs up to 60%%, and only Q22's anti join gains\n"
+      "(~+30%%) from the BRJ.\n");
+  return 0;
+}

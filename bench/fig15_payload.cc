@@ -1,0 +1,52 @@
+// Figure 15: impact of the probe-side payload size, with and without late
+// materialization (workload A, 100% selectivity).
+//
+// The probe tuple is widened 16 B -> 72 B by adding 8 B randomized payload
+// columns; every payload column is aggregated so the full tuple flows
+// through (and, for the RJ, is materialized by) the join. With the stored
+// hash value the partitioned tuples reach 80 B, exactly the paper's range.
+#include "bench/bench_common.h"
+#include "util/bitutil.h"
+
+int main() {
+  using namespace pjoin;
+  const int64_t divisor = WorkloadScaleDivisor();
+  const int reps = BenchRepetitions();
+  const int threads = DefaultThreads();
+  bench::PrintHeader(
+      "Figure 15: Impact of payload size on join performance",
+      "Bandle et al., Figure 15",
+      "workload A, 100% selectivity, all payload columns aggregated");
+
+  ThreadPool pool(threads);
+  TablePrinter table({"probe row [B]", "part. tuple [B]", "BHJ [G T/s]",
+                      "BHJ LM [G T/s]", "RJ [G T/s]", "RJ LM [G T/s]"});
+  for (int payload_cols = 1; payload_cols <= 8; ++payload_cols) {
+    MicroWorkload w = MakePayloadWorkload(divisor, payload_cols);
+    auto plan = SumAllPayloadsPlan(w);
+    QueryStats bhj = MeasurePlan(
+        *plan, bench::Options(JoinStrategy::kBHJ, threads), reps, &pool);
+    QueryStats bhj_lm = MeasurePlan(
+        *plan, bench::Options(JoinStrategy::kBHJ, threads, true), reps, &pool);
+    QueryStats rj = MeasurePlan(
+        *plan, bench::Options(JoinStrategy::kRJ, threads), reps, &pool);
+    QueryStats rj_lm = MeasurePlan(
+        *plan, bench::Options(JoinStrategy::kRJ, threads, true), reps, &pool);
+    const uint32_t probe_row = 8 + 8 * payload_cols;
+    // Partition tuple: 8 B hash + row, padded to a power of two up to the
+    // cache line; wider tuples are stored unpadded without SWWCBs.
+    uint64_t raw = 8 + probe_row;
+    uint64_t stride = NextPow2(raw) <= 64 ? NextPow2(raw) : AlignUp(raw, 8);
+    table.AddRow({std::to_string(probe_row), std::to_string(stride),
+                  bench::Gts(bhj.Throughput()),
+                  bench::Gts(bhj_lm.Throughput()), bench::Gts(rj.Throughput()),
+                  bench::Gts(rj_lm.Throughput())});
+  }
+  table.Print();
+  std::printf(
+      "\npaper shape: RJ degrades ~7x as tuples grow 16 B -> 80 B (visible\n"
+      "padding steps at powers of two); BHJ stays flat (latency-bound, not\n"
+      "bandwidth-bound); at 100%% selectivity LM only adds the tuple-id\n"
+      "column and random access, so it strictly hurts the RJ.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 17: impact of Zipf-distributed probe keys, including the original
+// stand-alone joins of Balkesen et al.
+#include "baseline/balkesen.h"
+#include "bench/bench_common.h"
+#include "util/stopwatch.h"
+
+namespace pjoin {
+namespace {
+
+template <typename Tuple>
+void RunSkewSweep(const char* label, bool workload_b, int64_t divisor,
+                  int reps, int threads) {
+  std::printf("Workload %s\n", label);
+  TablePrinter table({"zipf z", "NPJ [G T/s]", "PRJ [G T/s]", "BHJ [G T/s]",
+                      "RJ [G T/s]"});
+  ThreadPool pool(threads);
+  for (double z : {0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0}) {
+    MicroWorkload w = MakeSkewWorkload(divisor, z, workload_b);
+    const uint64_t total = w.build_tuples + w.probe_tuples;
+
+    std::vector<Tuple> build(w.build.num_rows()), probe(w.probe.num_rows());
+    const bool narrow = sizeof(Tuple) == 8;
+    for (uint64_t r = 0; r < w.build.num_rows(); ++r) {
+      build[r].key = narrow ? w.build.column(0).GetInt32(r)
+                            : w.build.column(0).GetInt64(r);
+      build[r].payload = static_cast<decltype(Tuple::payload)>(r);
+    }
+    for (uint64_t r = 0; r < w.probe.num_rows(); ++r) {
+      probe[r].key = narrow ? w.probe.column(0).GetInt32(r)
+                            : w.probe.column(0).GetInt64(r);
+      probe[r].payload = static_cast<decltype(Tuple::payload)>(r);
+    }
+
+    QueryStats npj = MeasureRuns(
+        [&](QueryStats* stats) {
+          Stopwatch watch;
+          BalkesenNPJ(build, probe, pool);
+          stats->seconds = watch.ElapsedSeconds();
+          stats->source_tuples = total;
+        },
+        reps);
+    QueryStats prj = MeasureRuns(
+        [&](QueryStats* stats) {
+          Stopwatch watch;
+          BalkesenPRJ(build, probe, pool);
+          stats->seconds = watch.ElapsedSeconds();
+          stats->source_tuples = total;
+        },
+        reps);
+    auto plan = CountJoinPlan(w);
+    QueryStats bhj = MeasurePlan(
+        *plan, bench::Options(JoinStrategy::kBHJ, threads), reps, &pool);
+    QueryStats rj = MeasurePlan(
+        *plan, bench::Options(JoinStrategy::kRJ, threads), reps, &pool);
+    table.AddRow({TablePrinter::Double(z, 2), bench::Gts(npj.Throughput()),
+                  bench::Gts(prj.Throughput()), bench::Gts(bhj.Throughput()),
+                  bench::Gts(rj.Throughput())});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace pjoin
+
+int main() {
+  using namespace pjoin;
+  const int64_t divisor = WorkloadScaleDivisor();
+  const int reps = BenchRepetitions();
+  const int threads = DefaultThreads();
+  bench::PrintHeader(
+      "Figure 17: Impact of Zipf skew (vs original Balkesen et al. code)",
+      "Bandle et al., Figure 17",
+      "probe foreign keys Zipf-distributed, z in [0, 2]");
+  RunSkewSweep<Tuple8>("A", /*workload_b=*/false, divisor, reps, threads);
+  RunSkewSweep<Tuple4>("B", /*workload_b=*/true, divisor, reps, threads);
+  std::printf(
+      "paper shape: NPJ/BHJ *benefit* from skew (temporal cache locality);\n"
+      "the radix joins degrade once z >= 1 (heterogeneous partition sizes\n"
+      "break scheduling) — BHJ ends >5x faster than RJ at z = 2 on A.\n");
+  return 0;
+}

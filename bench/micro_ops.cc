@@ -1,0 +1,123 @@
+// Primitive-level microbenchmarks (google-benchmark): the building blocks
+// whose costs drive the paper's trade-offs — hashing, Bloom filter probes,
+// chaining vs robin-hood tables, radix partitioning with/without
+// write-combine buffers and streaming stores (the SWWCB ablation of
+// Section 3.3 / DESIGN.md ablation #2).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "filter/blocked_bloom.h"
+#include "hash_table/chaining_ht.h"
+#include "hash_table/robin_hood.h"
+#include "partition/radix_partitioner.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace pjoin {
+namespace {
+
+void BM_HashInt64(benchmark::State& state) {
+  uint64_t k = 12345;
+  for (auto _ : state) {
+    k = HashInt64(k);
+    benchmark::DoNotOptimize(k);
+  }
+}
+BENCHMARK(BM_HashInt64);
+
+void BM_BloomProbe(benchmark::State& state) {
+  BlockedBloomFilter bloom;
+  const uint64_t n = state.range(0);
+  bloom.Resize(n);
+  for (uint64_t i = 0; i < n; ++i) bloom.InsertUnsynchronized(HashInt64(i));
+  uint64_t k = 0;
+  uint64_t hits = 0;
+  for (auto _ : state) {
+    hits += bloom.MayContain(HashInt64(k++));
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomProbe)->Arg(1 << 14)->Arg(1 << 20);
+
+void BM_RobinHoodBuildProbe(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  std::vector<int64_t> keys(n);
+  Rng rng(1);
+  for (auto& k : keys) k = static_cast<int64_t>(rng.Next());
+  RobinHoodTable table;
+  for (auto _ : state) {
+    table.Reset(n);
+    for (int64_t& k : keys) {
+      table.Insert(HashInt64(k), reinterpret_cast<const std::byte*>(&k));
+    }
+    uint64_t found = 0;
+    for (int64_t& k : keys) {
+      table.ForEachMatch(HashInt64(k),
+                         [&](const std::byte*, uint64_t) { ++found; });
+    }
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_RobinHoodBuildProbe)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_ChainingHtProbe(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  ChainingHashTable ht(8, false);
+  ThreadPool pool(1);
+  for (uint64_t i = 0; i < n; ++i) {
+    int64_t k = static_cast<int64_t>(i);
+    ht.MaterializeEntry(0, HashInt64(i), reinterpret_cast<std::byte*>(&k), 8);
+  }
+  ht.Build(pool);
+  uint64_t k = 0;
+  for (auto _ : state) {
+    const std::byte* e = ht.ChainHead(HashInt64(k++ % (2 * n)));
+    benchmark::DoNotOptimize(e);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChainingHtProbe)->Arg(1 << 14)->Arg(1 << 20);
+
+// The SWWCB / streaming ablation: same tuples, three partitioner configs.
+void PartitionTuples(bool swwcb, bool streaming, benchmark::State& state) {
+  const uint64_t n = 1 << 18;
+  RadixConfig config;
+  config.row_stride = 8;
+  config.bits1 = 6;
+  config.bits2 = 4;
+  config.use_swwcb = swwcb;
+  config.use_streaming = streaming;
+  ThreadPool pool(1);
+  for (auto _ : state) {
+    RadixPartitioner part(config);
+    int64_t row = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      part.Add(0, HashInt64(i), reinterpret_cast<std::byte*>(&row), nullptr);
+    }
+    part.FlushThread(0, nullptr);
+    part.Finalize(pool, nullptr, nullptr);
+    benchmark::DoNotOptimize(part.total_tuples());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+void BM_PartitionDirect(benchmark::State& state) {
+  PartitionTuples(false, false, state);
+}
+void BM_PartitionSwwcb(benchmark::State& state) {
+  PartitionTuples(true, false, state);
+}
+void BM_PartitionSwwcbStreaming(benchmark::State& state) {
+  PartitionTuples(true, true, state);
+}
+BENCHMARK(BM_PartitionDirect);
+BENCHMARK(BM_PartitionSwwcb);
+BENCHMARK(BM_PartitionSwwcbStreaming);
+
+}  // namespace
+}  // namespace pjoin
+
+BENCHMARK_MAIN();

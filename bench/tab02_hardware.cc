@@ -1,0 +1,33 @@
+// Table 2: hardware platform of this run (the paper lists Skylake-X,
+// Ryzen 9, and a 2-socket Sandy Bridge; we probe the host we run on).
+#include "bench/bench_common.h"
+#include "util/cpu_info.h"
+
+int main() {
+  using namespace pjoin;
+  bench::PrintHeader("Table 2: Hardware Platform", "Bandle et al., Table 2",
+                     "");
+  const CpuInfo& cpu = GetCpuInfo();
+  TablePrinter table({"property", "value"});
+  table.AddRow({"model", cpu.model_name.empty() ? "unknown" : cpu.model_name});
+  table.AddRow({"logical cores", std::to_string(cpu.logical_cores)});
+  table.AddRow({"L1d cache",
+                TablePrinter::Bytes(static_cast<double>(cpu.l1d_bytes))});
+  table.AddRow({"L2 cache",
+                TablePrinter::Bytes(static_cast<double>(cpu.l2_bytes))});
+  table.AddRow({"LLC cache",
+                TablePrinter::Bytes(static_cast<double>(cpu.llc_bytes))});
+#if defined(__AVX512F__)
+  table.AddRow({"widest streaming store", "AVX-512 (full cache line)"});
+#elif defined(__AVX2__)
+  table.AddRow({"widest streaming store", "AVX2 (half cache line)"});
+#else
+  table.AddRow({"widest streaming store", "scalar fallback"});
+#endif
+  table.Print();
+  std::printf(
+      "\nnote: the paper's scalability/NUMA experiments used 10-20 physical\n"
+      "cores across up to 2 sockets; runs on this host are gated by its\n"
+      "core count (see EXPERIMENTS.md).\n");
+  return 0;
+}

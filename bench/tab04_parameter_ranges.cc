@@ -1,0 +1,128 @@
+// Table 4: workload characteristics under which partitioned joins are
+// workable / beneficial — synthesized from targeted sweeps, as the paper
+// synthesizes it from Sections 5.4.1–5.4.7.
+//
+// "Workable": RJ (or BRJ) within 25% of the BHJ. "Beneficial": faster than
+// the BHJ. This bench runs a compressed version of every sweep and derives
+// the thresholds from the measurements, then prints them next to the
+// paper's published ranges.
+#include "bench/bench_common.h"
+#include "util/cpu_info.h"
+
+namespace pjoin {
+namespace {
+
+struct Ratio {
+  double value;  // RJ/BRJ throughput relative to BHJ
+};
+
+Ratio Compare(const PlanNode& plan, JoinStrategy partitioned, int threads,
+              int reps, ThreadPool* pool) {
+  QueryStats pj =
+      MeasurePlan(plan, bench::Options(partitioned, threads), reps, pool);
+  QueryStats bhj = MeasurePlan(
+      plan, bench::Options(JoinStrategy::kBHJ, threads), reps, pool);
+  return Ratio{pj.Throughput() / bhj.Throughput()};
+}
+
+std::string Verdict(double ratio) {
+  if (ratio >= 1.0) return "beneficial";
+  if (ratio >= 0.75) return "workable";
+  return "not workable";
+}
+
+}  // namespace
+}  // namespace pjoin
+
+int main() {
+  using namespace pjoin;
+  const int64_t divisor = WorkloadScaleDivisor();
+  const int reps = BenchRepetitions();
+  const int threads = DefaultThreads();
+  bench::PrintHeader(
+      "Table 4: Workload characteristics for partitioned joins",
+      "Bandle et al., Table 4",
+      "derived from compressed parameter sweeps on this host");
+
+  ThreadPool pool(threads);
+  TablePrinter table({"factor", "setting", "RJ-or-BRJ vs BHJ", "verdict",
+                      "paper range (workable / beneficial)"});
+
+  // Selectivity (handled by the Bloom filter): compare BRJ at 5% and 100%.
+  for (double sel : {0.05, 1.0}) {
+    MicroWorkload w = MakeSelectivityWorkload(divisor, sel);
+    auto plan = CountJoinPlan(w);
+    Ratio r = Compare(*plan, JoinStrategy::kBRJ, threads, reps, &pool);
+    table.AddRow({"selectivity", TablePrinter::Double(sel * 100, 0) + "%",
+                  TablePrinter::Percent(r.value - 1.0), Verdict(r.value),
+                  "handled by Bloom filter"});
+  }
+
+  // Payload size: <=16 B beneficial, <=32 B workable.
+  for (int cols : {1, 3, 7}) {
+    MicroWorkload w = MakePayloadWorkload(divisor, cols);
+    auto plan = SumAllPayloadsPlan(w);
+    Ratio r = Compare(*plan, JoinStrategy::kRJ, threads, reps, &pool);
+    table.AddRow({"payload size", std::to_string(8 * cols) + " B",
+                  TablePrinter::Percent(r.value - 1.0), Verdict(r.value),
+                  "<=32 B / <=16 B"});
+  }
+
+  // Pipeline depth: <8 workable, <2 beneficial.
+  for (int depth : {1, 4}) {
+    MicroWorkload w = MakeStarWorkload(divisor, depth);
+    auto plan = StarJoinPlan(w);
+    Ratio r = Compare(*plan, JoinStrategy::kRJ, threads, reps, &pool);
+    table.AddRow({"pipeline depth", std::to_string(depth) + " joins",
+                  TablePrinter::Percent(r.value - 1.0), Verdict(r.value),
+                  "<8 / <2 joins"});
+  }
+
+  // Skew: z <= 1 workable, z <= 0.5 beneficial.
+  for (double z : {0.0, 0.75, 1.5}) {
+    MicroWorkload w = MakeSkewWorkload(divisor, z);
+    auto plan = CountJoinPlan(w);
+    Ratio r = Compare(*plan, JoinStrategy::kRJ, threads, reps, &pool);
+    table.AddRow({"skew (Zipf)", "z=" + TablePrinter::Double(z, 2),
+                  TablePrinter::Percent(r.value - 1.0), Verdict(r.value),
+                  "<=1 / <=0.5"});
+  }
+
+  // Build size relative to the LLC: > LLC workable, >> LLC beneficial.
+  // Virtualized hosts may report giant shared L3 sizes; clamp, and apply
+  // the global scale divisor so the sweep stays laptop-scale (the
+  // comparison is cache-relative either way).
+  const int64_t llc_bytes =
+      std::min<int64_t>(GetCpuInfo().llc_bytes, 16ll << 20);
+  const uint64_t llc_tuples = static_cast<uint64_t>(llc_bytes) / 16 /
+                              std::max<int64_t>(1, divisor / 64);
+  for (double factor : {0.25, 4.0}) {
+    uint64_t build = static_cast<uint64_t>(llc_tuples * factor) | 64;
+    MicroWorkload w = MakeSizedWorkload(build, build * 8);
+    auto plan = CountJoinPlan(w);
+    Ratio r = Compare(*plan, JoinStrategy::kRJ, threads, reps, &pool);
+    table.AddRow({"build size",
+                  TablePrinter::Double(factor, 2) + "x LLC (scaled)",
+                  TablePrinter::Percent(r.value - 1.0), Verdict(r.value),
+                  "> LLC / >> LLC"});
+  }
+
+  // Size difference: < 1:50 workable, < 1:10 beneficial. Probe size fixed
+  // at the workload-A probe; the build shrinks with the ratio.
+  const uint64_t probe_tuples = MakeWorkloadA(divisor).probe_tuples;
+  for (uint64_t ratio : {4, 32, 100}) {
+    MicroWorkload w = MakeSizedWorkload(probe_tuples / ratio, probe_tuples);
+    auto plan = CountJoinPlan(w);
+    Ratio r = Compare(*plan, JoinStrategy::kRJ, threads, reps, &pool);
+    table.AddRow({"size difference", "1:" + std::to_string(ratio),
+                  TablePrinter::Percent(r.value - 1.0), Verdict(r.value),
+                  "< x50 / < x10"});
+  }
+
+  table.Print();
+  std::printf(
+      "\npaper conclusion: the RJ is very sensitive to any deviation from\n"
+      "near-optimal characteristics; outside the narrow window it loses to\n"
+      "the non-partitioned join.\n");
+  return 0;
+}

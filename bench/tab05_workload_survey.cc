@@ -1,0 +1,70 @@
+// Table 5: workload characteristics for join processing — prior work vs
+// TPC-H (measured from the per-join audits) vs real-world observations.
+#include <algorithm>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace pjoin;
+  const double sf = BenchScaleFactor();
+  bench::PrintHeader("Table 5: Workloads for Join Processing",
+                     "Bandle et al., Table 5",
+                     "TPC-H column measured at SF " + std::to_string(sf));
+
+  auto db = GenerateTpch(sf);
+  ThreadPool pool(DefaultThreads());
+  ExecOptions options = bench::Options(JoinStrategy::kBHJ, pool.num_threads());
+
+  std::vector<JoinAudit> audits;
+  int max_pipeline_joins = 0;
+  for (const TpchQuery& query : TpchQueries()) {
+    QueryStats stats;
+    query.run(*db, options, &stats, &pool);
+    for (const auto& audit : stats.join_audits) audits.push_back(audit);
+    max_pipeline_joins = std::max(max_pipeline_joins, query.num_joins);
+  }
+
+  // Measured TPC-H characteristics.
+  double sum_width = 0;
+  double sum_match = 0;
+  int high_ratio = 0;
+  int small_build = 0;
+  const uint64_t llc = 16ull << 20;
+  for (const auto& audit : audits) {
+    sum_width += audit.probe_width;
+    sum_match += audit.match_fraction();
+    if (audit.build_tuples > 0 &&
+        audit.probe_tuples / std::max<uint64_t>(1, audit.build_tuples) >= 10) {
+      ++high_ratio;
+    }
+    if (audit.build_bytes() < llc) ++small_build;
+  }
+  const double n = static_cast<double>(audits.size());
+
+  TablePrinter table({"factor", "prior work", "TPC-H (measured here)",
+                      "real world [Vogelsgesang et al.]"});
+  table.AddRow({"skew (Zipf)", "0 - 2 (synthetic)", "none", "yes"});
+  table.AddRow({"payload size", "8 - 16 B",
+                TablePrinter::Double(sum_width / n, 0) + " B avg",
+                "large (strings)"});
+  table.AddRow({"pipeline depth", "1 join",
+                "1 - " + std::to_string(max_pipeline_joins) + " joins",
+                "various"});
+  table.AddRow({"selectivity", "100%",
+                TablePrinter::Double(100.0 * sum_match / n, 0) + "% avg",
+                "low selectivity"});
+  table.AddRow({"size difference", "1 - 25",
+                std::to_string(high_ratio) + "/" +
+                    std::to_string(audits.size()) + " joins >= 1:10",
+                "mostly high"});
+  table.AddRow({"build size", ">> LLC",
+                std::to_string(small_build) + "/" +
+                    std::to_string(audits.size()) + " builds < LLC",
+                "mostly small"});
+  table.Print();
+  std::printf(
+      "\npaper conclusion: past research evaluated joins on a narrow band\n"
+      "of data (narrow tuples, full selectivity, big builds); TPC-H — let\n"
+      "alone real workloads — lives mostly outside that band.\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Join advisor: the paper's Table 4 as an executable decision procedure.
+//
+// Give it the workload characteristics an optimizer would know and it tells
+// you whether partitioning can pay off — then (optionally) validates its own
+// advice by generating a matching microbenchmark and racing the joins.
+//
+//   ./build/examples/join_advisor <build_MiB> <probe_MiB> <payload_B>
+//                                 <selectivity_%> <zipf> <pipeline_joins>
+//                                 [--validate]
+//   ./build/examples/join_advisor 64 1024 8 5 0 1 --validate
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_util/harness.h"
+#include "bench_util/workloads.h"
+#include "util/cpu_info.h"
+#include "util/env.h"
+#include "util/table_printer.h"
+
+using namespace pjoin;
+
+namespace {
+
+struct Advice {
+  JoinStrategy strategy;
+  std::string reason;
+};
+
+// The decision rules of the paper's Table 4 (workable/beneficial ranges).
+Advice Advise(double build_mib, double probe_mib, double payload_b,
+              double selectivity_pct, double zipf, int pipeline_joins,
+              double llc_mib) {
+  if (build_mib <= llc_mib) {
+    return {JoinStrategy::kBHJ,
+            "build side fits the LLC: the global hash table has no cache "
+            "misses, partitioning is pure overhead"};
+  }
+  if (payload_b > 32) {
+    return {JoinStrategy::kBHJ,
+            "payload > 32 B: materializing partitions is bandwidth-bound and "
+            "dominated by tuple width"};
+  }
+  if (zipf > 1.0) {
+    return {JoinStrategy::kBHJ,
+            "Zipf z > 1: skew unbalances partition sizes and scheduling, "
+            "while the BHJ gains cache locality from skew"};
+  }
+  if (pipeline_joins >= 8) {
+    return {JoinStrategy::kBHJ,
+            ">= 8 joins in one pipeline: every radix join re-materializes "
+            "widening tuples"};
+  }
+  if (probe_mib / build_mib > 50) {
+    return {JoinStrategy::kBHJ,
+            "build:probe beyond 1:50: partitioning the huge probe side "
+            "cannot amortize"};
+  }
+  if (selectivity_pct < 50) {
+    return {JoinStrategy::kBRJ,
+            "selective join with a big build side: the Bloom-filtered radix "
+            "join prunes the probe side before materialization"};
+  }
+  if (payload_b <= 16 && zipf <= 0.5 && pipeline_joins < 2 &&
+      probe_mib / build_mib < 10) {
+    return {JoinStrategy::kRJ,
+            "inside the narrow beneficial window: narrow tuples, no skew, "
+            "single join, moderate size ratio"};
+  }
+  return {JoinStrategy::kBRJAdaptive,
+          "borderline characteristics: the adaptive BRJ hedges by sampling "
+          "the filter pass rate at runtime"};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 7) {
+    std::printf(
+        "usage: %s <build_MiB> <probe_MiB> <payload_B> <selectivity_%%> "
+        "<zipf> <pipeline_joins> [--validate]\n",
+        argv[0]);
+    return 1;
+  }
+  const double build_mib = std::atof(argv[1]);
+  const double probe_mib = std::atof(argv[2]);
+  const double payload_b = std::atof(argv[3]);
+  const double selectivity = std::atof(argv[4]);
+  const double zipf = std::atof(argv[5]);
+  const int pipeline_joins = std::atoi(argv[6]);
+  const bool validate = argc > 7 && std::strcmp(argv[7], "--validate") == 0;
+
+  const double llc_mib =
+      static_cast<double>(GetCpuInfo().llc_bytes) / (1024.0 * 1024.0);
+  Advice advice = Advise(build_mib, probe_mib, payload_b, selectivity, zipf,
+                         pipeline_joins, llc_mib);
+  std::printf("workload: build %.1f MiB, probe %.1f MiB, payload %.0f B,\n"
+              "          selectivity %.0f%%, zipf %.2f, %d joins in pipeline\n"
+              "host LLC: %.1f MiB\n\n",
+              build_mib, probe_mib, payload_b, selectivity, zipf,
+              pipeline_joins, llc_mib);
+  std::printf("=> recommended join: %s\n   because %s\n",
+              JoinStrategyName(advice.strategy), advice.reason.c_str());
+
+  if (!validate) return 0;
+
+  // Race the strategies on a matching synthetic workload (scaled down).
+  std::printf("\nvalidating on a scaled microbenchmark...\n");
+  MicroWorkload w =
+      MakeSelectivityWorkload(WorkloadScaleDivisor(), selectivity / 100.0);
+  auto plan = CountJoinPlan(w);
+  ThreadPool pool(DefaultThreads());
+  TablePrinter table({"strategy", "time [ms]"});
+  JoinStrategy best = JoinStrategy::kBHJ;
+  double best_seconds = 1e30;
+  for (JoinStrategy s : {JoinStrategy::kBHJ, JoinStrategy::kRJ,
+                         JoinStrategy::kBRJ, JoinStrategy::kBRJAdaptive}) {
+    ExecOptions options;
+    options.join_strategy = s;
+    options.num_threads = pool.num_threads();
+    QueryStats stats = MeasurePlan(*plan, options, 3, &pool);
+    if (stats.seconds < best_seconds) {
+      best_seconds = stats.seconds;
+      best = s;
+    }
+    table.AddRow({JoinStrategyName(s),
+                  TablePrinter::Double(stats.seconds * 1e3, 1)});
+  }
+  table.Print();
+  std::printf("fastest measured: %s\n", JoinStrategyName(best));
+  return 0;
+}

@@ -1,0 +1,64 @@
+// TPC-H walkthrough: generates a scaled TPC-H database, runs the queries the
+// paper highlights (Q5, Q12, Q22), and prints the per-join measurements that
+// explain *why* each join strategy wins or loses — the Figure 1/13 style
+// analysis as a library feature.
+//
+//   ./build/examples/tpch_top_joins [scale_factor]
+#include <cstdio>
+#include <cstdlib>
+
+#include "engine/executor.h"
+#include "tpch/gen.h"
+#include "tpch/queries.h"
+#include "util/env.h"
+#include "util/table_printer.h"
+
+using namespace pjoin;
+
+int main(int argc, char** argv) {
+  double sf = argc > 1 ? std::atof(argv[1]) : 0.05;
+  std::printf("generating TPC-H at scale factor %.3g...\n", sf);
+  auto db = GenerateTpch(sf);
+  std::printf("lineitem: %llu rows, total data: %s\n\n",
+              static_cast<unsigned long long>(db->lineitem.num_rows()),
+              TablePrinter::Bytes(static_cast<double>(db->TotalBytes()))
+                  .c_str());
+
+  ThreadPool pool(DefaultThreads());
+  for (int qid : {5, 12, 22}) {
+    const TpchQuery& query = GetTpchQuery(qid);
+    std::printf("== %s ==\n", query.name.c_str());
+
+    TablePrinter timing({"strategy", "time [ms]", "throughput [M T/s]"});
+    QueryStats bhj_stats;
+    for (JoinStrategy s : {JoinStrategy::kBHJ, JoinStrategy::kBRJ,
+                           JoinStrategy::kRJ}) {
+      ExecOptions options;
+      options.join_strategy = s;
+      options.num_threads = pool.num_threads();
+      QueryStats stats;
+      query.run(*db, options, &stats, &pool);
+      if (s == JoinStrategy::kBHJ) bhj_stats = stats;
+      timing.AddRow({JoinStrategyName(s),
+                     TablePrinter::Double(stats.seconds * 1e3, 1),
+                     TablePrinter::Double(stats.Throughput() / 1e6, 1)});
+    }
+    timing.Print();
+
+    TablePrinter joins({"join", "kind", "build", "probe", "partners"});
+    for (const auto& audit : bhj_stats.join_audits) {
+      joins.AddRow(
+          {"J" + std::to_string(audit.join_id + 1), JoinKindName(audit.kind),
+           TablePrinter::Bytes(static_cast<double>(audit.build_bytes())),
+           TablePrinter::Bytes(static_cast<double>(audit.probe_bytes())),
+           TablePrinter::Double(audit.match_fraction() * 100, 1) + "%"});
+    }
+    joins.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "reading the join tables: small builds (< LLC) make partitioning\n"
+      "pointless; low partner fractions favor the Bloom-filtered BRJ; only\n"
+      "narrow tuples at moderate build:probe ratios favor the plain RJ.\n");
+  return 0;
+}

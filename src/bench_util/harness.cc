@@ -1,0 +1,35 @@
+#include "bench_util/harness.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace pjoin {
+
+QueryStats MeasureRuns(const std::function<void(QueryStats*)>& run, int reps,
+                       bool warmup) {
+  PJOIN_CHECK(reps >= 1);
+  if (warmup) {
+    QueryStats ignored;
+    run(&ignored);
+  }
+  std::vector<QueryStats> results(reps);
+  for (int r = 0; r < reps; ++r) {
+    run(&results[r]);
+  }
+  std::sort(results.begin(), results.end(),
+            [](const QueryStats& a, const QueryStats& b) {
+              return a.seconds < b.seconds;
+            });
+  return results[results.size() / 2];
+}
+
+QueryStats MeasurePlan(const PlanNode& plan, const ExecOptions& options,
+                       int reps, ThreadPool* pool, bool warmup) {
+  return MeasureRuns(
+      [&](QueryStats* stats) { ExecuteQuery(plan, options, stats, pool); },
+      reps, warmup);
+}
+
+}  // namespace pjoin

@@ -1,0 +1,26 @@
+// Measurement harness: warmed-up median-of-N query runs (Section 5.1.3:
+// "we warmed up the system ... ran all benchmarks at least five times and
+// reported median performance").
+#ifndef PJOIN_BENCH_UTIL_HARNESS_H_
+#define PJOIN_BENCH_UTIL_HARNESS_H_
+
+#include <functional>
+
+#include "engine/executor.h"
+#include "engine/plan.h"
+
+namespace pjoin {
+
+// Runs `plan` `reps` times under `options` on `pool` and returns the stats
+// of the median-time run. One untimed warm-up run precedes the measurement.
+QueryStats MeasurePlan(const PlanNode& plan, const ExecOptions& options,
+                       int reps, ThreadPool* pool, bool warmup = true);
+
+// Same for an arbitrary runnable that fills QueryStats (used for multi-step
+// TPC-H queries and the stand-alone baselines).
+QueryStats MeasureRuns(const std::function<void(QueryStats*)>& run, int reps,
+                       bool warmup = true);
+
+}  // namespace pjoin
+
+#endif  // PJOIN_BENCH_UTIL_HARNESS_H_

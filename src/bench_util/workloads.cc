@@ -1,0 +1,274 @@
+#include "bench_util/workloads.h"
+
+#include <string>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace pjoin {
+
+namespace {
+
+constexpr uint64_t kWorkloadABuild = 16ull << 20;   // 16 Mi tuples, 256 MiB
+constexpr uint64_t kWorkloadAProbe = 256ull << 20;  // 256 Mi tuples, 4096 MiB
+constexpr uint64_t kWorkloadBSide = 128'000'000;    // 128 M tuples, 977 MiB
+
+uint64_t Scaled(uint64_t n, int64_t divisor) {
+  uint64_t scaled = n / static_cast<uint64_t>(divisor);
+  return scaled < 64 ? 64 : scaled;
+}
+
+// Dense shuffled key column 1..n (the prior-work build-side layout).
+std::vector<int64_t> DensePermutation(uint64_t n, Rng& rng) {
+  std::vector<int64_t> keys(n);
+  for (uint64_t i = 0; i < n; ++i) keys[i] = static_cast<int64_t>(i + 1);
+  for (uint64_t i = n; i > 1; --i) {
+    std::swap(keys[i - 1], keys[rng.Below(i)]);
+  }
+  return keys;
+}
+
+Table MakeBuildTable(uint64_t n, Rng& rng) {
+  Table build("build", Schema({{"b_key", DataType::kInt64, 0},
+                               {"b_pay", DataType::kInt64, 0}}));
+  build.Reserve(n);
+  for (int64_t key : DensePermutation(n, rng)) {
+    build.column(0).AppendInt64(key);
+    build.column(1).AppendInt64(key);  // payload == key in prior work
+    build.FinishRow();
+  }
+  return build;
+}
+
+}  // namespace
+
+MicroWorkload MakeWorkloadA(int64_t scale_divisor) {
+  return MakePayloadWorkload(scale_divisor, /*payload_cols=*/1,
+                             /*match_fraction=*/1.0);
+}
+
+MicroWorkload MakeWorkloadB(int64_t scale_divisor) {
+  MicroWorkload w;
+  w.build_tuples = Scaled(kWorkloadBSide, scale_divisor);
+  w.probe_tuples = Scaled(kWorkloadBSide, scale_divisor);
+  Rng rng(101);
+
+  w.build = Table("build", Schema({{"b_key", DataType::kInt32, 0},
+                                   {"b_pay", DataType::kInt32, 0}}));
+  w.build.Reserve(w.build_tuples);
+  for (int64_t key : DensePermutation(w.build_tuples, rng)) {
+    w.build.column(0).AppendInt32(static_cast<int32_t>(key));
+    w.build.column(1).AppendInt32(static_cast<int32_t>(key));
+    w.build.FinishRow();
+  }
+  w.probe = Table("probe", Schema({{"p_key", DataType::kInt32, 0},
+                                   {"p_pay", DataType::kInt32, 0}}));
+  w.probe.Reserve(w.probe_tuples);
+  for (uint64_t i = 0; i < w.probe_tuples; ++i) {
+    w.probe.column(0).AppendInt32(
+        static_cast<int32_t>(1 + rng.Below(w.build_tuples)));
+    w.probe.column(1).AppendInt32(static_cast<int32_t>(i));
+    w.probe.FinishRow();
+  }
+  return w;
+}
+
+MicroWorkload MakeSelectivityWorkload(int64_t scale_divisor,
+                                      double match_fraction) {
+  MicroWorkload w;
+  w.build_tuples = Scaled(kWorkloadABuild, scale_divisor);
+  w.probe_tuples = Scaled(kWorkloadAProbe, scale_divisor);
+  Rng rng(102);
+  w.build = MakeBuildTable(w.build_tuples, rng);
+
+  w.probe = Table("probe", Schema({{"p_key", DataType::kInt64, 0},
+                                   {"p_pay", DataType::kInt64, 0}}));
+  w.probe.Reserve(w.probe_tuples);
+  const uint64_t threshold =
+      static_cast<uint64_t>(match_fraction * 1000000.0);
+  for (uint64_t i = 0; i < w.probe_tuples; ++i) {
+    // Matching keys reference the build universe; non-matching keys live in
+    // a disjoint range, keeping the probe size constant (Section 5.4.1).
+    bool match = rng.Below(1000000) < threshold;
+    int64_t key = static_cast<int64_t>(1 + rng.Below(w.build_tuples));
+    if (!match) key += static_cast<int64_t>(w.build_tuples);
+    w.probe.column(0).AppendInt64(key);
+    w.probe.column(1).AppendInt64(static_cast<int64_t>(i));
+    w.probe.FinishRow();
+  }
+  return w;
+}
+
+MicroWorkload MakePayloadWorkload(int64_t scale_divisor, int payload_cols,
+                                  double match_fraction) {
+  PJOIN_CHECK(payload_cols >= 0);
+  MicroWorkload w;
+  w.build_tuples = Scaled(kWorkloadABuild, scale_divisor);
+  w.probe_tuples = Scaled(kWorkloadAProbe, scale_divisor);
+  Rng rng(103);
+  w.build = MakeBuildTable(w.build_tuples, rng);
+
+  std::vector<ColumnDef> probe_cols = {{"p_key", DataType::kInt64, 0}};
+  for (int c = 1; c <= payload_cols; ++c) {
+    probe_cols.push_back(
+        {"p_pay" + std::to_string(c), DataType::kInt64, 0});
+  }
+  w.probe = Table("probe", Schema(probe_cols));
+  w.probe.Reserve(w.probe_tuples);
+  const uint64_t threshold =
+      static_cast<uint64_t>(match_fraction * 1000000.0);
+  for (uint64_t i = 0; i < w.probe_tuples; ++i) {
+    bool match = rng.Below(1000000) < threshold;
+    int64_t key = static_cast<int64_t>(1 + rng.Below(w.build_tuples));
+    if (!match) key += static_cast<int64_t>(w.build_tuples);
+    w.probe.column(0).AppendInt64(key);
+    for (int c = 1; c <= payload_cols; ++c) {
+      w.probe.column(c).AppendInt64(static_cast<int64_t>(rng.Next() >> 16));
+    }
+    w.probe.FinishRow();
+  }
+  return w;
+}
+
+MicroWorkload MakeSkewWorkload(int64_t scale_divisor, double zipf_theta,
+                               bool workload_b) {
+  MicroWorkload w;
+  Rng rng(104);
+  if (workload_b) {
+    w.build_tuples = Scaled(kWorkloadBSide, scale_divisor);
+    w.probe_tuples = Scaled(kWorkloadBSide, scale_divisor);
+    w.build = Table("build", Schema({{"b_key", DataType::kInt32, 0},
+                                     {"b_pay", DataType::kInt32, 0}}));
+    for (int64_t key : DensePermutation(w.build_tuples, rng)) {
+      w.build.column(0).AppendInt32(static_cast<int32_t>(key));
+      w.build.column(1).AppendInt32(static_cast<int32_t>(key));
+      w.build.FinishRow();
+    }
+    w.probe = Table("probe", Schema({{"p_key", DataType::kInt32, 0},
+                                     {"p_pay", DataType::kInt32, 0}}));
+    w.probe.Reserve(w.probe_tuples);
+    ZipfGenerator zipf(w.build_tuples, zipf_theta);
+    for (uint64_t i = 0; i < w.probe_tuples; ++i) {
+      w.probe.column(0).AppendInt32(static_cast<int32_t>(zipf.Next(rng)));
+      w.probe.column(1).AppendInt32(static_cast<int32_t>(i));
+      w.probe.FinishRow();
+    }
+    return w;
+  }
+  w.build_tuples = Scaled(kWorkloadABuild, scale_divisor);
+  w.probe_tuples = Scaled(kWorkloadAProbe, scale_divisor);
+  w.build = MakeBuildTable(w.build_tuples, rng);
+  w.probe = Table("probe", Schema({{"p_key", DataType::kInt64, 0},
+                                   {"p_pay", DataType::kInt64, 0}}));
+  w.probe.Reserve(w.probe_tuples);
+  ZipfGenerator zipf(w.build_tuples, zipf_theta);
+  for (uint64_t i = 0; i < w.probe_tuples; ++i) {
+    w.probe.column(0).AppendInt64(static_cast<int64_t>(zipf.Next(rng)));
+    w.probe.column(1).AppendInt64(static_cast<int64_t>(i));
+    w.probe.FinishRow();
+  }
+  return w;
+}
+
+MicroWorkload MakeStarWorkload(int64_t scale_divisor, int depth) {
+  PJOIN_CHECK(depth >= 1);
+  MicroWorkload w;
+  w.build_tuples = Scaled(kWorkloadABuild, scale_divisor);
+  w.probe_tuples = Scaled(kWorkloadAProbe, scale_divisor);
+  Rng rng(105);
+
+  // One dimension table per pipeline stage, each a randomly permuted copy of
+  // the build side (Section 5.4.4).
+  for (int d = 0; d < depth; ++d) {
+    std::string prefix = "d" + std::to_string(d);
+    auto dim = std::make_unique<Table>(
+        prefix, Schema({{prefix + "_key", DataType::kInt64, 0},
+                        {prefix + "_pay", DataType::kInt64, 0}}));
+    dim->Reserve(w.build_tuples);
+    for (int64_t key : DensePermutation(w.build_tuples, rng)) {
+      dim->column(0).AppendInt64(key);
+      dim->column(1).AppendInt64(key * (d + 1));
+      dim->FinishRow();
+    }
+    w.dims.push_back(std::move(dim));
+  }
+
+  // Central fact table: one foreign-key column per dimension, 100% match.
+  std::vector<ColumnDef> cols;
+  for (int d = 0; d < depth; ++d) {
+    cols.push_back({"f_k" + std::to_string(d), DataType::kInt64, 0});
+  }
+  w.probe = Table("fact", Schema(cols));
+  w.probe.Reserve(w.probe_tuples);
+  for (uint64_t i = 0; i < w.probe_tuples; ++i) {
+    for (int d = 0; d < depth; ++d) {
+      w.probe.column(d).AppendInt64(
+          static_cast<int64_t>(1 + rng.Below(w.build_tuples)));
+    }
+    w.probe.FinishRow();
+  }
+  return w;
+}
+
+MicroWorkload MakeSizedWorkload(uint64_t build_tuples, uint64_t probe_tuples) {
+  MicroWorkload w;
+  w.build_tuples = build_tuples;
+  w.probe_tuples = probe_tuples;
+  Rng rng(106);
+  w.build = MakeBuildTable(build_tuples, rng);
+  w.probe = Table("probe", Schema({{"p_key", DataType::kInt64, 0},
+                                   {"p_pay", DataType::kInt64, 0}}));
+  w.probe.Reserve(probe_tuples);
+  for (uint64_t i = 0; i < probe_tuples; ++i) {
+    w.probe.column(0).AppendInt64(
+        static_cast<int64_t>(1 + rng.Below(build_tuples)));
+    w.probe.column(1).AppendInt64(static_cast<int64_t>(i));
+    w.probe.FinishRow();
+  }
+  return w;
+}
+
+std::unique_ptr<PlanNode> CountJoinPlan(const MicroWorkload& workload) {
+  const std::string probe_key = workload.probe.schema().column(0).name;
+  return Aggregate(Join(ScanTable(&workload.build), ScanTable(&workload.probe),
+                        {{"b_key", probe_key}}),
+                   {}, {AggDef::CountStar("matches")});
+}
+
+std::unique_ptr<PlanNode> SumPayloadPlan(const MicroWorkload& workload,
+                                         int payload_col) {
+  const std::string pay = workload.probe.schema().column(payload_col).name;
+  return Aggregate(Join(ScanTable(&workload.build), ScanTable(&workload.probe),
+                        {{"b_key", workload.probe.schema().column(0).name}}),
+                   {}, {AggDef::Sum(pay, "total")});
+}
+
+std::unique_ptr<PlanNode> SumAllPayloadsPlan(const MicroWorkload& workload) {
+  std::vector<AggDef> aggs;
+  const Schema& schema = workload.probe.schema();
+  for (int c = 1; c < schema.num_columns(); ++c) {
+    aggs.push_back(
+        AggDef::Sum(schema.column(c).name, "sum_" + schema.column(c).name));
+  }
+  PJOIN_CHECK(!aggs.empty());
+  return Aggregate(Join(ScanTable(&workload.build), ScanTable(&workload.probe),
+                        {{"b_key", schema.column(0).name}}),
+                   {}, std::move(aggs));
+}
+
+std::unique_ptr<PlanNode> StarJoinPlan(const MicroWorkload& workload) {
+  auto plan = ScanTable(&workload.probe);
+  std::vector<AggDef> aggs;
+  for (size_t d = 0; d < workload.dims.size(); ++d) {
+    std::string prefix = "d" + std::to_string(d);
+    plan = Join(ScanTable(workload.dims[d].get()), std::move(plan),
+                {{prefix + "_key", "f_k" + std::to_string(d)}});
+    // Every dimension's payload is aggregated, so the tuples widen with
+    // every join in the pipeline — the effect Section 5.4.4 studies.
+    aggs.push_back(AggDef::Sum(prefix + "_pay", "sum_" + prefix));
+  }
+  return Aggregate(std::move(plan), {}, std::move(aggs));
+}
+
+}  // namespace pjoin

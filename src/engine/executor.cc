@@ -1,0 +1,530 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/env.h"
+#include "util/stopwatch.h"
+
+namespace pjoin {
+
+namespace {
+
+using ColumnRef = PlanNode::ColumnRef;
+
+// Collects every name a subtree can produce, including the synthetic
+// `<table>.#tid` tuple-id columns of its scans.
+void CollectNames(const PlanNode& node, std::set<std::string>* out) {
+  switch (node.kind) {
+    case PlanNode::Kind::kScan:
+      for (const auto& def : node.table->schema().columns()) {
+        out->insert(def.name);
+      }
+      out->insert(TableScanSource::TidColumnName(node.table->name()));
+      break;
+    case PlanNode::Kind::kFilter:
+      CollectNames(*node.child, out);
+      break;
+    case PlanNode::Kind::kMap:
+      CollectNames(*node.child, out);
+      for (const auto& map : node.maps) out->insert(map.name);
+      break;
+    case PlanNode::Kind::kJoin:
+      CollectNames(*node.build, out);
+      CollectNames(*node.probe, out);
+      if (node.join_kind == JoinKind::kMark) out->insert(node.mark_name);
+      break;
+    case PlanNode::Kind::kAgg:
+      CollectNames(*node.child, out);
+      break;
+  }
+}
+
+// Builds the global name -> definition map.
+void CollectRefs(const PlanNode& node, std::map<std::string, ColumnRef>* out) {
+  switch (node.kind) {
+    case PlanNode::Kind::kScan: {
+      for (const auto& def : node.table->schema().columns()) {
+        (*out)[def.name] =
+            ColumnRef{def.name, def.type, def.width(), node.table};
+      }
+      std::string tid = TableScanSource::TidColumnName(node.table->name());
+      (*out)[tid] = ColumnRef{tid, DataType::kInt64, 8, nullptr};
+      break;
+    }
+    case PlanNode::Kind::kFilter:
+    case PlanNode::Kind::kAgg:
+      CollectRefs(*node.child, out);
+      break;
+    case PlanNode::Kind::kMap:
+      CollectRefs(*node.child, out);
+      for (const auto& map : node.maps) {
+        (*out)[map.name] = ColumnRef{map.name, map.type,
+                                     TypeWidth(map.type, map.char_len),
+                                     nullptr};
+      }
+      break;
+    case PlanNode::Kind::kJoin:
+      CollectRefs(*node.build, out);
+      CollectRefs(*node.probe, out);
+      if (node.join_kind == JoinKind::kMark) {
+        (*out)[node.mark_name] =
+            ColumnRef{node.mark_name, DataType::kInt64, 8, nullptr};
+      }
+      break;
+  }
+}
+
+// Columns whose use forces early materialization: filter inputs, map inputs,
+// and join keys. Aggregate inputs and group keys are *not* early — deferring
+// them is exactly what late materialization buys.
+void CollectEarlyUses(const PlanNode& node, std::set<std::string>* out) {
+  switch (node.kind) {
+    case PlanNode::Kind::kScan:
+      break;  // scan predicates read the base table directly
+    case PlanNode::Kind::kFilter:
+      for (const auto& name : node.filter.inputs) out->insert(name);
+      CollectEarlyUses(*node.child, out);
+      break;
+    case PlanNode::Kind::kMap:
+      for (const auto& map : node.maps) {
+        for (const auto& name : map.inputs) out->insert(name);
+      }
+      CollectEarlyUses(*node.child, out);
+      break;
+    case PlanNode::Kind::kJoin:
+      for (const auto& [b, p] : node.keys) {
+        out->insert(b);
+        out->insert(p);
+      }
+      CollectEarlyUses(*node.build, out);
+      CollectEarlyUses(*node.probe, out);
+      break;
+    case PlanNode::Kind::kAgg:
+      CollectEarlyUses(*node.child, out);
+      break;
+  }
+}
+
+class Lowerer {
+ public:
+  Lowerer(const ExecOptions& options, int num_threads)
+      : options_(options), num_threads_(num_threads) {}
+
+  void LowerQuery(const PlanNode& root);
+  QueryResult Run(ThreadPool& pool, QueryStats* stats);
+
+ private:
+  struct Stream {
+    Pipeline* pipeline = nullptr;
+    const RowLayout* layout = nullptr;
+  };
+
+  Stream Lower(const PlanNode& node, const std::set<std::string>& required);
+  Stream LowerScan(const PlanNode& node,
+                   const std::set<std::string>& required);
+  Stream LowerJoin(const PlanNode& node,
+                   const std::set<std::string>& required);
+
+  const RowLayout* MakeLayout(const std::vector<std::string>& names);
+  const RowLayout* ExtendLayout(const RowLayout* base,
+                                std::vector<RowField> extra);
+  Pipeline* NewPipeline(Source* source, JoinPhase phase,
+                        const std::string& label);
+  void CompletePipeline(Pipeline* pipeline) { run_order_.push_back(pipeline); }
+
+  // Splits `required` across the two join sides; aborts on unknown names.
+  static std::vector<std::string> Sorted(const std::set<std::string>& s) {
+    return std::vector<std::string>(s.begin(), s.end());
+  }
+
+  const ExecOptions& options_;
+  int num_threads_;
+
+  std::map<std::string, ColumnRef> refs_;
+  std::set<std::string> late_columns_;
+  int next_join_id_ = 0;
+
+  // Owned plan machinery; layouts/projections must be address-stable.
+  std::vector<std::unique_ptr<RowLayout>> layouts_;
+  std::vector<std::unique_ptr<JoinProjection>> projections_;
+  std::vector<std::unique_ptr<Source>> sources_;
+  std::vector<std::unique_ptr<Operator>> operators_;
+  std::vector<std::unique_ptr<HashJoin>> hash_joins_;
+  std::vector<std::unique_ptr<RadixJoin>> radix_joins_;
+  std::vector<std::unique_ptr<Pipeline>> pipelines_;
+  std::vector<Pipeline*> run_order_;
+  std::vector<TableScanSource*> scans_;
+  std::vector<RadixProbeSink*> radix_probe_sinks_;
+  std::vector<std::function<JoinAudit()>> audit_fns_;
+  HashAggOp* root_agg_ = nullptr;
+};
+
+const RowLayout* Lowerer::MakeLayout(const std::vector<std::string>& names) {
+  std::vector<RowField> fields;
+  fields.reserve(names.size());
+  for (const auto& name : names) {
+    auto it = refs_.find(name);
+    PJOIN_CHECK_MSG(it != refs_.end(), name.c_str());
+    fields.push_back(
+        RowField{name, it->second.type, it->second.width, 0});
+  }
+  layouts_.push_back(std::make_unique<RowLayout>(std::move(fields)));
+  return layouts_.back().get();
+}
+
+const RowLayout* Lowerer::ExtendLayout(const RowLayout* base,
+                                       std::vector<RowField> extra) {
+  std::vector<RowField> fields = base->fields();
+  for (auto& f : extra) fields.push_back(std::move(f));
+  layouts_.push_back(std::make_unique<RowLayout>(std::move(fields)));
+  return layouts_.back().get();
+}
+
+Pipeline* Lowerer::NewPipeline(Source* source, JoinPhase phase,
+                               const std::string& label) {
+  pipelines_.push_back(std::make_unique<Pipeline>());
+  Pipeline* p = pipelines_.back().get();
+  p->set_source(source);
+  p->timing_phase = phase;
+  p->label = label;
+  return p;
+}
+
+Lowerer::Stream Lowerer::LowerScan(const PlanNode& node,
+                                   const std::set<std::string>& required) {
+  const std::string tid_name =
+      TableScanSource::TidColumnName(node.table->name());
+  std::vector<std::string> names;
+  for (const auto& name : Sorted(required)) {
+    // Keep only names this table provides (tid included).
+    if (name == tid_name || node.table->schema().Find(name) >= 0) {
+      names.push_back(name);
+    }
+  }
+  const RowLayout* layout = MakeLayout(names);
+  sources_.push_back(std::make_unique<TableScanSource>(node.table, layout,
+                                                       node.predicates));
+  auto* scan = static_cast<TableScanSource*>(sources_.back().get());
+  scans_.push_back(scan);
+  Pipeline* pipeline = NewPipeline(scan, JoinPhase::kProbePipeline,
+                                   "scan " + node.table->name());
+  return Stream{pipeline, layout};
+}
+
+Lowerer::Stream Lowerer::LowerJoin(const PlanNode& node,
+                                   const std::set<std::string>& required) {
+  // Which names does each side provide?
+  std::set<std::string> build_names, probe_names;
+  CollectNames(*node.build, &build_names);
+  CollectNames(*node.probe, &probe_names);
+
+  std::set<std::string> build_required, probe_required;
+  for (const auto& name : required) {
+    if (node.join_kind == JoinKind::kMark && name == node.mark_name) continue;
+    if (build_names.count(name)) {
+      build_required.insert(name);
+    } else if (probe_names.count(name)) {
+      probe_required.insert(name);
+    } else {
+      PJOIN_CHECK_MSG(false, ("join cannot provide column " + name).c_str());
+    }
+  }
+  for (const auto& [b, p] : node.keys) {
+    build_required.insert(b);
+    probe_required.insert(p);
+  }
+
+  Stream build = Lower(*node.build, build_required);
+  Stream probe = Lower(*node.probe, probe_required);
+
+  // Join id in post-order (children were lowered first) — the numbering of
+  // the paper's Figure 12 per-join analysis.
+  const int join_id = next_join_id_++;
+  JoinStrategy strategy = options_.join_strategy;
+  auto it = options_.join_overrides.find(join_id);
+  if (it != options_.join_overrides.end()) strategy = it->second;
+
+  // Output layout and projection.
+  std::vector<std::string> out_names = Sorted(required);
+  const RowLayout* out = MakeLayout(out_names);
+  projections_.push_back(std::make_unique<JoinProjection>());
+  JoinProjection* projection = projections_.back().get();
+  projection->output = out;
+  projection->build = build.layout;
+  projection->probe = probe.layout;
+  for (int f = 0; f < out->num_fields(); ++f) {
+    const std::string& name = out->field(f).name;
+    if (node.join_kind == JoinKind::kMark && name == node.mark_name) {
+      projection->mark_field = f;
+      continue;
+    }
+    int bf = build.layout->Find(name);
+    if (bf >= 0) {
+      projection->from_build.push_back({f, bf});
+    } else {
+      projection->from_probe.push_back({f, probe.layout->IndexOf(name)});
+    }
+  }
+
+  std::vector<int> build_keys, probe_keys;
+  for (const auto& [b, p] : node.keys) {
+    build_keys.push_back(build.layout->IndexOf(b));
+    probe_keys.push_back(probe.layout->IndexOf(p));
+  }
+
+  if (strategy == JoinStrategy::kBHJ) {
+    hash_joins_.push_back(std::make_unique<HashJoin>(
+        node.join_kind, build.layout, build_keys, probe.layout, probe_keys,
+        *projection));
+    HashJoin* join = hash_joins_.back().get();
+    audit_fns_.push_back([join, join_id] { return join->Audit(join_id); });
+    operators_.push_back(std::make_unique<HashJoinBuildSink>(join));
+    build.pipeline->AddOperator(operators_.back().get());
+    build.pipeline->timing_phase = JoinPhase::kBuildPipeline;
+    CompletePipeline(build.pipeline);
+
+    operators_.push_back(std::make_unique<HashJoinProbe>(join));
+    Operator* probe_op = operators_.back().get();
+    probe.pipeline->AddOperator(probe_op);
+    if (!EmitsBuildRows(node.join_kind)) {
+      return Stream{probe.pipeline, out};
+    }
+    // Build-preserving kinds: the probe pipeline only sets flags; a scan
+    // over the hash table starts the next pipeline.
+    CompletePipeline(probe.pipeline);
+    sources_.push_back(std::make_unique<HashJoinBuildScanSource>(join));
+    Pipeline* next = NewPipeline(sources_.back().get(), JoinPhase::kJoin,
+                                 "ht scan j" + std::to_string(join_id));
+    return Stream{next, out};
+  }
+
+  // Radix joins (RJ / BRJ / adaptive BRJ).
+  RadixJoin::Options radix_options;
+  radix_options.strategy = strategy;
+  radix_options.expected_build_tuples = node.build->EstimateRows() | 1;
+  radix_options.num_threads = num_threads_;
+  radix_options.bits1 = options_.radix_bits1;
+  radix_options.bits2 = options_.radix_bits2;
+  radix_options.use_swwcb = options_.use_swwcb;
+  radix_options.use_streaming = options_.use_streaming;
+  radix_joins_.push_back(std::make_unique<RadixJoin>(
+      node.join_kind, build.layout, build_keys, probe.layout, probe_keys,
+      *projection, radix_options));
+  RadixJoin* join = radix_joins_.back().get();
+  audit_fns_.push_back([join, join_id] { return join->Audit(join_id); });
+
+  operators_.push_back(std::make_unique<RadixBuildSink>(join));
+  build.pipeline->AddOperator(operators_.back().get());
+  build.pipeline->timing_phase = JoinPhase::kBuildPipeline;
+  CompletePipeline(build.pipeline);
+
+  operators_.push_back(std::make_unique<RadixProbeSink>(join));
+  radix_probe_sinks_.push_back(
+      static_cast<RadixProbeSink*>(operators_.back().get()));
+  probe.pipeline->AddOperator(operators_.back().get());
+  probe.pipeline->timing_phase = JoinPhase::kPartitionPass1;
+  CompletePipeline(probe.pipeline);
+
+  sources_.push_back(std::make_unique<PartitionJoinSource>(join));
+  Pipeline* next = NewPipeline(sources_.back().get(), JoinPhase::kJoin,
+                               "radix join j" + std::to_string(join_id));
+  return Stream{next, out};
+}
+
+Lowerer::Stream Lowerer::Lower(const PlanNode& node,
+                               const std::set<std::string>& required) {
+  switch (node.kind) {
+    case PlanNode::Kind::kScan:
+      return LowerScan(node, required);
+    case PlanNode::Kind::kFilter: {
+      std::set<std::string> child_required = required;
+      for (const auto& name : node.filter.inputs) child_required.insert(name);
+      Stream s = Lower(*node.child, child_required);
+      operators_.push_back(std::make_unique<FilterOp>(&node.filter, s.layout));
+      s.pipeline->AddOperator(operators_.back().get());
+      return s;
+    }
+    case PlanNode::Kind::kMap: {
+      std::set<std::string> child_required;
+      std::set<std::string> produced;
+      for (const auto& map : node.maps) produced.insert(map.name);
+      for (const auto& name : required) {
+        if (!produced.count(name)) child_required.insert(name);
+      }
+      for (const auto& map : node.maps) {
+        for (const auto& name : map.inputs) child_required.insert(name);
+      }
+      Stream s = Lower(*node.child, child_required);
+      std::vector<RowField> extra;
+      for (const auto& map : node.maps) {
+        extra.push_back(RowField{map.name, map.type,
+                                 TypeWidth(map.type, map.char_len), 0});
+      }
+      const RowLayout* out = ExtendLayout(s.layout, std::move(extra));
+      operators_.push_back(
+          std::make_unique<MapOp>(&node.maps, s.layout, out));
+      s.pipeline->AddOperator(operators_.back().get());
+      return Stream{s.pipeline, out};
+    }
+    case PlanNode::Kind::kJoin:
+      return LowerJoin(node, required);
+    case PlanNode::Kind::kAgg:
+      PJOIN_CHECK_MSG(false, "aggregate must be the root");
+  }
+  return {};
+}
+
+void Lowerer::LowerQuery(const PlanNode& root) {
+  PJOIN_CHECK(root.kind == PlanNode::Kind::kAgg);
+  CollectRefs(root, &refs_);
+
+  std::set<std::string> root_required;
+  for (const auto& name : root.group_by) root_required.insert(name);
+  for (const auto& agg : root.aggs) {
+    if (agg.op != AggDef::Op::kCountStar) root_required.insert(agg.input);
+  }
+
+  if (options_.late_materialization) {
+    late_columns_ = internal::ComputeLateColumns(root);
+    // Keep only columns this query actually defers.
+    for (auto it = late_columns_.begin(); it != late_columns_.end();) {
+      if (!root_required.count(*it)) {
+        it = late_columns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // The pipeline carries everything required except late columns, plus the
+  // tuple ids needed to fetch them afterwards.
+  std::set<std::string> early_required;
+  std::set<const Table*> late_tables;
+  for (const auto& name : root_required) {
+    if (late_columns_.count(name)) {
+      late_tables.insert(refs_[name].source_table);
+    } else {
+      early_required.insert(name);
+    }
+  }
+  for (const Table* table : late_tables) {
+    early_required.insert(TableScanSource::TidColumnName(table->name()));
+  }
+
+  Stream s = Lower(*root.child, early_required);
+
+  if (!late_columns_.empty()) {
+    // One LateLoadOp fetches all deferred columns right before the
+    // aggregation (the paper's late-load operator).
+    std::vector<RowField> extra;
+    std::map<const Table*, LateLoadOp::Fetch> fetches;
+    int next_field = s.layout->num_fields();
+    for (const auto& name : Sorted(late_columns_)) {
+      const ColumnRef& ref = refs_[name];
+      extra.push_back(RowField{name, ref.type, ref.width, 0});
+      LateLoadOp::Fetch& fetch = fetches[ref.source_table];
+      fetch.table = ref.source_table;
+      fetch.table_cols.push_back(ref.source_table->schema().IndexOf(name));
+      fetch.out_fields.push_back(next_field++);
+    }
+    const RowLayout* out = ExtendLayout(s.layout, std::move(extra));
+    std::vector<LateLoadOp::Fetch> fetch_list;
+    for (auto& [table, fetch] : fetches) {
+      fetch.tid_field =
+          s.layout->IndexOf(TableScanSource::TidColumnName(table->name()));
+      fetch_list.push_back(std::move(fetch));
+    }
+    operators_.push_back(
+        std::make_unique<LateLoadOp>(std::move(fetch_list), s.layout, out));
+    s.pipeline->AddOperator(operators_.back().get());
+    s.layout = out;
+  }
+
+  operators_.push_back(
+      std::make_unique<HashAggOp>(s.layout, root.group_by, root.aggs));
+  root_agg_ = static_cast<HashAggOp*>(operators_.back().get());
+  s.pipeline->AddOperator(root_agg_);
+  CompletePipeline(s.pipeline);
+}
+
+QueryResult Lowerer::Run(ThreadPool& pool, QueryStats* stats) {
+  ExecContext exec(&pool);
+  Stopwatch watch;
+  for (Pipeline* pipeline : run_order_) {
+    pipeline->Run(exec);
+  }
+  double seconds = watch.ElapsedSeconds();
+
+  if (stats != nullptr) {
+    stats->seconds = seconds;
+    stats->source_tuples = exec.source_tuples();
+    stats->result_rows = root_agg_->result().num_rows();
+    stats->phase_timer = exec.timer();
+    stats->bytes = exec.MergedBytes();
+    stats->bloom_dropped = 0;
+    for (RadixProbeSink* sink : radix_probe_sinks_) {
+      stats->bloom_dropped += sink->tuples_dropped_by_filter();
+    }
+    stats->partition_bytes = 0;
+    for (const auto& join : radix_joins_) {
+      stats->partition_bytes += join->PartitionBytes();
+    }
+    stats->join_audits.clear();
+    for (const auto& fn : audit_fns_) stats->join_audits.push_back(fn());
+    std::sort(stats->join_audits.begin(), stats->join_audits.end(),
+              [](const JoinAudit& a, const JoinAudit& b) {
+                return a.join_id < b.join_id;
+              });
+  }
+  return root_agg_->result();
+}
+
+}  // namespace
+
+namespace internal {
+
+std::set<std::string> ComputeLateColumns(const PlanNode& root) {
+  PJOIN_CHECK(root.kind == PlanNode::Kind::kAgg);
+  std::map<std::string, ColumnRef> refs;
+  CollectRefs(root, &refs);
+  std::set<std::string> early;
+  CollectEarlyUses(root, &early);
+
+  std::set<std::string> root_required;
+  for (const auto& name : root.group_by) root_required.insert(name);
+  for (const auto& agg : root.aggs) {
+    if (agg.op != AggDef::Op::kCountStar) root_required.insert(agg.input);
+  }
+
+  std::set<std::string> late;
+  for (const auto& name : root_required) {
+    if (early.count(name)) continue;
+    auto it = refs.find(name);
+    if (it == refs.end()) continue;
+    if (it->second.source_table == nullptr) continue;  // computed or mark
+    if (name.find(".#tid") != std::string::npos) continue;
+    late.insert(name);
+  }
+  return late;
+}
+
+}  // namespace internal
+
+QueryResult ExecuteQuery(const PlanNode& root, const ExecOptions& options,
+                         QueryStats* stats, ThreadPool* pool) {
+  int threads = options.num_threads > 0 ? options.num_threads
+                                        : DefaultThreads();
+  std::unique_ptr<ThreadPool> owned;
+  if (pool == nullptr) {
+    owned = std::make_unique<ThreadPool>(threads);
+    pool = owned.get();
+  } else {
+    threads = pool->num_threads();
+  }
+  Lowerer lowerer(options, threads);
+  lowerer.LowerQuery(root);
+  return lowerer.Run(*pool, stats);
+}
+
+}  // namespace pjoin

@@ -1,0 +1,125 @@
+#include "engine/explain.h"
+
+#include <map>
+#include <sstream>
+
+namespace pjoin {
+
+namespace {
+
+const char* PredicateOpName(ScanPredicate::Op op) {
+  switch (op) {
+    case ScanPredicate::Op::kEq: return "=";
+    case ScanPredicate::Op::kNe: return "<>";
+    case ScanPredicate::Op::kLt: return "<";
+    case ScanPredicate::Op::kLe: return "<=";
+    case ScanPredicate::Op::kGt: return ">";
+    case ScanPredicate::Op::kGe: return ">=";
+    case ScanPredicate::Op::kBetween: return "between";
+    case ScanPredicate::Op::kInSet: return "in";
+    case ScanPredicate::Op::kStrEq: return "=";
+    case ScanPredicate::Op::kStrNe: return "<>";
+    case ScanPredicate::Op::kStrPrefix: return "like 'x%'";
+    case ScanPredicate::Op::kStrSuffix: return "like '%x'";
+    case ScanPredicate::Op::kStrContains: return "like '%x%'";
+    case ScanPredicate::Op::kStrNotContains: return "not like '%x%'";
+    case ScanPredicate::Op::kStrIn: return "in";
+    case ScanPredicate::Op::kColLt: return "< col";
+    case ScanPredicate::Op::kColNe: return "<> col";
+  }
+  return "?";
+}
+
+// Assigns each join node its executor id: post-order, build side first —
+// the numbering of Figure 12 and of ExecOptions::join_overrides.
+void NumberJoins(const PlanNode& node, std::map<const PlanNode*, int>* ids,
+                 int* next) {
+  switch (node.kind) {
+    case PlanNode::Kind::kScan:
+      return;
+    case PlanNode::Kind::kFilter:
+    case PlanNode::Kind::kMap:
+    case PlanNode::Kind::kAgg:
+      NumberJoins(*node.child, ids, next);
+      return;
+    case PlanNode::Kind::kJoin:
+      NumberJoins(*node.build, ids, next);
+      NumberJoins(*node.probe, ids, next);
+      (*ids)[&node] = (*next)++;
+      return;
+  }
+}
+
+void Render(const PlanNode& node, const ExecOptions& options,
+            const std::map<const PlanNode*, int>& ids, int depth,
+            std::ostringstream* out) {
+  auto indent = [&] {
+    for (int i = 0; i < depth; ++i) *out << "  ";
+  };
+  switch (node.kind) {
+    case PlanNode::Kind::kAgg:
+      indent();
+      *out << "aggregate [groups:" << node.group_by.size()
+           << " aggs:" << node.aggs.size() << "]\n";
+      Render(*node.child, options, ids, depth + 1, out);
+      break;
+    case PlanNode::Kind::kJoin: {
+      const int id = ids.at(&node);
+      JoinStrategy strategy = options.join_strategy;
+      auto it = options.join_overrides.find(id);
+      if (it != options.join_overrides.end()) strategy = it->second;
+      indent();
+      *out << "join #" << id << " [" << JoinKindName(node.join_kind) << ", "
+           << JoinStrategyName(strategy) << "] on ";
+      for (size_t k = 0; k < node.keys.size(); ++k) {
+        if (k > 0) *out << ", ";
+        *out << node.keys[k].first << " = " << node.keys[k].second;
+      }
+      *out << "\n";
+      Render(*node.build, options, ids, depth + 1, out);
+      Render(*node.probe, options, ids, depth + 1, out);
+      break;
+    }
+    case PlanNode::Kind::kFilter:
+      indent();
+      *out << "filter ["
+           << (node.filter.label.empty() ? "lambda" : node.filter.label)
+           << "]\n";
+      Render(*node.child, options, ids, depth + 1, out);
+      break;
+    case PlanNode::Kind::kMap: {
+      indent();
+      *out << "map [";
+      for (size_t m = 0; m < node.maps.size(); ++m) {
+        if (m > 0) *out << ", ";
+        *out << node.maps[m].name;
+      }
+      *out << "]\n";
+      Render(*node.child, options, ids, depth + 1, out);
+      break;
+    }
+    case PlanNode::Kind::kScan: {
+      indent();
+      *out << "scan " << node.table->name() << " [" << node.table->num_rows()
+           << " rows";
+      for (const auto& pred : node.predicates) {
+        *out << ", " << pred.column << " " << PredicateOpName(pred.op);
+      }
+      *out << "]\n";
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string ExplainPlan(const PlanNode& root, const ExecOptions& options) {
+  std::map<const PlanNode*, int> ids;
+  int next = 0;
+  NumberJoins(root, &ids, &next);
+  std::ostringstream out;
+  Render(root, options, ids, 0, &out);
+  return out.str();
+}
+
+}  // namespace pjoin

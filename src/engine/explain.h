@@ -1,0 +1,22 @@
+// Plan explanation: renders a logical plan tree (and its join strategy
+// assignment) as text, the equivalent of the Umbra web interface plans the
+// paper references for its per-query analysis (footnote 7).
+#ifndef PJOIN_ENGINE_EXPLAIN_H_
+#define PJOIN_ENGINE_EXPLAIN_H_
+
+#include <string>
+
+#include "engine/executor.h"
+#include "engine/plan.h"
+
+namespace pjoin {
+
+// Renders the plan tree, one node per line, children indented. Join nodes
+// show their post-order id, kind, keys, and the strategy the given options
+// would assign (including per-join overrides); scans show table, predicates
+// and cardinality.
+std::string ExplainPlan(const PlanNode& root, const ExecOptions& options);
+
+}  // namespace pjoin
+
+#endif  // PJOIN_ENGINE_EXPLAIN_H_

@@ -1,0 +1,179 @@
+#include "engine/hash_agg.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace pjoin {
+
+HashAggOp::HashAggOp(const RowLayout* in_layout,
+                     std::vector<std::string> group_by,
+                     std::vector<AggDef> aggs)
+    : in_layout_(in_layout),
+      group_by_(std::move(group_by)),
+      aggs_(std::move(aggs)) {
+  for (const auto& name : group_by_) {
+    group_fields_.push_back(in_layout_->IndexOf(name));
+  }
+  for (const auto& agg : aggs_) {
+    if (agg.op == AggDef::Op::kCountStar) {
+      agg_fields_.push_back(-1);
+      agg_is_float_.push_back(false);
+    } else {
+      int f = in_layout_->IndexOf(agg.input);
+      agg_fields_.push_back(f);
+      agg_is_float_.push_back(in_layout_->field(f).type ==
+                              DataType::kFloat64);
+    }
+  }
+}
+
+void HashAggOp::Prepare(ExecContext& exec) {
+  worker_maps_.assign(exec.num_threads(), GroupMap{});
+}
+
+void HashAggOp::Accumulate(Group& group, const std::byte* row) {
+  if (group.accums.empty()) group.accums.resize(aggs_.size());
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    Accum& acc = group.accums[a];
+    const int f = agg_fields_[a];
+    ++acc.count;
+    if (f < 0) continue;  // count(*)
+    double v;
+    if (agg_is_float_[a]) {
+      v = in_layout_->GetFloat64(row, f);
+    } else {
+      int64_t iv = in_layout_->GetNumeric(row, f);
+      acc.isum += iv;
+      v = static_cast<double>(iv);
+    }
+    acc.sum += v;
+    if (!acc.seen || v < acc.min) acc.min = v;
+    if (!acc.seen || v > acc.max) acc.max = v;
+    acc.seen = true;
+  }
+}
+
+void HashAggOp::Consume(Batch& batch, ThreadContext& ctx) {
+  GroupMap& map = worker_maps_[ctx.thread_id];
+  std::string key;
+  for (uint32_t i = 0; i < batch.size; ++i) {
+    const std::byte* row = batch.Row(i);
+    key.clear();
+    for (int f : group_fields_) {
+      const RowField& field = in_layout_->field(f);
+      key.append(reinterpret_cast<const char*>(row + field.offset),
+                 field.width);
+    }
+    Accumulate(map[key], row);
+  }
+}
+
+void HashAggOp::MergeAccum(Accum& into, const Accum& from) {
+  into.sum += from.sum;
+  into.isum += from.isum;
+  into.count += from.count;
+  if (from.seen) {
+    if (!into.seen || from.min < into.min) into.min = from.min;
+    if (!into.seen || from.max > into.max) into.max = from.max;
+    into.seen = true;
+  }
+}
+
+void HashAggOp::Finish(ExecContext& exec) {
+  (void)exec;
+  GroupMap merged;
+  for (GroupMap& map : worker_maps_) {
+    for (auto& [key, group] : map) {
+      Group& target = merged[key];
+      if (target.accums.empty()) {
+        target = std::move(group);
+      } else {
+        for (size_t a = 0; a < aggs_.size(); ++a) {
+          MergeAccum(target.accums[a], group.accums[a]);
+        }
+      }
+    }
+  }
+  worker_maps_.clear();
+
+  result_.column_names.clear();
+  for (const auto& g : group_by_) result_.column_names.push_back(g);
+  for (const auto& a : aggs_) result_.column_names.push_back(a.name);
+
+  // A scalar aggregate over empty input still yields one row of zero counts.
+  if (merged.empty() && group_by_.empty()) {
+    merged.emplace("", Group{std::vector<Accum>(aggs_.size())});
+  }
+
+  result_.rows.clear();
+  result_.rows.reserve(merged.size());
+  for (const auto& [key, group] : merged) {
+    std::vector<Value> row;
+    row.reserve(group_by_.size() + aggs_.size());
+    // Decode group key bytes field-by-field.
+    size_t pos = 0;
+    for (int f : group_fields_) {
+      const RowField& field = in_layout_->field(f);
+      const char* bytes = key.data() + pos;
+      pos += field.width;
+      switch (field.type) {
+        case DataType::kInt64: {
+          int64_t v;
+          std::memcpy(&v, bytes, 8);
+          row.emplace_back(v);
+          break;
+        }
+        case DataType::kInt32:
+        case DataType::kDate: {
+          int32_t v;
+          std::memcpy(&v, bytes, 4);
+          row.emplace_back(static_cast<int64_t>(v));
+          break;
+        }
+        case DataType::kFloat64: {
+          double v;
+          std::memcpy(&v, bytes, 8);
+          row.emplace_back(v);
+          break;
+        }
+        case DataType::kChar: {
+          size_t len = field.width;
+          while (len > 0 && bytes[len - 1] == ' ') --len;
+          row.emplace_back(std::string(bytes, len));
+          break;
+        }
+      }
+    }
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      const Accum& acc = group.accums[a];
+      switch (aggs_[a].op) {
+        case AggDef::Op::kSum:
+          if (agg_is_float_[a]) {
+            row.emplace_back(acc.sum);
+          } else {
+            row.emplace_back(acc.isum);
+          }
+          break;
+        case AggDef::Op::kCount:
+        case AggDef::Op::kCountStar:
+          row.emplace_back(acc.count);
+          break;
+        case AggDef::Op::kMin:
+          row.emplace_back(acc.min);
+          break;
+        case AggDef::Op::kMax:
+          row.emplace_back(acc.max);
+          break;
+        case AggDef::Op::kAvg:
+          row.emplace_back(acc.count > 0 ? acc.sum / acc.count : 0.0);
+          break;
+      }
+    }
+    result_.rows.push_back(std::move(row));
+  }
+  std::sort(result_.rows.begin(), result_.rows.end());
+}
+
+}  // namespace pjoin

@@ -1,0 +1,87 @@
+// Hash aggregation: the terminal pipeline breaker of every query.
+//
+// Thread-local aggregation tables merged at Finish; group keys may be any
+// fixed-width fields (including CHAR). With an empty group list this is the
+// scalar aggregate (count(*)/sum(...)) used by all microbenchmark queries.
+#ifndef PJOIN_ENGINE_HASH_AGG_H_
+#define PJOIN_ENGINE_HASH_AGG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/value.h"
+#include "exec/pipeline.h"
+
+namespace pjoin {
+
+struct AggDef {
+  enum class Op { kSum, kCount, kCountStar, kMin, kMax, kAvg };
+  Op op = Op::kCountStar;
+  std::string input;  // unused for kCountStar
+  std::string name;   // output column name
+
+  static AggDef Sum(std::string input, std::string name) {
+    return AggDef{Op::kSum, std::move(input), std::move(name)};
+  }
+  static AggDef Count(std::string input, std::string name) {
+    return AggDef{Op::kCount, std::move(input), std::move(name)};
+  }
+  static AggDef CountStar(std::string name) {
+    return AggDef{Op::kCountStar, "", std::move(name)};
+  }
+  static AggDef Min(std::string input, std::string name) {
+    return AggDef{Op::kMin, std::move(input), std::move(name)};
+  }
+  static AggDef Max(std::string input, std::string name) {
+    return AggDef{Op::kMax, std::move(input), std::move(name)};
+  }
+  static AggDef Avg(std::string input, std::string name) {
+    return AggDef{Op::kAvg, std::move(input), std::move(name)};
+  }
+};
+
+class HashAggOp : public Operator {
+ public:
+  HashAggOp(const RowLayout* in_layout, std::vector<std::string> group_by,
+            std::vector<AggDef> aggs);
+
+  void Prepare(ExecContext& exec) override;
+  void Consume(Batch& batch, ThreadContext& ctx) override;
+  void Finish(ExecContext& exec) override;
+  const RowLayout* OutputLayout() const override { return in_layout_; }
+
+  // Valid after Finish; rows canonically sorted.
+  const QueryResult& result() const { return result_; }
+
+ private:
+  struct Accum {
+    double sum = 0;
+    int64_t isum = 0;
+    int64_t count = 0;
+    double min = 0;
+    double max = 0;
+    bool seen = false;
+  };
+  struct Group {
+    std::vector<Accum> accums;
+  };
+  using GroupMap = std::unordered_map<std::string, Group>;
+
+  void Accumulate(Group& group, const std::byte* row);
+  static void MergeAccum(Accum& into, const Accum& from);
+
+  const RowLayout* in_layout_;
+  std::vector<std::string> group_by_;
+  std::vector<AggDef> aggs_;
+  std::vector<int> group_fields_;
+  std::vector<int> agg_fields_;       // -1 for kCountStar
+  std::vector<bool> agg_is_float_;
+
+  std::vector<GroupMap> worker_maps_;
+  QueryResult result_;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_ENGINE_HASH_AGG_H_

@@ -1,0 +1,151 @@
+#include "engine/operators.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace pjoin {
+
+// ---- FilterOp ---------------------------------------------------------------
+
+void FilterOp::Prepare(ExecContext& exec) {
+  workers_.resize(exec.num_threads());
+  input_fields_.clear();
+  for (const auto& name : def_->inputs) {
+    input_fields_.push_back(layout_->IndexOf(name));
+  }
+}
+
+void FilterOp::Open(ThreadContext& ctx) {
+  Worker& w = workers_[ctx.thread_id];
+  w.scratch.Bind(layout_);
+  w.batch = w.scratch.Start();
+}
+
+void FilterOp::Consume(Batch& batch, ThreadContext& ctx) {
+  Worker& w = workers_[ctx.thread_id];
+  const uint32_t stride = layout_->stride();
+  const int* fields = input_fields_.data();
+  for (uint32_t i = 0; i < batch.size; ++i) {
+    const std::byte* row = batch.Row(i);
+    if (!def_->fn(*layout_, row, fields)) continue;
+    if (w.scratch.Full(w.batch)) {
+      next_->Consume(w.batch, ctx);
+      w.batch = w.scratch.Start();
+    }
+    std::memcpy(w.scratch.AppendSlot(w.batch), row, stride);
+  }
+}
+
+void FilterOp::Close(ThreadContext& ctx) {
+  Worker& w = workers_[ctx.thread_id];
+  if (w.batch.size > 0) {
+    next_->Consume(w.batch, ctx);
+    w.batch = w.scratch.Start();
+  }
+}
+
+// ---- MapOp ------------------------------------------------------------------
+
+void MapOp::Prepare(ExecContext& exec) {
+  workers_.resize(exec.num_threads());
+  input_fields_.clear();
+  for (const auto& def : *defs_) {
+    std::vector<int> fields;
+    for (const auto& name : def.inputs) {
+      fields.push_back(in_layout_->IndexOf(name));
+    }
+    input_fields_.push_back(std::move(fields));
+  }
+}
+
+void MapOp::Open(ThreadContext& ctx) {
+  Worker& w = workers_[ctx.thread_id];
+  w.scratch.Bind(out_layout_);
+  w.batch = w.scratch.Start();
+}
+
+void MapOp::Consume(Batch& batch, ThreadContext& ctx) {
+  Worker& w = workers_[ctx.thread_id];
+  const uint32_t in_stride = in_layout_->stride();
+  const int first_new = in_layout_->num_fields();
+  for (uint32_t i = 0; i < batch.size; ++i) {
+    const std::byte* row = batch.Row(i);
+    if (w.scratch.Full(w.batch)) {
+      next_->Consume(w.batch, ctx);
+      w.batch = w.scratch.Start();
+    }
+    std::byte* dst = w.scratch.AppendSlot(w.batch);
+    // Input fields keep their offsets: the output layout is input + extras.
+    std::memcpy(dst, row, in_stride);
+    for (size_t d = 0; d < defs_->size(); ++d) {
+      const RowField& out_field =
+          out_layout_->field(first_new + static_cast<int>(d));
+      (*defs_)[d].fn(*in_layout_, row, input_fields_[d].data(),
+                     dst + out_field.offset);
+    }
+  }
+}
+
+void MapOp::Close(ThreadContext& ctx) {
+  Worker& w = workers_[ctx.thread_id];
+  if (w.batch.size > 0) {
+    next_->Consume(w.batch, ctx);
+    w.batch = w.scratch.Start();
+  }
+}
+
+// ---- LateLoadOp -------------------------------------------------------------
+
+void LateLoadOp::Prepare(ExecContext& exec) {
+  workers_.resize(exec.num_threads());
+}
+
+void LateLoadOp::Open(ThreadContext& ctx) {
+  Worker& w = workers_[ctx.thread_id];
+  w.scratch.Bind(out_layout_);
+  w.batch = w.scratch.Start();
+}
+
+void LateLoadOp::Consume(Batch& batch, ThreadContext& ctx) {
+  Worker& w = workers_[ctx.thread_id];
+  const uint32_t in_stride = in_layout_->stride();
+  uint64_t fetched_bytes = 0;
+  for (uint32_t i = 0; i < batch.size; ++i) {
+    const std::byte* row = batch.Row(i);
+    if (w.scratch.Full(w.batch)) {
+      next_->Consume(w.batch, ctx);
+      w.batch = w.scratch.Start();
+    }
+    std::byte* dst = w.scratch.AppendSlot(w.batch);
+    std::memcpy(dst, row, in_stride);
+    for (const Fetch& fetch : fetches_) {
+      // Tuple ids are stored +1; zero marks the null padding of outer joins.
+      const int64_t tid = in_layout_->GetInt64(row, fetch.tid_field);
+      for (size_t c = 0; c < fetch.table_cols.size(); ++c) {
+        const Column& col = fetch.table->column(fetch.table_cols[c]);
+        const RowField& out_field = out_layout_->field(fetch.out_fields[c]);
+        PJOIN_DCHECK(col.width() == out_field.width);
+        if (tid > 0) {
+          std::memcpy(dst + out_field.offset,
+                      col.Raw(static_cast<uint64_t>(tid - 1)),
+                      out_field.width);
+          fetched_bytes += out_field.width;
+        } else {
+          std::memset(dst + out_field.offset, 0, out_field.width);
+        }
+      }
+    }
+  }
+  ctx.bytes->AddRead(JoinPhase::kProbePipeline, fetched_bytes);
+}
+
+void LateLoadOp::Close(ThreadContext& ctx) {
+  Worker& w = workers_[ctx.thread_id];
+  if (w.batch.size > 0) {
+    next_->Consume(w.batch, ctx);
+    w.batch = w.scratch.Start();
+  }
+}
+
+}  // namespace pjoin

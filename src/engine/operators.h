@@ -1,0 +1,129 @@
+// In-pipeline operators: generic row filters, computed columns, and the
+// late-materialization column fetch.
+#ifndef PJOIN_ENGINE_OPERATORS_H_
+#define PJOIN_ENGINE_OPERATORS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/pipeline.h"
+#include "storage/table.h"
+
+namespace pjoin {
+
+// Predicate over pipeline rows that the scan could not absorb (multi-column
+// or post-join conditions). Declared inputs let the planner keep the needed
+// columns alive; the operator resolves them to field indices once, so the
+// per-row lambda receives `fields` where fields[i] is the index of
+// inputs[i] in the layout — no name lookups on the hot path.
+struct FilterDef {
+  std::function<bool(const RowLayout&, const std::byte* row,
+                     const int* fields)>
+      fn;
+  std::vector<std::string> inputs;
+  std::string label;
+};
+
+// A computed column (e.g., revenue = l_extendedprice * (1 - l_discount)).
+// `fields` resolves `inputs` as in FilterDef; `dst` points at the new
+// field's location in the output row.
+struct MapDef {
+  std::string name;
+  DataType type = DataType::kFloat64;
+  uint32_t char_len = 0;
+  std::function<void(const RowLayout&, const std::byte* row,
+                     const int* fields, std::byte* dst)>
+      fn;
+  std::vector<std::string> inputs;
+};
+
+// Filters batches with an arbitrary row predicate (compacting copy).
+class FilterOp : public Operator {
+ public:
+  FilterOp(const FilterDef* def, const RowLayout* layout)
+      : def_(def), layout_(layout) {}
+
+  void Prepare(ExecContext& exec) override;
+  void Open(ThreadContext& ctx) override;
+  void Consume(Batch& batch, ThreadContext& ctx) override;
+  void Close(ThreadContext& ctx) override;
+  const RowLayout* OutputLayout() const override { return layout_; }
+
+ private:
+  struct Worker {
+    BatchScratch scratch;
+    Batch batch;
+  };
+  const FilterDef* def_;
+  const RowLayout* layout_;
+  std::vector<int> input_fields_;
+  std::vector<Worker> workers_;
+};
+
+// Extends each row with computed columns.
+class MapOp : public Operator {
+ public:
+  // `out_layout` = input fields followed by one field per MapDef.
+  MapOp(const std::vector<MapDef>* defs, const RowLayout* in_layout,
+        const RowLayout* out_layout)
+      : defs_(defs), in_layout_(in_layout), out_layout_(out_layout) {}
+
+  void Prepare(ExecContext& exec) override;
+  void Open(ThreadContext& ctx) override;
+  void Consume(Batch& batch, ThreadContext& ctx) override;
+  void Close(ThreadContext& ctx) override;
+  const RowLayout* OutputLayout() const override { return out_layout_; }
+
+ private:
+  struct Worker {
+    BatchScratch scratch;
+    Batch batch;
+  };
+  const std::vector<MapDef>* defs_;
+  const RowLayout* in_layout_;
+  const RowLayout* out_layout_;
+  std::vector<std::vector<int>> input_fields_;  // per MapDef
+  std::vector<Worker> workers_;
+};
+
+// Late materialization (Section 4.2): fetches deferred columns from a base
+// table by tuple id after the joins. The random access this introduces is
+// exactly the cost the paper's Section 5.4.2/5.4.3 discusses.
+class LateLoadOp : public Operator {
+ public:
+  struct Fetch {
+    const Table* table;
+    int tid_field;                 // field in the input layout
+    std::vector<int> table_cols;   // columns to fetch
+    std::vector<int> out_fields;   // destination fields (parallel array)
+  };
+
+  // `out_layout` = input fields followed by all fetched fields.
+  LateLoadOp(std::vector<Fetch> fetches, const RowLayout* in_layout,
+             const RowLayout* out_layout)
+      : fetches_(std::move(fetches)),
+        in_layout_(in_layout),
+        out_layout_(out_layout) {}
+
+  void Prepare(ExecContext& exec) override;
+  void Open(ThreadContext& ctx) override;
+  void Consume(Batch& batch, ThreadContext& ctx) override;
+  void Close(ThreadContext& ctx) override;
+  const RowLayout* OutputLayout() const override { return out_layout_; }
+
+ private:
+  struct Worker {
+    BatchScratch scratch;
+    Batch batch;
+  };
+  std::vector<Fetch> fetches_;
+  const RowLayout* in_layout_;
+  const RowLayout* out_layout_;
+  std::vector<Worker> workers_;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_ENGINE_OPERATORS_H_

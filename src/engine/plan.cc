@@ -1,0 +1,124 @@
+#include "engine/plan.h"
+
+#include "util/check.h"
+
+namespace pjoin {
+
+std::vector<PlanNode::ColumnRef> PlanNode::OutputColumns() const {
+  std::vector<ColumnRef> out;
+  switch (kind) {
+    case Kind::kScan:
+      for (const auto& def : table->schema().columns()) {
+        out.push_back(ColumnRef{def.name, def.type, def.width(), table});
+      }
+      break;
+    case Kind::kFilter:
+      return child->OutputColumns();
+    case Kind::kMap:
+      out = child->OutputColumns();
+      for (const auto& map : maps) {
+        out.push_back(ColumnRef{map.name, map.type,
+                                TypeWidth(map.type, map.char_len), nullptr});
+      }
+      break;
+    case Kind::kJoin: {
+      // Build-side columns first, probe-side columns second; probe-only and
+      // build-only kinds still expose both sides (null-padded) plus the mark.
+      out = build->OutputColumns();
+      auto probe_cols = probe->OutputColumns();
+      out.insert(out.end(), probe_cols.begin(), probe_cols.end());
+      if (join_kind == JoinKind::kMark) {
+        out.push_back(ColumnRef{mark_name, DataType::kInt64, 8, nullptr});
+      }
+      break;
+    }
+    case Kind::kAgg:
+      PJOIN_CHECK_MSG(false, "aggregate is a root-only node");
+  }
+  return out;
+}
+
+uint64_t PlanNode::EstimateRows() const {
+  switch (kind) {
+    case Kind::kScan:
+      return table->num_rows();
+    case Kind::kFilter:
+    case Kind::kMap:
+    case Kind::kAgg:
+      return child->EstimateRows();
+    case Kind::kJoin:
+      // FK joins dominate TPC-H: output cardinality tracks the probe side.
+      return probe->EstimateRows();
+  }
+  return 0;
+}
+
+int PlanNode::CountJoins() const {
+  switch (kind) {
+    case Kind::kScan:
+      return 0;
+    case Kind::kFilter:
+    case Kind::kMap:
+    case Kind::kAgg:
+      return child->CountJoins();
+    case Kind::kJoin:
+      return 1 + build->CountJoins() + probe->CountJoins();
+  }
+  return 0;
+}
+
+std::unique_ptr<PlanNode> ScanTable(const Table* table,
+                                    std::vector<ScanPredicate> predicates) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanNode::Kind::kScan;
+  node->table = table;
+  node->predicates = std::move(predicates);
+  return node;
+}
+
+std::unique_ptr<PlanNode> Filter(std::unique_ptr<PlanNode> child,
+                                 FilterDef filter) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanNode::Kind::kFilter;
+  node->child = std::move(child);
+  node->filter = std::move(filter);
+  return node;
+}
+
+std::unique_ptr<PlanNode> MapColumns(std::unique_ptr<PlanNode> child,
+                                     std::vector<MapDef> maps) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanNode::Kind::kMap;
+  node->child = std::move(child);
+  node->maps = std::move(maps);
+  return node;
+}
+
+std::unique_ptr<PlanNode> Join(
+    std::unique_ptr<PlanNode> build, std::unique_ptr<PlanNode> probe,
+    std::vector<std::pair<std::string, std::string>> keys, JoinKind kind,
+    std::string mark_name) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanNode::Kind::kJoin;
+  node->build = std::move(build);
+  node->probe = std::move(probe);
+  node->keys = std::move(keys);
+  node->join_kind = kind;
+  node->mark_name = std::move(mark_name);
+  PJOIN_CHECK(!node->keys.empty());
+  if (kind == JoinKind::kMark) PJOIN_CHECK(!node->mark_name.empty());
+  return node;
+}
+
+std::unique_ptr<PlanNode> Aggregate(std::unique_ptr<PlanNode> child,
+                                    std::vector<std::string> group_by,
+                                    std::vector<AggDef> aggs) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanNode::Kind::kAgg;
+  node->child = std::move(child);
+  node->group_by = std::move(group_by);
+  node->aggs = std::move(aggs);
+  return node;
+}
+
+}  // namespace pjoin

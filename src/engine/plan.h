@@ -1,0 +1,87 @@
+// Logical query plans.
+//
+// Plans are hand-constructed trees (the system has no SQL frontend; plans
+// correspond to the optimized plans Umbra generates for the paper's
+// queries). The executor lowers a plan to pipelines for a chosen join
+// strategy and materialization strategy, which is exactly the experiment
+// knob of the paper: every join in the tree is replaced by the join under
+// testing (Section 5.3).
+#ifndef PJOIN_ENGINE_PLAN_H_
+#define PJOIN_ENGINE_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/hash_agg.h"
+#include "engine/operators.h"
+#include "engine/predicate.h"
+#include "join/join_types.h"
+#include "storage/table.h"
+
+namespace pjoin {
+
+struct PlanNode {
+  enum class Kind { kScan, kFilter, kMap, kJoin, kAgg };
+  Kind kind = Kind::kScan;
+
+  // kScan
+  const Table* table = nullptr;
+  std::vector<ScanPredicate> predicates;
+
+  // unary nodes (kFilter, kMap, kAgg)
+  std::unique_ptr<PlanNode> child;
+  FilterDef filter;             // kFilter
+  std::vector<MapDef> maps;     // kMap
+
+  // kJoin
+  std::unique_ptr<PlanNode> build;
+  std::unique_ptr<PlanNode> probe;
+  std::vector<std::pair<std::string, std::string>> keys;  // (build, probe)
+  JoinKind join_kind = JoinKind::kInner;
+  std::string mark_name;  // output column of a kMark join
+
+  // kAgg
+  std::vector<std::string> group_by;
+  std::vector<AggDef> aggs;
+
+  // --- analysis helpers ---------------------------------------------------
+
+  // Names and definitions of the columns this node can produce.
+  struct ColumnRef {
+    std::string name;
+    DataType type;
+    uint32_t width;
+    const Table* source_table;  // base table, or null for computed columns
+  };
+  std::vector<ColumnRef> OutputColumns() const;
+
+  // Cardinality estimate used to size radix partitions (a real optimizer
+  // estimate in the paper's system; here: base-table sizes propagated up,
+  // FK joins estimated by their probe side).
+  uint64_t EstimateRows() const;
+
+  // Number of join nodes in this subtree.
+  int CountJoins() const;
+};
+
+// --- builder functions --------------------------------------------------
+
+std::unique_ptr<PlanNode> ScanTable(const Table* table,
+                                    std::vector<ScanPredicate> predicates = {});
+std::unique_ptr<PlanNode> Filter(std::unique_ptr<PlanNode> child,
+                                 FilterDef filter);
+std::unique_ptr<PlanNode> MapColumns(std::unique_ptr<PlanNode> child,
+                                     std::vector<MapDef> maps);
+std::unique_ptr<PlanNode> Join(
+    std::unique_ptr<PlanNode> build, std::unique_ptr<PlanNode> probe,
+    std::vector<std::pair<std::string, std::string>> keys,
+    JoinKind kind = JoinKind::kInner, std::string mark_name = "");
+std::unique_ptr<PlanNode> Aggregate(std::unique_ptr<PlanNode> child,
+                                    std::vector<std::string> group_by,
+                                    std::vector<AggDef> aggs);
+
+}  // namespace pjoin
+
+#endif  // PJOIN_ENGINE_PLAN_H_

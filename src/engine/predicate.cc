@@ -1,0 +1,227 @@
+#include "engine/predicate.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string_view>
+
+#include "util/check.h"
+
+namespace pjoin {
+
+namespace {
+
+// Trimmed view of a CHAR cell (values are space padded).
+std::string_view TrimmedCell(const Column& col, uint64_t row) {
+  const char* data = reinterpret_cast<const char*>(col.Raw(row));
+  size_t len = col.width();
+  while (len > 0 && data[len - 1] == ' ') --len;
+  return std::string_view(data, len);
+}
+
+int64_t NumericCell(const Column& col, uint64_t row) {
+  return col.width() == 8 ? col.GetInt64(row)
+                          : static_cast<int64_t>(col.GetInt32(row));
+}
+
+}  // namespace
+
+ScanPredicate ScanPredicate::EqI(std::string col, int64_t v) {
+  ScanPredicate p;
+  p.column = std::move(col);
+  p.op = Op::kEq;
+  p.i0 = v;
+  return p;
+}
+ScanPredicate ScanPredicate::NeI(std::string col, int64_t v) {
+  ScanPredicate p = EqI(std::move(col), v);
+  p.op = Op::kNe;
+  return p;
+}
+ScanPredicate ScanPredicate::LtI(std::string col, int64_t v) {
+  ScanPredicate p = EqI(std::move(col), v);
+  p.op = Op::kLt;
+  return p;
+}
+ScanPredicate ScanPredicate::LeI(std::string col, int64_t v) {
+  ScanPredicate p = EqI(std::move(col), v);
+  p.op = Op::kLe;
+  return p;
+}
+ScanPredicate ScanPredicate::GtI(std::string col, int64_t v) {
+  ScanPredicate p = EqI(std::move(col), v);
+  p.op = Op::kGt;
+  return p;
+}
+ScanPredicate ScanPredicate::GeI(std::string col, int64_t v) {
+  ScanPredicate p = EqI(std::move(col), v);
+  p.op = Op::kGe;
+  return p;
+}
+ScanPredicate ScanPredicate::BetweenI(std::string col, int64_t lo, int64_t hi) {
+  ScanPredicate p;
+  p.column = std::move(col);
+  p.op = Op::kBetween;
+  p.i0 = lo;
+  p.i1 = hi;
+  return p;
+}
+ScanPredicate ScanPredicate::InI(std::string col, std::vector<int64_t> values) {
+  ScanPredicate p;
+  p.column = std::move(col);
+  p.op = Op::kInSet;
+  p.iset = std::move(values);
+  return p;
+}
+ScanPredicate ScanPredicate::LtD(std::string col, double v) {
+  ScanPredicate p;
+  p.column = std::move(col);
+  p.op = Op::kLt;
+  p.is_double = true;
+  p.d0 = v;
+  return p;
+}
+ScanPredicate ScanPredicate::GtD(std::string col, double v) {
+  ScanPredicate p = LtD(std::move(col), v);
+  p.op = Op::kGt;
+  return p;
+}
+ScanPredicate ScanPredicate::BetweenD(std::string col, double lo, double hi) {
+  ScanPredicate p;
+  p.column = std::move(col);
+  p.op = Op::kBetween;
+  p.is_double = true;
+  p.d0 = lo;
+  p.d1 = hi;
+  return p;
+}
+ScanPredicate ScanPredicate::StrEq(std::string col, std::string v) {
+  ScanPredicate p;
+  p.column = std::move(col);
+  p.op = Op::kStrEq;
+  p.s0 = std::move(v);
+  return p;
+}
+ScanPredicate ScanPredicate::StrNe(std::string col, std::string v) {
+  ScanPredicate p = StrEq(std::move(col), std::move(v));
+  p.op = Op::kStrNe;
+  return p;
+}
+ScanPredicate ScanPredicate::StrPrefix(std::string col, std::string v) {
+  ScanPredicate p = StrEq(std::move(col), std::move(v));
+  p.op = Op::kStrPrefix;
+  return p;
+}
+ScanPredicate ScanPredicate::StrSuffix(std::string col, std::string v) {
+  ScanPredicate p = StrEq(std::move(col), std::move(v));
+  p.op = Op::kStrSuffix;
+  return p;
+}
+ScanPredicate ScanPredicate::StrContains(std::string col, std::string v) {
+  ScanPredicate p = StrEq(std::move(col), std::move(v));
+  p.op = Op::kStrContains;
+  return p;
+}
+ScanPredicate ScanPredicate::StrNotContains(std::string col, std::string v) {
+  ScanPredicate p = StrEq(std::move(col), std::move(v));
+  p.op = Op::kStrNotContains;
+  return p;
+}
+ScanPredicate ScanPredicate::StrIn(std::string col,
+                                   std::vector<std::string> values) {
+  ScanPredicate p;
+  p.column = std::move(col);
+  p.op = Op::kStrIn;
+  p.sset = std::move(values);
+  return p;
+}
+ScanPredicate ScanPredicate::ColLt(std::string col, std::string col2) {
+  ScanPredicate p;
+  p.column = std::move(col);
+  p.op = Op::kColLt;
+  p.column2 = std::move(col2);
+  return p;
+}
+ScanPredicate ScanPredicate::ColNe(std::string col, std::string col2) {
+  ScanPredicate p = ColLt(std::move(col), std::move(col2));
+  p.op = Op::kColNe;
+  return p;
+}
+
+bool EvalPredicate(const ScanPredicate& pred, const Table& table,
+                   uint64_t row) {
+  const Column& col = table.column(pred.column);
+  switch (pred.op) {
+    case ScanPredicate::Op::kEq:
+    case ScanPredicate::Op::kNe:
+    case ScanPredicate::Op::kLt:
+    case ScanPredicate::Op::kLe:
+    case ScanPredicate::Op::kGt:
+    case ScanPredicate::Op::kGe: {
+      if (pred.is_double || col.type() == DataType::kFloat64) {
+        double v = col.GetFloat64(row);
+        double ref = pred.is_double ? pred.d0 : static_cast<double>(pred.i0);
+        switch (pred.op) {
+          case ScanPredicate::Op::kEq: return v == ref;
+          case ScanPredicate::Op::kNe: return v != ref;
+          case ScanPredicate::Op::kLt: return v < ref;
+          case ScanPredicate::Op::kLe: return v <= ref;
+          case ScanPredicate::Op::kGt: return v > ref;
+          default: return v >= ref;
+        }
+      }
+      int64_t v = NumericCell(col, row);
+      switch (pred.op) {
+        case ScanPredicate::Op::kEq: return v == pred.i0;
+        case ScanPredicate::Op::kNe: return v != pred.i0;
+        case ScanPredicate::Op::kLt: return v < pred.i0;
+        case ScanPredicate::Op::kLe: return v <= pred.i0;
+        case ScanPredicate::Op::kGt: return v > pred.i0;
+        default: return v >= pred.i0;
+      }
+    }
+    case ScanPredicate::Op::kBetween:
+      if (pred.is_double || col.type() == DataType::kFloat64) {
+        double v = col.GetFloat64(row);
+        return v >= pred.d0 && v <= pred.d1;
+      } else {
+        int64_t v = NumericCell(col, row);
+        return v >= pred.i0 && v <= pred.i1;
+      }
+    case ScanPredicate::Op::kInSet: {
+      int64_t v = NumericCell(col, row);
+      return std::find(pred.iset.begin(), pred.iset.end(), v) !=
+             pred.iset.end();
+    }
+    case ScanPredicate::Op::kStrEq:
+      return TrimmedCell(col, row) == pred.s0;
+    case ScanPredicate::Op::kStrNe:
+      return TrimmedCell(col, row) != pred.s0;
+    case ScanPredicate::Op::kStrPrefix:
+      return TrimmedCell(col, row).substr(0, pred.s0.size()) == pred.s0;
+    case ScanPredicate::Op::kStrSuffix: {
+      std::string_view cell = TrimmedCell(col, row);
+      return cell.size() >= pred.s0.size() &&
+             cell.substr(cell.size() - pred.s0.size()) == pred.s0;
+    }
+    case ScanPredicate::Op::kStrContains:
+      return TrimmedCell(col, row).find(pred.s0) != std::string_view::npos;
+    case ScanPredicate::Op::kStrNotContains:
+      return TrimmedCell(col, row).find(pred.s0) == std::string_view::npos;
+    case ScanPredicate::Op::kStrIn: {
+      std::string_view cell = TrimmedCell(col, row);
+      for (const auto& s : pred.sset) {
+        if (cell == s) return true;
+      }
+      return false;
+    }
+    case ScanPredicate::Op::kColLt:
+      return NumericCell(col, row) <
+             NumericCell(table.column(pred.column2), row);
+    case ScanPredicate::Op::kColNe:
+      return NumericCell(col, row) !=
+             NumericCell(table.column(pred.column2), row);
+  }
+  return false;
+}
+
+}  // namespace pjoin

@@ -1,0 +1,101 @@
+#include "engine/scan.h"
+
+#include "util/check.h"
+
+namespace pjoin {
+
+TableScanSource::TableScanSource(const Table* table, const RowLayout* layout,
+                                 std::vector<ScanPredicate> predicates)
+    : table_(table), layout_(layout), predicates_(std::move(predicates)) {
+  const std::string tid_name = TidColumnName(table->name());
+  for (int f = 0; f < layout_->num_fields(); ++f) {
+    const RowField& field = layout_->field(f);
+    if (field.name == tid_name) {
+      field_columns_.push_back(-1);
+      continue;
+    }
+    int col = table_->schema().IndexOf(field.name);
+    PJOIN_CHECK(table_->column(col).width() == field.width);
+    field_columns_.push_back(col);
+    read_width_ += field.width;
+  }
+  // Predicate columns are read too, even if not emitted.
+  for (const auto& pred : predicates_) {
+    if (layout_->Find(pred.column) < 0) {
+      read_width_ += table_->column(pred.column).width();
+    }
+  }
+}
+
+void TableScanSource::Prepare(ExecContext& exec) {
+  (void)exec;
+  queue_.Reset(table_->num_rows());
+  rows_scanned_.store(0, std::memory_order_relaxed);
+  rows_passed_.store(0, std::memory_order_relaxed);
+}
+
+bool TableScanSource::ProduceMorsel(Operator& consumer, ThreadContext& ctx) {
+  Morsel m = queue_.Next();
+  if (m.empty()) return false;
+
+  // Column-at-a-time predicate evaluation over the morsel: start with all
+  // rows selected, narrow with each predicate.
+  std::vector<uint32_t> selection;
+  selection.reserve(m.size());
+  if (predicates_.empty()) {
+    for (uint64_t r = m.begin; r < m.end; ++r) {
+      selection.push_back(static_cast<uint32_t>(r - m.begin));
+    }
+  } else {
+    const ScanPredicate& first = predicates_[0];
+    for (uint64_t r = m.begin; r < m.end; ++r) {
+      if (EvalPredicate(first, *table_, r)) {
+        selection.push_back(static_cast<uint32_t>(r - m.begin));
+      }
+    }
+    for (size_t p = 1; p < predicates_.size() && !selection.empty(); ++p) {
+      const ScanPredicate& pred = predicates_[p];
+      size_t kept = 0;
+      for (uint32_t idx : selection) {
+        if (EvalPredicate(pred, *table_, m.begin + idx)) {
+          selection[kept++] = idx;
+        }
+      }
+      selection.resize(kept);
+    }
+  }
+
+  rows_scanned_.fetch_add(m.size(), std::memory_order_relaxed);
+  rows_passed_.fetch_add(selection.size(), std::memory_order_relaxed);
+  ctx.exec->AddSourceTuples(m.size());
+  ctx.bytes->AddRead(JoinPhase::kProbePipeline, m.size() * read_width_);
+
+  if (selection.empty()) return true;
+
+  // Stitch surviving rows field-by-field into batches.
+  BatchScratch scratch;
+  scratch.Bind(layout_);
+  Batch batch = scratch.Start();
+  for (uint32_t idx : selection) {
+    const uint64_t r = m.begin + idx;
+    std::byte* slot = scratch.AppendSlot(batch);
+    for (int f = 0; f < layout_->num_fields(); ++f) {
+      int col = field_columns_[f];
+      if (col < 0) {
+        // Tuple ids are stored +1 so that zero (the null padding of outer
+        // joins) is distinguishable from row 0.
+        layout_->SetInt64(slot, f, static_cast<int64_t>(r) + 1);
+      } else {
+        layout_->SetChar(slot, f, table_->column(col).Raw(r));
+      }
+    }
+    if (scratch.Full(batch)) {
+      consumer.Consume(batch, ctx);
+      batch = scratch.Start();
+    }
+  }
+  if (batch.size > 0) consumer.Consume(batch, ctx);
+  return true;
+}
+
+}  // namespace pjoin

@@ -1,0 +1,60 @@
+// Table scan: pipeline source over a columnar base table.
+//
+// Early materialization (the system default, Section 4.2): the scan reads
+// only the required columns, evaluates the pushed-down predicates
+// column-at-a-time over the morsel, and stitches surviving rows into
+// row-format batches. With late materialization the scan additionally emits
+// the tuple id so a LateLoadOp can fetch deferred columns after the joins.
+#ifndef PJOIN_ENGINE_SCAN_H_
+#define PJOIN_ENGINE_SCAN_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/predicate.h"
+#include "exec/morsel.h"
+#include "exec/pipeline.h"
+#include "storage/table.h"
+
+namespace pjoin {
+
+class TableScanSource : public Source {
+ public:
+  // `layout` lists the output fields: table columns by name, plus optionally
+  // one kInt64 field named `<table>.#tid` that receives the row id.
+  TableScanSource(const Table* table, const RowLayout* layout,
+                  std::vector<ScanPredicate> predicates);
+
+  void Prepare(ExecContext& exec) override;
+  bool ProduceMorsel(Operator& consumer, ThreadContext& ctx) override;
+  const RowLayout* OutputLayout() const override { return layout_; }
+
+  uint64_t rows_scanned() const {
+    return rows_scanned_.load(std::memory_order_relaxed);
+  }
+  uint64_t rows_passed() const {
+    return rows_passed_.load(std::memory_order_relaxed);
+  }
+
+  // Field name of a table's tuple-id column.
+  static std::string TidColumnName(const std::string& table_name) {
+    return table_name + ".#tid";
+  }
+
+ private:
+  const Table* table_;
+  const RowLayout* layout_;
+  std::vector<ScanPredicate> predicates_;
+  MorselQueue queue_;
+
+  // Resolved per-field sources: table column index, or -1 for the tid field.
+  std::vector<int> field_columns_;
+  uint64_t read_width_ = 0;  // bytes read per scanned row
+
+  std::atomic<uint64_t> rows_scanned_{0};
+  std::atomic<uint64_t> rows_passed_{0};
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_ENGINE_SCAN_H_

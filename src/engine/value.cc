@@ -1,0 +1,60 @@
+#include "engine/value.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace pjoin {
+
+std::string ValueToString(const Value& v) {
+  if (std::holds_alternative<int64_t>(v)) {
+    return std::to_string(std::get<int64_t>(v));
+  }
+  if (std::holds_alternative<double>(v)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.4f", std::get<double>(v));
+    return buf;
+  }
+  return std::get<std::string>(v);
+}
+
+bool QueryResult::ApproxEquals(const QueryResult& other, double rel_tol) const {
+  if (rows.size() != other.rows.size()) return false;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != other.rows[r].size()) return false;
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      const Value& a = rows[r][c];
+      const Value& b = other.rows[r][c];
+      if (a.index() != b.index()) return false;
+      if (std::holds_alternative<double>(a)) {
+        double x = std::get<double>(a), y = std::get<double>(b);
+        double scale = std::max({std::fabs(x), std::fabs(y), 1.0});
+        if (std::fabs(x - y) > rel_tol * scale) return false;
+      } else if (a != b) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::ostringstream out;
+  for (size_t c = 0; c < column_names.size(); ++c) {
+    out << (c > 0 ? " | " : "") << column_names[c];
+  }
+  out << "\n";
+  for (size_t r = 0; r < rows.size() && r < max_rows; ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      out << (c > 0 ? " | " : "") << ValueToString(rows[r][c]);
+    }
+    out << "\n";
+  }
+  if (rows.size() > max_rows) {
+    out << "... (" << rows.size() << " rows total)\n";
+  }
+  return out.str();
+}
+
+}  // namespace pjoin

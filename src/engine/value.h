@@ -1,0 +1,34 @@
+// Result values and query results.
+#ifndef PJOIN_ENGINE_VALUE_H_
+#define PJOIN_ENGINE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace pjoin {
+
+// A scalar query-result value. DATE values are rendered as int64 day
+// numbers; CHAR values as trimmed strings.
+using Value = std::variant<int64_t, double, std::string>;
+
+std::string ValueToString(const Value& v);
+
+class QueryResult {
+ public:
+  std::vector<std::string> column_names;
+  std::vector<std::vector<Value>> rows;  // canonically sorted
+
+  uint64_t num_rows() const { return rows.size(); }
+
+  // Structural equality with relative tolerance on doubles; used to verify
+  // that all join strategies produce identical results.
+  bool ApproxEquals(const QueryResult& other, double rel_tol = 1e-9) const;
+
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_ENGINE_VALUE_H_

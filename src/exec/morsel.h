@@ -1,0 +1,56 @@
+// Morsel distribution: workers atomically claim fixed-size ranges of work.
+//
+// This is the work-stealing heart of morsel-driven parallelism: a shared
+// atomic cursor over [0, total). Skew robustness comes from morsels being
+// small relative to the input (Section 4.5 of the paper).
+#ifndef PJOIN_EXEC_MORSEL_H_
+#define PJOIN_EXEC_MORSEL_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace pjoin {
+
+struct Morsel {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  bool empty() const { return begin >= end; }
+  uint64_t size() const { return end - begin; }
+};
+
+// Default morsel size in tuples; small enough for load balancing, large
+// enough to amortize the atomic claim.
+inline constexpr uint64_t kDefaultMorselSize = 16384;
+
+class MorselQueue {
+ public:
+  MorselQueue() = default;
+  MorselQueue(uint64_t total, uint64_t morsel_size = kDefaultMorselSize)
+      : total_(total), morsel_size_(morsel_size) {}
+
+  void Reset(uint64_t total, uint64_t morsel_size = kDefaultMorselSize) {
+    total_ = total;
+    morsel_size_ = morsel_size;
+    cursor_.store(0, std::memory_order_relaxed);
+  }
+
+  // Claims the next morsel; returns an empty morsel when exhausted.
+  Morsel Next() {
+    uint64_t begin = cursor_.fetch_add(morsel_size_, std::memory_order_relaxed);
+    if (begin >= total_) return Morsel{total_, total_};
+    uint64_t end = begin + morsel_size_;
+    if (end > total_) end = total_;
+    return Morsel{begin, end};
+  }
+
+  uint64_t total() const { return total_; }
+
+ private:
+  uint64_t total_ = 0;
+  uint64_t morsel_size_ = kDefaultMorselSize;
+  std::atomic<uint64_t> cursor_{0};
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_EXEC_MORSEL_H_

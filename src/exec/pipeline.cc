@@ -1,0 +1,48 @@
+#include "exec/pipeline.h"
+
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace pjoin {
+
+ExecContext::ExecContext(ThreadPool* pool)
+    : pool_(pool), num_threads_(pool->num_threads()), bytes_(num_threads_) {}
+
+ByteCounter ExecContext::MergedBytes() const {
+  ByteCounter merged;
+  for (const auto& counter : bytes_) merged.Merge(counter);
+  return merged;
+}
+
+void Pipeline::Run(ExecContext& exec) {
+  PJOIN_CHECK(source_ != nullptr);
+  PJOIN_CHECK(!ops_.empty());
+  for (size_t i = 0; i + 1 < ops_.size(); ++i) {
+    ops_[i]->set_next(ops_[i + 1]);
+  }
+  ops_.back()->set_next(nullptr);
+
+  source_->Prepare(exec);
+  for (Operator* op : ops_) op->Prepare(exec);
+
+  Stopwatch watch;
+  exec.pool()->ParallelRun([&](int thread_id) {
+    ThreadContext ctx;
+    ctx.thread_id = thread_id;
+    ctx.bytes = &exec.bytes(thread_id);
+    ctx.exec = &exec;
+    source_->Open(ctx);
+    for (Operator* op : ops_) op->Open(ctx);
+    Operator& head = *ops_.front();
+    while (source_->ProduceMorsel(head, ctx)) {
+    }
+    source_->Close(ctx);
+    for (Operator* op : ops_) op->Close(ctx);
+  });
+  exec.timer().Add(timing_phase, watch.ElapsedSeconds());
+
+  source_->Finish(exec);
+  for (Operator* op : ops_) op->Finish(exec);
+}
+
+}  // namespace pjoin

@@ -1,0 +1,21 @@
+#include "filter/blocked_bloom.h"
+
+#include <cstring>
+
+#include "util/bitutil.h"
+#include "util/check.h"
+
+namespace pjoin {
+
+void BlockedBloomFilter::Resize(uint64_t expected_keys, uint64_t min_blocks) {
+  // ~16 bits per key => keys/4 blocks of 64 bits.
+  uint64_t want = expected_keys / 4 + 1;
+  if (want < min_blocks) want = min_blocks;
+  num_blocks_ = NextPow2(want);
+  block_mask_ = num_blocks_ - 1;
+  storage_.Allocate(num_blocks_ * sizeof(uint64_t));
+  blocks_ = reinterpret_cast<uint64_t*>(storage_.data());
+  std::memset(blocks_, 0, num_blocks_ * sizeof(uint64_t));
+}
+
+}  // namespace pjoin

@@ -1,0 +1,77 @@
+// Register-blocked Bloom filter (Lang et al., "Performance-optimal
+// filtering"), the semi-join reducer of the Bloom radix join (Section 4.7).
+//
+// The filter is an array of 64-bit blocks. Each key sets k bits inside a
+// single block, so a membership check touches exactly one cache line — at
+// most one cache miss per probe.
+//
+// Bit-range discipline: tuples carry a 64-bit hash. The radix partitioner
+// consumes the LOW bits, so the block index is taken from the low bits too —
+// deliberately: all keys of one radix partition then fall into a disjoint
+// block range (block_index mod fanout == partition). That is what lets the
+// second build-side partition pass write the filter without synchronization
+// ("two partitions cannot share blocks"). The k in-block bit positions come
+// from the HIGH hash bits, which no other consumer uses.
+#ifndef PJOIN_FILTER_BLOCKED_BLOOM_H_
+#define PJOIN_FILTER_BLOCKED_BLOOM_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/aligned_buffer.h"
+
+namespace pjoin {
+
+class BlockedBloomFilter {
+ public:
+  BlockedBloomFilter() = default;
+
+  // Sizes the filter for `expected_keys` at ~16 bits per key (rounded to a
+  // power-of-two block count, at least `min_blocks`). Clears all bits.
+  void Resize(uint64_t expected_keys, uint64_t min_blocks = 1);
+
+  bool initialized() const { return num_blocks_ != 0; }
+  uint64_t num_blocks() const { return num_blocks_; }
+  uint64_t SizeBytes() const { return num_blocks_ * 8; }
+
+  uint64_t BlockIndex(uint64_t hash) const { return hash & block_mask_; }
+
+  // The k-bit in-block mask for `hash` (k = 4 sectors of 6 bits each).
+  static uint64_t BitMask(uint64_t hash) {
+    uint64_t mask = 0;
+    mask |= uint64_t{1} << ((hash >> 40) & 63);
+    mask |= uint64_t{1} << ((hash >> 46) & 63);
+    mask |= uint64_t{1} << ((hash >> 52) & 63);
+    mask |= uint64_t{1} << ((hash >> 58) & 63);
+    return mask;
+  }
+
+  // Single-writer insert: used from the second build-side partition pass,
+  // where each task owns a disjoint block range (see file comment).
+  void InsertUnsynchronized(uint64_t hash) {
+    blocks_[BlockIndex(hash)] |= BitMask(hash);
+  }
+
+  // Thread-safe insert for callers without a partitioning guarantee.
+  void InsertAtomic(uint64_t hash) {
+    std::atomic_ref<uint64_t>(blocks_[BlockIndex(hash)])
+        .fetch_or(BitMask(hash), std::memory_order_relaxed);
+  }
+
+  bool MayContain(uint64_t hash) const {
+    uint64_t mask = BitMask(hash);
+    return (blocks_[BlockIndex(hash)] & mask) == mask;
+  }
+
+  const uint64_t* blocks() const { return blocks_; }
+
+ private:
+  AlignedBuffer storage_;
+  uint64_t* blocks_ = nullptr;
+  uint64_t num_blocks_ = 0;
+  uint64_t block_mask_ = 0;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_FILTER_BLOCKED_BLOOM_H_

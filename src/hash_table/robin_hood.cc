@@ -1,0 +1,46 @@
+#include "hash_table/robin_hood.h"
+
+#include "util/check.h"
+
+namespace pjoin {
+
+void RobinHoodTable::Reset(uint64_t count) {
+  // Load factor <= 2/3 keeps probe sequences short even for adversarial
+  // hash distributions within a partition.
+  uint64_t want = NextPow2(count + count / 2 + 1);
+  if (want < 16) want = 16;
+  capacity_ = want;
+  mask_ = capacity_ - 1;
+  shift_ = 64 - Log2Pow2(capacity_);
+  storage_.EnsureCapacity(capacity_ * sizeof(Slot));
+  slots_ = reinterpret_cast<Slot*>(storage_.data());
+  std::memset(slots_, 0, capacity_ * sizeof(Slot));
+  size_ = 0;
+}
+
+void RobinHoodTable::Insert(uint64_t hash, const std::byte* tuple) {
+  PJOIN_DCHECK(size_ < capacity_);
+  uint64_t idx = HomeSlot(hash);
+  uint64_t dist = 0;
+  Slot incoming{hash, tuple};
+  while (true) {
+    Slot& s = slots_[idx];
+    if (s.tuple == nullptr) {
+      s = incoming;
+      ++size_;
+      return;
+    }
+    uint64_t s_dist = (idx - HomeSlot(s.hash)) & mask_;
+    if (s_dist < dist) {
+      // Rob the rich: displace the closer-to-home resident.
+      Slot tmp = s;
+      s = incoming;
+      incoming = tmp;
+      dist = s_dist;
+    }
+    idx = (idx + 1) & mask_;
+    ++dist;
+  }
+}
+
+}  // namespace pjoin

@@ -1,0 +1,81 @@
+// Robin-hood open-addressing hash table for the per-partition join phase.
+//
+// Section 4.6 of the paper: each join morsel builds its hash table on the
+// fly with robin-hood hashing ("the most robust performance for thread-local
+// workloads", after Richter et al.), stores only pointers to the partitioned
+// tuples, sizes the table exactly (the partition cardinality is known), and
+// reuses the memory segment across partitions to avoid allocation cost.
+//
+// Slots are 16 bytes: {hash, tuple pointer}; empty slots have a null
+// pointer. Lookup walks forward from the home slot until it either finds the
+// hash or passes a slot whose probe distance is shorter than its own (the
+// robin-hood invariant guarantees the key cannot be further away).
+#ifndef PJOIN_HASH_TABLE_ROBIN_HOOD_H_
+#define PJOIN_HASH_TABLE_ROBIN_HOOD_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "util/aligned_buffer.h"
+#include "util/bitutil.h"
+
+namespace pjoin {
+
+class RobinHoodTable {
+ public:
+  struct Slot {
+    uint64_t hash;
+    const std::byte* tuple;
+  };
+  static_assert(sizeof(Slot) == 16);
+
+  RobinHoodTable() = default;
+
+  // Prepares the table for `count` keys; reuses the memory segment when it
+  // is already large enough, only clearing the live region.
+  void Reset(uint64_t count);
+
+  // Inserts a tuple pointer under `hash`. The table must have spare
+  // capacity (guaranteed by Reset's sizing).
+  void Insert(uint64_t hash, const std::byte* tuple);
+
+  // Calls fn(tuple, slot_index) for every slot whose hash equals `hash`.
+  template <typename Fn>
+  void ForEachMatch(uint64_t hash, Fn&& fn) const {
+    uint64_t idx = HomeSlot(hash);
+    uint64_t dist = 0;
+    while (true) {
+      const Slot& s = slots_[idx];
+      if (s.tuple == nullptr) return;
+      uint64_t s_dist = (idx - HomeSlot(s.hash)) & mask_;
+      if (s_dist < dist) return;  // robin-hood bound: key cannot follow
+      if (s.hash == hash) fn(s.tuple, idx);
+      idx = (idx + 1) & mask_;
+      ++dist;
+    }
+  }
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t size() const { return size_; }
+  const Slot& slot(uint64_t i) const { return slots_[i]; }
+
+  // Bytes of the live slot region (reported as hash-table footprint).
+  uint64_t FootprintBytes() const { return capacity_ * sizeof(Slot); }
+
+ private:
+  uint64_t HomeSlot(uint64_t hash) const {
+    // High bits: the low bits are constant within one radix partition.
+    return (hash >> shift_) & mask_;
+  }
+
+  AlignedBuffer storage_;
+  Slot* slots_ = nullptr;
+  uint64_t capacity_ = 0;
+  uint64_t mask_ = 0;
+  int shift_ = 64;
+  uint64_t size_ = 0;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_HASH_TABLE_ROBIN_HOOD_H_

@@ -1,0 +1,150 @@
+// Join output emission: projects (build row, probe row) pairs into the
+// combined output layout and pushes full batches downstream.
+//
+// Projection lists are computed by the planner (only columns required by
+// ancestor operators survive a join), so a join is also the projection
+// boundary, exactly as in a code-generating engine.
+#ifndef PJOIN_JOIN_EMITTER_H_
+#define PJOIN_JOIN_EMITTER_H_
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "exec/batch.h"
+#include "exec/pipeline.h"
+#include "storage/row_layout.h"
+
+namespace pjoin {
+
+struct JoinProjection {
+  const RowLayout* output = nullptr;
+  const RowLayout* build = nullptr;
+  const RowLayout* probe = nullptr;
+  // (output field, source field) index pairs.
+  std::vector<std::pair<int, int>> from_build;
+  std::vector<std::pair<int, int>> from_probe;
+  // Output field receiving the mark flag (kMark joins), -1 otherwise.
+  int mark_field = -1;
+};
+
+// Per-worker emitter; not thread-safe.
+class JoinEmitter {
+ public:
+  void Bind(const JoinProjection* projection, Operator* consumer) {
+    projection_ = projection;
+    consumer_ = consumer;
+    scratch_.Bind(projection->output);
+    batch_ = scratch_.Start();
+  }
+
+  void EmitPair(const std::byte* build_row, const std::byte* probe_row,
+                ThreadContext& ctx) {
+    std::byte* dst = Slot(ctx);
+    CopySide(dst, projection_->from_build, *projection_->build, build_row);
+    CopySide(dst, projection_->from_probe, *projection_->probe, probe_row);
+  }
+
+  // Probe-preserving emission with null (zeroed) build columns.
+  void EmitProbeOnly(const std::byte* probe_row, ThreadContext& ctx) {
+    std::byte* dst = Slot(ctx);
+    ZeroSide(dst, projection_->from_build, *projection_->output);
+    CopySide(dst, projection_->from_probe, *projection_->probe, probe_row);
+  }
+
+  // Build-preserving emission with null (zeroed) probe columns.
+  void EmitBuildOnly(const std::byte* build_row, ThreadContext& ctx) {
+    std::byte* dst = Slot(ctx);
+    CopySide(dst, projection_->from_build, *projection_->build, build_row);
+    ZeroSide(dst, projection_->from_probe, *projection_->output);
+  }
+
+  // Mark-join emission: probe columns plus the boolean marker.
+  void EmitMark(const std::byte* probe_row, bool matched, ThreadContext& ctx) {
+    std::byte* dst = Slot(ctx);
+    ZeroSide(dst, projection_->from_build, *projection_->output);
+    CopySide(dst, projection_->from_probe, *projection_->probe, probe_row);
+    projection_->output->SetInt64(dst, projection_->mark_field,
+                                  matched ? 1 : 0);
+  }
+
+  // Flushes the pending partial batch (call from Close).
+  void Flush(ThreadContext& ctx) {
+    if (batch_.size > 0) {
+      consumer_->Consume(batch_, ctx);
+      batch_ = scratch_.Start();
+    }
+  }
+
+  uint64_t rows_emitted() const { return rows_emitted_; }
+
+ private:
+  std::byte* Slot(ThreadContext& ctx) {
+    if (scratch_.Full(batch_)) {
+      consumer_->Consume(batch_, ctx);
+      batch_ = scratch_.Start();
+    }
+    ++rows_emitted_;
+    return scratch_.AppendSlot(batch_);
+  }
+
+  void CopySide(std::byte* dst, const std::vector<std::pair<int, int>>& fields,
+                const RowLayout& src_layout, const std::byte* src_row) const {
+    const RowLayout& out = *projection_->output;
+    for (const auto& [dst_f, src_f] : fields) {
+      const RowField& df = out.field(dst_f);
+      const RowField& sf = src_layout.field(src_f);
+      PJOIN_DCHECK(df.width == sf.width);
+      std::memcpy(dst + df.offset, src_row + sf.offset, df.width);
+    }
+  }
+
+  static void ZeroSide(std::byte* dst,
+                       const std::vector<std::pair<int, int>>& fields,
+                       const RowLayout& out_layout) {
+    for (const auto& [dst_f, src_f] : fields) {
+      (void)src_f;
+      const RowField& f = out_layout.field(dst_f);
+      std::memset(dst + f.offset, 0, f.width);
+    }
+  }
+
+  const JoinProjection* projection_ = nullptr;
+  Operator* consumer_ = nullptr;
+  BatchScratch scratch_;
+  Batch batch_;
+  uint64_t rows_emitted_ = 0;
+};
+
+// Writes one joined output row directly to `dst` (no batching) — used when
+// a join must materialize pairs instead of streaming them (the BHJ
+// right-outer path). Either side pointer may be null (zero padding).
+inline void MaterializeJoinRow(const JoinProjection& projection,
+                               std::byte* dst, const std::byte* build_row,
+                               const std::byte* probe_row) {
+  const RowLayout& out = *projection.output;
+  for (const auto& [dst_f, src_f] : projection.from_build) {
+    const RowField& df = out.field(dst_f);
+    if (build_row != nullptr) {
+      std::memcpy(dst + df.offset,
+                  build_row + projection.build->field(src_f).offset,
+                  df.width);
+    } else {
+      std::memset(dst + df.offset, 0, df.width);
+    }
+  }
+  for (const auto& [dst_f, src_f] : projection.from_probe) {
+    const RowField& df = out.field(dst_f);
+    if (probe_row != nullptr) {
+      std::memcpy(dst + df.offset,
+                  probe_row + projection.probe->field(src_f).offset,
+                  df.width);
+    } else {
+      std::memset(dst + df.offset, 0, df.width);
+    }
+  }
+}
+
+}  // namespace pjoin
+
+#endif  // PJOIN_JOIN_EMITTER_H_

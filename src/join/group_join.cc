@@ -1,0 +1,194 @@
+#include "join/group_join.h"
+
+#include <cstring>
+
+#include "exec/batch.h"
+#include "util/check.h"
+
+namespace pjoin {
+
+namespace {
+constexpr int kMaxWorkers = 256;
+}  // namespace
+
+GroupJoin::GroupJoin(const RowLayout* build_layout, std::vector<int> build_keys,
+                     const RowLayout* probe_layout, std::vector<int> probe_keys,
+                     std::vector<AggDef> aggs, const RowLayout* output_layout)
+    : build_layout_(build_layout),
+      probe_layout_(probe_layout),
+      output_layout_(output_layout),
+      build_key_(build_layout, std::move(build_keys)),
+      probe_key_(probe_layout, std::move(probe_keys)),
+      aggs_(std::move(aggs)),
+      table_(std::make_unique<ChainingHashTable>(build_layout->stride(),
+                                                 /*track_matches=*/false)),
+      worker_accums_(kMaxWorkers) {
+  for (const auto& agg : aggs_) {
+    if (agg.op == AggDef::Op::kCountStar) {
+      agg_fields_.push_back(-1);
+      agg_is_float_.push_back(false);
+    } else {
+      int f = probe_layout_->IndexOf(agg.input);
+      agg_fields_.push_back(f);
+      agg_is_float_.push_back(probe_layout_->field(f).type ==
+                              DataType::kFloat64);
+    }
+  }
+  // Output = build fields followed by one field per aggregate; validated so
+  // planner-style misuse fails fast.
+  PJOIN_CHECK(output_layout_->num_fields() ==
+              build_layout_->num_fields() + static_cast<int>(aggs_.size()));
+}
+
+void GroupJoin::MergeWorkerAccums() {
+  merged_.clear();
+  for (AccumMap& map : worker_accums_) {
+    for (auto& [entry, accums] : map) {
+      auto [it, inserted] = merged_.try_emplace(entry, std::move(accums));
+      if (!inserted) {
+        for (size_t a = 0; a < it->second.size(); ++a) {
+          it->second[a].sum += accums[a].sum;
+          it->second[a].isum += accums[a].isum;
+          it->second[a].count += accums[a].count;
+        }
+      }
+    }
+    map.clear();
+  }
+}
+
+void GroupJoinBuildSink::Consume(Batch& batch, ThreadContext& ctx) {
+  ChainingHashTable& ht = join_->table();
+  const KeySpec& key = join_->build_key();
+  for (uint32_t i = 0; i < batch.size; ++i) {
+    const std::byte* row = batch.Row(i);
+    ht.MaterializeEntry(ctx.thread_id, key.Hash(row), row,
+                        batch.layout->stride());
+  }
+}
+
+void GroupJoinBuildSink::Finish(ExecContext& exec) {
+  join_->table().Build(*exec.pool());
+}
+
+void GroupJoinProbeSink::Consume(Batch& batch, ThreadContext& ctx) {
+  ChainingHashTable& ht = join_->table();
+  const KeySpec& probe_key = join_->probe_key();
+  const KeySpec& build_key = join_->build_key();
+  const RowLayout* probe_layout = join_->probe_layout();
+  GroupJoin::AccumMap& accums = join_->worker_accums(ctx.thread_id);
+  const auto& agg_fields = join_->agg_fields();
+  const auto& agg_is_float = join_->agg_is_float();
+
+  for (uint32_t i = 0; i < batch.size; ++i) {
+    const std::byte* probe_row = batch.Row(i);
+    const uint64_t hash = probe_key.Hash(probe_row);
+    for (const std::byte* entry = ht.ChainHead(hash); entry != nullptr;
+         entry = ChainingHashTable::EntryNext(entry)) {
+      if (ChainingHashTable::EntryHash(entry) != hash ||
+          !KeySpec::Equals(build_key, ht.EntryRow(entry), probe_key,
+                           probe_row)) {
+        continue;
+      }
+      auto [it, inserted] = accums.try_emplace(entry);
+      if (inserted) {
+        it->second.resize(agg_fields.size());
+      }
+      for (size_t a = 0; a < agg_fields.size(); ++a) {
+        GroupJoin::Accum& acc = it->second[a];
+        ++acc.count;
+        if (agg_fields[a] < 0) continue;  // count(*)
+        if (agg_is_float[a]) {
+          acc.sum += probe_layout->GetFloat64(probe_row, agg_fields[a]);
+        } else {
+          acc.isum += probe_layout->GetNumeric(probe_row, agg_fields[a]);
+        }
+      }
+      // Keep scanning the chain: duplicate build keys each get the probe
+      // tuple (each duplicate is its own group).
+    }
+  }
+}
+
+void GroupJoinProbeSink::Finish(ExecContext& exec) {
+  (void)exec;
+  join_->MergeWorkerAccums();
+}
+
+void GroupJoinScanSource::Prepare(ExecContext& exec) {
+  (void)exec;
+  cursor_.store(0, std::memory_order_relaxed);
+}
+
+bool GroupJoinScanSource::ProduceMorsel(Operator& consumer,
+                                        ThreadContext& ctx) {
+  int idx = cursor_.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= kMaxWorkers) return false;
+  ChainingHashTable& ht = join_->table();
+  RowBuffer& buffer = ht.build_buffer(idx);
+  if (buffer.size() == 0) return true;
+
+  const RowLayout* build_layout = join_->build_layout();
+  const RowLayout* out = join_->output_layout();
+  const auto& merged = join_->merged_accums();
+  const auto& aggs = join_->aggs();
+  const auto& agg_is_float = join_->agg_is_float();
+  const int first_agg = build_layout->num_fields();
+
+  BatchScratch scratch;
+  scratch.Bind(out);
+  Batch batch = scratch.Start();
+  buffer.ForEachPage([&](const std::byte* rows, uint32_t count) {
+    for (uint32_t i = 0; i < count; ++i) {
+      const std::byte* entry =
+          rows + static_cast<size_t>(i) * ht.entry_stride();
+      if (scratch.Full(batch)) {
+        consumer.Consume(batch, ctx);
+        batch = scratch.Start();
+      }
+      std::byte* dst = scratch.AppendSlot(batch);
+      std::memcpy(dst, ht.EntryRow(entry), build_layout->stride());
+      auto it = merged.find(entry);
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        const RowField& field = out->field(first_agg + static_cast<int>(a));
+        const GroupJoin::Accum* acc =
+            it != merged.end() ? &it->second[a] : nullptr;
+        switch (aggs[a].op) {
+          case AggDef::Op::kCount:
+          case AggDef::Op::kCountStar:
+            out->SetInt64(dst, first_agg + static_cast<int>(a),
+                          acc != nullptr ? acc->count : 0);
+            break;
+          case AggDef::Op::kSum:
+            if (agg_is_float[a]) {
+              out->SetFloat64(dst, first_agg + static_cast<int>(a),
+                              acc != nullptr ? acc->sum : 0.0);
+            } else {
+              out->SetInt64(dst, first_agg + static_cast<int>(a),
+                            acc != nullptr ? acc->isum : 0);
+            }
+            break;
+          case AggDef::Op::kAvg:
+            out->SetFloat64(
+                dst, first_agg + static_cast<int>(a),
+                acc != nullptr && acc->count > 0
+                    ? (agg_is_float[a]
+                           ? acc->sum
+                           : static_cast<double>(acc->isum)) /
+                          static_cast<double>(acc->count)
+                    : 0.0);
+            break;
+          case AggDef::Op::kMin:
+          case AggDef::Op::kMax:
+            PJOIN_CHECK_MSG(false,
+                            "groupjoin supports sum/count/avg aggregates");
+        }
+        (void)field;
+      }
+    }
+  });
+  if (batch.size > 0) consumer.Consume(batch, ctx);
+  return true;
+}
+
+}  // namespace pjoin

@@ -1,0 +1,124 @@
+// Groupjoin: a fused join + group-by operator (Moerkotte & Neumann,
+// "Accelerating queries with group-by and join by groupjoin").
+//
+// The paper's system evaluates TPC-H Q13 with a groupjoin (footnote 6),
+// which is why Q13 does not appear among the 59 replaceable equi-joins.
+// This extension implements the operator: the build side defines the groups
+// (one output row per distinct build key), the probe side is aggregated
+// directly into the matching group without materializing join pairs, and
+// groups without probe matches are emitted with zero/empty aggregates
+// (left-outer groupjoin semantics — exactly what `count(o_orderkey)` over a
+// `LEFT JOIN` needs).
+//
+// Pipeline shape: build sink (breaker) -> probe accumulate (breaker) ->
+// group scan (starter), mirroring the build-preserving joins.
+#ifndef PJOIN_JOIN_GROUP_JOIN_H_
+#define PJOIN_JOIN_GROUP_JOIN_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "engine/hash_agg.h"
+#include "exec/pipeline.h"
+#include "hash_table/chaining_ht.h"
+#include "join/key_spec.h"
+
+namespace pjoin {
+
+class GroupJoin {
+ public:
+  // Output layout: the required build columns followed by one kInt64 or
+  // kFloat64 field per aggregate (named by the AggDef). Build keys are
+  // assumed unique (primary-key groups, as in Q13); duplicate build keys
+  // each form their own group and receive the same probe matches.
+  GroupJoin(const RowLayout* build_layout, std::vector<int> build_keys,
+            const RowLayout* probe_layout, std::vector<int> probe_keys,
+            std::vector<AggDef> aggs, const RowLayout* output_layout);
+
+  ChainingHashTable& table() { return *table_; }
+  const KeySpec& build_key() const { return build_key_; }
+  const KeySpec& probe_key() const { return probe_key_; }
+  const RowLayout* build_layout() const { return build_layout_; }
+  const RowLayout* probe_layout() const { return probe_layout_; }
+  const RowLayout* output_layout() const { return output_layout_; }
+  const std::vector<AggDef>& aggs() const { return aggs_; }
+
+  // Per-group accumulator state, addressed by hash-table entry pointer.
+  struct Accum {
+    double sum = 0;
+    int64_t isum = 0;
+    int64_t count = 0;
+  };
+
+  // Probe-side aggregate input fields (−1 for count(*)), resolved once.
+  const std::vector<int>& agg_fields() const { return agg_fields_; }
+  const std::vector<bool>& agg_is_float() const { return agg_is_float_; }
+
+  // Thread-local accumulation maps merged at probe Finish.
+  using AccumMap =
+      std::unordered_map<const std::byte*, std::vector<Accum>>;
+  AccumMap& worker_accums(int thread_id) { return worker_accums_[thread_id]; }
+  void MergeWorkerAccums();
+  const AccumMap& merged_accums() const { return merged_; }
+
+ private:
+  const RowLayout* build_layout_;
+  const RowLayout* probe_layout_;
+  const RowLayout* output_layout_;
+  KeySpec build_key_;
+  KeySpec probe_key_;
+  std::vector<AggDef> aggs_;
+  std::vector<int> agg_fields_;
+  std::vector<bool> agg_is_float_;
+  std::unique_ptr<ChainingHashTable> table_;
+  std::vector<AccumMap> worker_accums_;
+  AccumMap merged_;
+};
+
+// Build pipeline breaker: materializes the group-defining rows.
+class GroupJoinBuildSink : public Operator {
+ public:
+  explicit GroupJoinBuildSink(GroupJoin* join) : join_(join) {}
+  void Consume(Batch& batch, ThreadContext& ctx) override;
+  void Finish(ExecContext& exec) override;
+  const RowLayout* OutputLayout() const override {
+    return join_->build_layout();
+  }
+
+ private:
+  GroupJoin* join_;
+};
+
+// Probe pipeline breaker: aggregates probe tuples into their groups.
+class GroupJoinProbeSink : public Operator {
+ public:
+  explicit GroupJoinProbeSink(GroupJoin* join) : join_(join) {}
+  void Consume(Batch& batch, ThreadContext& ctx) override;
+  void Finish(ExecContext& exec) override;
+  const RowLayout* OutputLayout() const override {
+    return join_->probe_layout();
+  }
+
+ private:
+  GroupJoin* join_;
+};
+
+// Pipeline starter: emits one output row per group (including empty ones).
+class GroupJoinScanSource : public Source {
+ public:
+  explicit GroupJoinScanSource(GroupJoin* join) : join_(join) {}
+  void Prepare(ExecContext& exec) override;
+  bool ProduceMorsel(Operator& consumer, ThreadContext& ctx) override;
+  const RowLayout* OutputLayout() const override {
+    return join_->output_layout();
+  }
+
+ private:
+  GroupJoin* join_;
+  std::atomic<int> cursor_{0};
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_JOIN_GROUP_JOIN_H_

@@ -1,0 +1,191 @@
+#include "join/hash_join.h"
+
+#include <algorithm>
+
+#include "util/stopwatch.h"
+
+namespace pjoin {
+
+HashJoin::HashJoin(JoinKind kind, const RowLayout* build_layout,
+                   std::vector<int> build_keys, const RowLayout* probe_layout,
+                   std::vector<int> probe_keys, JoinProjection projection)
+    : kind_(kind),
+      build_layout_(build_layout),
+      build_key_(build_layout, std::move(build_keys)),
+      probe_key_(probe_layout, std::move(probe_keys)),
+      projection_(std::move(projection)),
+      table_(std::make_unique<ChainingHashTable>(build_layout->stride(),
+                                                 TracksBuildMatches(kind))) {
+  if (kind == JoinKind::kRightOuter) {
+    pair_buffers_.reserve(256);
+    for (int i = 0; i < 256; ++i) {
+      pair_buffers_.emplace_back(projection_.output->stride());
+    }
+  }
+}
+
+RowBuffer& HashJoin::pair_buffer(int thread_id) {
+  return pair_buffers_[thread_id];
+}
+
+void HashJoinBuildSink::Consume(Batch& batch, ThreadContext& ctx) {
+  ChainingHashTable& ht = join_->table();
+  const KeySpec& key = join_->build_key();
+  const uint32_t stride = batch.layout->stride();
+  for (uint32_t i = 0; i < batch.size; ++i) {
+    const std::byte* row = batch.Row(i);
+    ht.MaterializeEntry(ctx.thread_id, key.Hash(row), row, stride);
+  }
+  ctx.bytes->AddWrite(JoinPhase::kBuildPipeline,
+                      static_cast<uint64_t>(batch.size) * ht.entry_stride());
+}
+
+void HashJoinBuildSink::Finish(ExecContext& exec) {
+  Stopwatch watch;
+  join_->table().Build(*exec.pool());
+  exec.timer().Add(JoinPhase::kBuildPipeline, watch.ElapsedSeconds());
+}
+
+void HashJoinProbe::Prepare(ExecContext& exec) {
+  emitters_.resize(exec.num_threads());
+}
+
+void HashJoinProbe::Open(ThreadContext& ctx) {
+  emitters_[ctx.thread_id].Bind(&join_->projection(), next_);
+}
+
+void HashJoinProbe::Consume(Batch& batch, ThreadContext& ctx) {
+  ChainingHashTable& ht = join_->table();
+  const KeySpec& probe_key = join_->probe_key();
+  const KeySpec& build_key = join_->build_key();
+  const JoinKind kind = join_->kind();
+  JoinEmitter& emitter = emitters_[ctx.thread_id];
+
+  // Relaxed operator fusion: the batch is the staging buffer. First loop
+  // computes hashes and prefetches directory cache lines; second loop walks
+  // chains with the slots (likely) already in cache.
+  uint64_t hashes[kBatchCapacity];
+  for (uint32_t i = 0; i < batch.size; ++i) {
+    hashes[i] = probe_key.Hash(batch.Row(i));
+    ht.PrefetchSlot(hashes[i]);
+  }
+  ctx.bytes->AddRead(JoinPhase::kProbePipeline,
+                     static_cast<uint64_t>(batch.size) *
+                         batch.layout->stride());
+
+  uint64_t matched_tuples = 0;
+  for (uint32_t i = 0; i < batch.size; ++i) {
+    const std::byte* probe_row = batch.Row(i);
+    const uint64_t hash = hashes[i];
+    // Tagged-pointer reducer: a missing tag bit skips the chain walk.
+    const std::byte* entry = ht.ChainHead(hash);
+    bool matched = false;
+    while (entry != nullptr) {
+      if (ChainingHashTable::EntryHash(entry) == hash &&
+          KeySpec::Equals(build_key, ht.EntryRow(entry), probe_key,
+                          probe_row)) {
+        matched = true;
+        switch (kind) {
+          case JoinKind::kInner:
+          case JoinKind::kLeftOuter:
+            emitter.EmitPair(ht.EntryRow(entry), probe_row, ctx);
+            break;
+          case JoinKind::kRightOuter:
+            // Matched pairs are materialized (the downstream operators run
+            // after the post-probe build scan) and replayed from there.
+            MaterializeJoinRow(join_->projection(),
+                               join_->pair_buffer(ctx.thread_id).AppendSlot(),
+                               ht.EntryRow(entry), probe_row);
+            ht.MarkMatched(entry);
+            break;
+          case JoinKind::kProbeSemi:
+            emitter.EmitProbeOnly(probe_row, ctx);
+            break;
+          case JoinKind::kBuildSemi:
+          case JoinKind::kBuildAnti:
+            ht.MarkMatched(entry);
+            break;
+          case JoinKind::kProbeAnti:
+          case JoinKind::kMark:
+            break;  // existence is all that matters
+        }
+        // Kinds that only need existence stop at the first match; kinds
+        // that must visit every matching build tuple keep walking.
+        if (kind == JoinKind::kProbeSemi || kind == JoinKind::kProbeAnti ||
+            kind == JoinKind::kMark) {
+          break;
+        }
+      }
+      entry = ChainingHashTable::EntryNext(entry);
+    }
+    if (!matched && kind == JoinKind::kProbeAnti) {
+      emitter.EmitProbeOnly(probe_row, ctx);
+    } else if (!matched && kind == JoinKind::kLeftOuter) {
+      emitter.EmitProbeOnly(probe_row, ctx);
+    } else if (kind == JoinKind::kMark) {
+      emitter.EmitMark(probe_row, matched, ctx);
+    }
+    matched_tuples += matched ? 1 : 0;
+  }
+  join_->AddProbeStats(batch.size, matched_tuples);
+}
+
+void HashJoinProbe::Close(ThreadContext& ctx) {
+  emitters_[ctx.thread_id].Flush(ctx);
+}
+
+void HashJoinBuildScanSource::Prepare(ExecContext& exec) {
+  (void)exec;
+  num_buffers_ = 256;  // matches ChainingHashTable's worker-buffer bound
+  cursor_.store(0, std::memory_order_relaxed);
+}
+
+bool HashJoinBuildScanSource::ProduceMorsel(Operator& consumer,
+                                            ThreadContext& ctx) {
+  // Morsels [0, num_buffers) replay the materialized right-outer pairs;
+  // morsels [num_buffers, 2*num_buffers) scan entry buffers for the
+  // matched/unmatched build rows the kind asks for.
+  int idx = cursor_.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= 2 * num_buffers_) return false;
+  ChainingHashTable& ht = join_->table();
+  if (idx < num_buffers_) {
+    if (!join_->HasPairBuffers()) return true;
+    RowBuffer& pairs = join_->pair_buffer(idx);
+    if (pairs.size() == 0) return true;
+    const RowLayout* out = join_->projection().output;
+    pairs.ForEachPage([&](const std::byte* rows, uint32_t count) {
+      // Pages hold output-format rows contiguously: forward them batch-wise
+      // without copying.
+      for (uint32_t off = 0; off < count; off += kBatchCapacity) {
+        Batch batch;
+        batch.layout = out;
+        batch.rows = const_cast<std::byte*>(rows) +
+                     static_cast<size_t>(off) * out->stride();
+        batch.size = std::min<uint32_t>(kBatchCapacity, count - off);
+        consumer.Consume(batch, ctx);
+      }
+    });
+    return true;
+  }
+  RowBuffer& buffer = ht.build_buffer(idx - num_buffers_);
+  if (buffer.size() == 0) return true;
+
+  JoinEmitter emitter;
+  emitter.Bind(&join_->projection(), &consumer);
+  const JoinKind kind = join_->kind();
+  buffer.ForEachPage([&](const std::byte* rows, uint32_t count) {
+    for (uint32_t i = 0; i < count; ++i) {
+      const std::byte* entry = rows + static_cast<size_t>(i) * ht.entry_stride();
+      bool m = ChainingHashTable::IsMatched(entry);
+      if ((kind == JoinKind::kBuildSemi && m) ||
+          (kind == JoinKind::kBuildAnti && !m) ||
+          (kind == JoinKind::kRightOuter && !m)) {
+        emitter.EmitBuildOnly(ht.EntryRow(entry), ctx);
+      }
+    }
+  });
+  emitter.Flush(ctx);
+  return true;
+}
+
+}  // namespace pjoin

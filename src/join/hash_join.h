@@ -1,0 +1,134 @@
+// Buffered non-partitioned hash join (BHJ) — Section 4.3 of the paper.
+//
+// The build pipeline materializes build tuples into worker-local buffers and
+// bulk-builds a global chaining hash table whose directory slots carry
+// 16-bit Bloom tags (the tagged-pointer semi-join reducer of Leis et al.).
+// The probe side stays fully pipelined: batches act as the relaxed-operator-
+// fusion staging buffers, and probing runs in two tight loops — hash +
+// prefetch, then chain walk — which is the software-prefetching scheme that
+// keeps the BHJ's performance flat even when the hash table exceeds the LLC.
+#ifndef PJOIN_JOIN_HASH_JOIN_H_
+#define PJOIN_JOIN_HASH_JOIN_H_
+
+#include <memory>
+
+#include "exec/pipeline.h"
+#include "hash_table/chaining_ht.h"
+#include "join/emitter.h"
+#include "join/join_types.h"
+#include "join/key_spec.h"
+
+namespace pjoin {
+
+// Shared state between the build sink, probe operator, and (for
+// build-preserving kinds) the post-probe build scan source.
+class HashJoin {
+ public:
+  // `build_layout`/`probe_layout`: tuple formats entering each side;
+  // `build_keys`/`probe_keys`: key field indices; `projection`: output
+  // mapping (its `build` layout must equal `build_layout`, etc.).
+  HashJoin(JoinKind kind, const RowLayout* build_layout,
+           std::vector<int> build_keys, const RowLayout* probe_layout,
+           std::vector<int> probe_keys, JoinProjection projection);
+
+  JoinKind kind() const { return kind_; }
+  ChainingHashTable& table() { return *table_; }
+
+  // kRightOuter only: matched pairs cannot flow down the probe pipeline
+  // (the downstream operators hang off the post-probe build scan), so the
+  // probe phase materializes them here — in output-row format — and the
+  // build scan source replays them. Worker-indexed, created on demand.
+  RowBuffer& pair_buffer(int thread_id);
+  bool HasPairBuffers() const { return !pair_buffers_.empty(); }
+
+  // Audit counters (updated batch-wise by the probe operator).
+  void AddProbeStats(uint64_t seen, uint64_t matched) {
+    probe_seen_.fetch_add(seen, std::memory_order_relaxed);
+    probe_matched_.fetch_add(matched, std::memory_order_relaxed);
+  }
+  JoinAudit Audit(int join_id) const {
+    JoinAudit audit;
+    audit.join_id = join_id;
+    audit.kind = kind_;
+    audit.strategy = JoinStrategy::kBHJ;
+    audit.build_tuples = table_->num_entries();
+    audit.probe_tuples = probe_seen_.load(std::memory_order_relaxed);
+    audit.probe_matched = probe_matched_.load(std::memory_order_relaxed);
+    audit.build_width = build_layout_->stride();
+    audit.probe_width = probe_key_.layout()->stride();
+    return audit;
+  }
+  const KeySpec& build_key() const { return build_key_; }
+  const KeySpec& probe_key() const { return probe_key_; }
+  const JoinProjection& projection() const { return projection_; }
+  const RowLayout* build_layout() const { return build_layout_; }
+
+ private:
+  JoinKind kind_;
+  const RowLayout* build_layout_;
+  KeySpec build_key_;
+  KeySpec probe_key_;
+  JoinProjection projection_;
+  std::unique_ptr<ChainingHashTable> table_;
+  std::vector<RowBuffer> pair_buffers_;  // kRightOuter matched pairs
+  std::atomic<uint64_t> probe_seen_{0};
+  std::atomic<uint64_t> probe_matched_{0};
+};
+
+// Pipeline breaker terminating the build pipeline.
+class HashJoinBuildSink : public Operator {
+ public:
+  explicit HashJoinBuildSink(HashJoin* join) : join_(join) {}
+
+  void Consume(Batch& batch, ThreadContext& ctx) override;
+  void Finish(ExecContext& exec) override;
+  const RowLayout* OutputLayout() const override {
+    return join_->build_layout();
+  }
+
+ private:
+  HashJoin* join_;
+};
+
+// In-pipeline probe operator. For probe-preserving kinds it emits joined
+// batches downstream; for build-preserving kinds it only sets matched flags
+// (a HashJoinBuildScanSource then starts the next pipeline).
+class HashJoinProbe : public Operator {
+ public:
+  explicit HashJoinProbe(HashJoin* join) : join_(join) {}
+
+  void Prepare(ExecContext& exec) override;
+  void Open(ThreadContext& ctx) override;
+  void Consume(Batch& batch, ThreadContext& ctx) override;
+  void Close(ThreadContext& ctx) override;
+  const RowLayout* OutputLayout() const override {
+    return join_->projection().output;
+  }
+
+ private:
+  HashJoin* join_;
+  std::vector<JoinEmitter> emitters_;  // per worker
+};
+
+// Post-probe source for build-preserving kinds: scans all hash-table entries
+// and emits matched (kBuildSemi) or unmatched (kBuildAnti, kRightOuter)
+// build rows.
+class HashJoinBuildScanSource : public Source {
+ public:
+  explicit HashJoinBuildScanSource(HashJoin* join) : join_(join) {}
+
+  void Prepare(ExecContext& exec) override;
+  bool ProduceMorsel(Operator& consumer, ThreadContext& ctx) override;
+  const RowLayout* OutputLayout() const override {
+    return join_->projection().output;
+  }
+
+ private:
+  HashJoin* join_;
+  std::atomic<int> cursor_{0};
+  int num_buffers_ = 0;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_JOIN_HASH_JOIN_H_

@@ -1,0 +1,41 @@
+#include "join/join_types.h"
+
+namespace pjoin {
+
+const char* JoinKindName(JoinKind kind) {
+  switch (kind) {
+    case JoinKind::kInner:
+      return "inner";
+    case JoinKind::kProbeSemi:
+      return "probe-semi";
+    case JoinKind::kProbeAnti:
+      return "probe-anti";
+    case JoinKind::kBuildSemi:
+      return "build-semi";
+    case JoinKind::kBuildAnti:
+      return "build-anti";
+    case JoinKind::kLeftOuter:
+      return "left-outer";
+    case JoinKind::kRightOuter:
+      return "right-outer";
+    case JoinKind::kMark:
+      return "mark";
+  }
+  return "?";
+}
+
+const char* JoinStrategyName(JoinStrategy strategy) {
+  switch (strategy) {
+    case JoinStrategy::kBHJ:
+      return "BHJ";
+    case JoinStrategy::kRJ:
+      return "RJ";
+    case JoinStrategy::kBRJ:
+      return "BRJ";
+    case JoinStrategy::kBRJAdaptive:
+      return "BRJ (adaptive)";
+  }
+  return "?";
+}
+
+}  // namespace pjoin

@@ -1,0 +1,77 @@
+// Join-key description: which fields of a row layout form the equi-join key,
+// how to hash them, and how to compare them across the two sides.
+#ifndef PJOIN_JOIN_KEY_SPEC_H_
+#define PJOIN_JOIN_KEY_SPEC_H_
+
+#include <cstring>
+#include <vector>
+
+#include "storage/row_layout.h"
+#include "util/hash.h"
+
+namespace pjoin {
+
+class KeySpec {
+ public:
+  KeySpec() = default;
+  KeySpec(const RowLayout* layout, std::vector<int> fields)
+      : layout_(layout), fields_(std::move(fields)) {}
+
+  static KeySpec ByName(const RowLayout* layout,
+                        const std::vector<std::string>& names) {
+    std::vector<int> fields;
+    fields.reserve(names.size());
+    for (const auto& n : names) fields.push_back(layout->IndexOf(n));
+    return KeySpec(layout, std::move(fields));
+  }
+
+  const RowLayout* layout() const { return layout_; }
+  const std::vector<int>& fields() const { return fields_; }
+
+  // 64-bit hash of the key; identical key values hash identically across
+  // sides as long as field widths match (enforced by KeysEqual's contract).
+  uint64_t Hash(const std::byte* row) const {
+    uint64_t h = 0;
+    bool first = true;
+    for (int f : fields_) {
+      const RowField& fld = layout_->field(f);
+      uint64_t piece;
+      if (fld.width == 8) {
+        uint64_t v;
+        std::memcpy(&v, row + fld.offset, 8);
+        piece = HashInt64(v);
+      } else if (fld.width == 4) {
+        uint32_t v;
+        std::memcpy(&v, row + fld.offset, 4);
+        piece = HashInt64(v);
+      } else {
+        piece = HashBytes(row + fld.offset, fld.width);
+      }
+      h = first ? piece : HashCombine(h, piece);
+      first = false;
+    }
+    return h;
+  }
+
+  // Field-wise equality between a row of `a` and a row of `b`. The specs
+  // must have the same number of key fields with matching widths.
+  static bool Equals(const KeySpec& a, const std::byte* row_a,
+                     const KeySpec& b, const std::byte* row_b) {
+    for (size_t i = 0; i < a.fields_.size(); ++i) {
+      const RowField& fa = a.layout_->field(a.fields_[i]);
+      const RowField& fb = b.layout_->field(b.fields_[i]);
+      if (std::memcmp(row_a + fa.offset, row_b + fb.offset, fa.width) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  const RowLayout* layout_ = nullptr;
+  std::vector<int> fields_;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_JOIN_KEY_SPEC_H_

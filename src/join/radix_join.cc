@@ -1,0 +1,227 @@
+#include "join/radix_join.h"
+
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace pjoin {
+
+namespace {
+RadixConfig MakePartitionerConfig(const RadixJoin::Options& options,
+                                  uint32_t row_stride, RadixBits bits) {
+  RadixConfig config;
+  config.row_stride = row_stride;
+  config.bits1 = options.bits1 >= 0 ? options.bits1 : bits.bits1;
+  config.bits2 = options.bits2 >= 0 ? options.bits2 : bits.bits2;
+  config.num_threads = options.num_threads;
+  config.use_swwcb = options.use_swwcb;
+  config.use_streaming = options.use_streaming;
+  return config;
+}
+}  // namespace
+
+RadixJoin::RadixJoin(JoinKind kind, const RowLayout* build_layout,
+                     std::vector<int> build_keys,
+                     const RowLayout* probe_layout,
+                     std::vector<int> probe_keys, JoinProjection projection,
+                     const Options& options)
+    : kind_(kind),
+      options_(options),
+      build_layout_(build_layout),
+      probe_layout_(probe_layout),
+      build_key_(build_layout, std::move(build_keys)),
+      probe_key_(probe_layout, std::move(probe_keys)),
+      projection_(std::move(projection)) {
+  // Both sides must use identical radix bits so partition pairs align.
+  RadixBits bits = ChooseRadixBits(options.expected_build_tuples,
+                                   8 + build_layout->stride());
+  build_part_ = std::make_unique<RadixPartitioner>(
+      MakePartitionerConfig(options, build_layout->stride(), bits));
+  probe_part_ = std::make_unique<RadixPartitioner>(
+      MakePartitionerConfig(options, probe_layout->stride(), bits));
+  PJOIN_CHECK(build_part_->num_partitions() == probe_part_->num_partitions());
+}
+
+void RadixBuildSink::Consume(Batch& batch, ThreadContext& ctx) {
+  RadixPartitioner& part = join_->build_partitioner();
+  const KeySpec& key = join_->build_key();
+  for (uint32_t i = 0; i < batch.size; ++i) {
+    const std::byte* row = batch.Row(i);
+    part.Add(ctx.thread_id, key.Hash(row), row, ctx.bytes);
+  }
+}
+
+void RadixBuildSink::Close(ThreadContext& ctx) {
+  join_->build_partitioner().FlushThread(ctx.thread_id, ctx.bytes);
+}
+
+void RadixBuildSink::Finish(ExecContext& exec) {
+  RadixPartitioner& part = join_->build_partitioner();
+  if (join_->bloom_enabled()) {
+    // The filter is generated while partitioning during the second pass over
+    // the build side (Section 4.7). Exact sizing: the staged tuple count is
+    // known before pass 2 starts. Block count >= pass-1 fan-out keeps the
+    // per-pre-partition block ranges disjoint (unsynchronized writes).
+    join_->bloom().Resize(part.PendingTuples(),
+                          uint64_t{1} << part.config().bits1);
+    part.set_bloom(&join_->bloom());
+  }
+  part.Finalize(*exec.pool(), &exec.timer(), exec.bytes_array());
+}
+
+void RadixProbeSink::Consume(Batch& batch, ThreadContext& ctx) {
+  RadixPartitioner& part = join_->probe_partitioner();
+  const KeySpec& key = join_->probe_key();
+  const bool use_bloom =
+      join_->bloom_enabled() &&
+      (!join_->adaptive() || join_->adaptive_controller().enabled());
+  uint64_t dropped = 0;
+  uint64_t checks = 0;
+  uint64_t passes = 0;
+  for (uint32_t i = 0; i < batch.size; ++i) {
+    const std::byte* row = batch.Row(i);
+    uint64_t hash = key.Hash(row);
+    if (use_bloom) {
+      ++checks;
+      if (!join_->bloom().MayContain(hash)) {
+        // Early probe: the tuple has no join partner; it is dropped before
+        // any materialization cost is paid.
+        ++dropped;
+        continue;
+      }
+      ++passes;
+    }
+    part.Add(ctx.thread_id, hash, row, ctx.bytes);
+  }
+  join_->AddProbeSeen(batch.size);
+  if (dropped > 0) dropped_.fetch_add(dropped, std::memory_order_relaxed);
+  if (join_->adaptive() && checks > 0) {
+    join_->adaptive_controller().ReportWindow(checks, passes);
+  }
+}
+
+void RadixProbeSink::Close(ThreadContext& ctx) {
+  join_->probe_partitioner().FlushThread(ctx.thread_id, ctx.bytes);
+}
+
+void RadixProbeSink::Finish(ExecContext& exec) {
+  join_->probe_partitioner().Finalize(*exec.pool(), &exec.timer(),
+                                      exec.bytes_array());
+}
+
+void PartitionJoinSource::Prepare(ExecContext& exec) {
+  workers_.resize(exec.num_threads());
+  for (WorkerState& ws : workers_) ws.emitter_bound = false;
+  cursor_.store(0, std::memory_order_relaxed);
+}
+
+void PartitionJoinSource::Open(ThreadContext& ctx) {
+  // The robin-hood table keeps its memory segment across runs and
+  // partitions; the emitter is bound per morsel (Open has no consumer).
+  (void)ctx;
+}
+
+bool PartitionJoinSource::ProduceMorsel(Operator& consumer,
+                                        ThreadContext& ctx) {
+  WorkerState& ws = workers_[ctx.thread_id];
+  int f = cursor_.fetch_add(1, std::memory_order_relaxed);
+  RadixPartitioner& bp = join_->build_partitioner();
+  RadixPartitioner& pp = join_->probe_partitioner();
+  if (f >= bp.num_partitions()) return false;
+
+  const std::byte* bdata = bp.partition_data(f);
+  const uint64_t bcount = bp.partition_tuples(f);
+  const std::byte* pdata = pp.partition_data(f);
+  const uint64_t pcount = pp.partition_tuples(f);
+  const uint32_t bstride = bp.tuple_stride();
+  const uint32_t pstride = pp.tuple_stride();
+  const JoinKind kind = join_->kind();
+  const KeySpec& bkey = join_->build_key();
+  const KeySpec& pkey = join_->probe_key();
+
+  if (!ws.emitter_bound) {
+    ws.emitter.Bind(&join_->projection(), &consumer);
+    ws.emitter_bound = true;
+  }
+
+  // Build the per-partition hash table on the fly (Algorithm 2). Tuples are
+  // not moved: only pointers into the partition buffer are stored.
+  ws.table.Reset(bcount);
+  for (uint64_t i = 0; i < bcount; ++i) {
+    const std::byte* tuple = bdata + i * bstride;
+    ws.table.Insert(RadixPartitioner::TupleHash(tuple), tuple);
+  }
+  const bool track = TracksBuildMatches(kind);
+  if (track) {
+    ws.matched.assign(ws.table.capacity(), 0);
+  }
+  ctx.bytes->AddRead(JoinPhase::kJoin, bcount * bstride);
+
+  // Probe.
+  uint64_t matched_tuples = 0;
+  for (uint64_t j = 0; j < pcount; ++j) {
+    const std::byte* ptuple = pdata + j * pstride;
+    const uint64_t hash = RadixPartitioner::TupleHash(ptuple);
+    const std::byte* probe_row = RadixPartitioner::TupleRow(ptuple);
+    bool matched = false;
+    ws.table.ForEachMatch(hash, [&](const std::byte* btuple, uint64_t slot) {
+      const std::byte* build_row = RadixPartitioner::TupleRow(btuple);
+      if (!KeySpec::Equals(bkey, build_row, pkey, probe_row)) return;
+      matched = true;
+      switch (kind) {
+        case JoinKind::kInner:
+        case JoinKind::kLeftOuter:
+          ws.emitter.EmitPair(build_row, probe_row, ctx);
+          break;
+        case JoinKind::kRightOuter:
+          ws.emitter.EmitPair(build_row, probe_row, ctx);
+          ws.matched[slot] = 1;
+          break;
+        case JoinKind::kProbeSemi:
+          // Emission handled below to avoid duplicates on multi-match.
+          break;
+        case JoinKind::kBuildSemi:
+        case JoinKind::kBuildAnti:
+          ws.matched[slot] = 1;
+          break;
+        case JoinKind::kProbeAnti:
+        case JoinKind::kMark:
+          break;
+      }
+    });
+    if (kind == JoinKind::kProbeSemi && matched) {
+      ws.emitter.EmitProbeOnly(probe_row, ctx);
+    } else if (kind == JoinKind::kProbeAnti && !matched) {
+      ws.emitter.EmitProbeOnly(probe_row, ctx);
+    } else if (kind == JoinKind::kLeftOuter && !matched) {
+      ws.emitter.EmitProbeOnly(probe_row, ctx);
+    } else if (kind == JoinKind::kMark) {
+      ws.emitter.EmitMark(probe_row, matched, ctx);
+    }
+    matched_tuples += matched ? 1 : 0;
+  }
+  if (matched_tuples > 0) join_->AddProbeMatched(matched_tuples);
+  ctx.bytes->AddRead(JoinPhase::kJoin, pcount * pstride);
+
+  // Build-preserving kinds: this partition's verdicts are final (all
+  // matching probe tuples live in the same partition), so unmatched build
+  // rows can be emitted right here — no extra pipeline needed.
+  if (track) {
+    for (uint64_t slot = 0; slot < ws.table.capacity(); ++slot) {
+      const RobinHoodTable::Slot& s = ws.table.slot(slot);
+      if (s.tuple == nullptr) continue;
+      const bool m = ws.matched[slot] != 0;
+      if ((kind == JoinKind::kBuildSemi && m) ||
+          (kind == JoinKind::kBuildAnti && !m) ||
+          (kind == JoinKind::kRightOuter && !m)) {
+        ws.emitter.EmitBuildOnly(RadixPartitioner::TupleRow(s.tuple), ctx);
+      }
+    }
+  }
+  return true;
+}
+
+void PartitionJoinSource::Close(ThreadContext& ctx) {
+  workers_[ctx.thread_id].emitter.Flush(ctx);
+}
+
+}  // namespace pjoin

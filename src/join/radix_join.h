@@ -1,0 +1,191 @@
+// Radix-partitioned join (RJ) and its Bloom-filtered variant (BRJ) —
+// Sections 4.4–4.7 of the paper.
+//
+// The radix join is a full pipeline breaker and a pipeline starter
+// (Algorithm 1): both inputs are materialized through the two-pass
+// morsel-driven radix partitioner, then a new pipeline joins the partition
+// pairs (Algorithm 2) with per-partition robin-hood hash tables that are
+// sized exactly and reuse their memory segment across partitions.
+//
+// The BRJ builds a register-blocked Bloom filter over the build keys during
+// the second build-side partition pass and probes it in the probe pipeline
+// *before* partitioning, so non-joining probe tuples are never materialized.
+// The adaptive variant samples the filter pass rate and switches the filter
+// off when (almost) everything passes.
+#ifndef PJOIN_JOIN_RADIX_JOIN_H_
+#define PJOIN_JOIN_RADIX_JOIN_H_
+
+#include <memory>
+
+#include "exec/pipeline.h"
+#include "filter/adaptive.h"
+#include "filter/blocked_bloom.h"
+#include "hash_table/robin_hood.h"
+#include "join/emitter.h"
+#include "join/join_types.h"
+#include "join/key_spec.h"
+#include "partition/radix_partitioner.h"
+
+namespace pjoin {
+
+class RadixJoin {
+ public:
+  struct Options {
+    JoinStrategy strategy = JoinStrategy::kRJ;  // kRJ / kBRJ / kBRJAdaptive
+    uint64_t expected_build_tuples = 1 << 20;   // optimizer estimate
+    int num_threads = 1;
+    // Ablation overrides (negative bits = auto via ChooseRadixBits).
+    int bits1 = -1;
+    int bits2 = -1;
+    bool use_swwcb = true;
+    bool use_streaming = true;
+  };
+
+  RadixJoin(JoinKind kind, const RowLayout* build_layout,
+            std::vector<int> build_keys, const RowLayout* probe_layout,
+            std::vector<int> probe_keys, JoinProjection projection,
+            const Options& options);
+
+  JoinKind kind() const { return kind_; }
+  const Options& options() const { return options_; }
+  // The semi-join reducer may only drop probe tuples when an unmatched probe
+  // tuple contributes nothing to the result: inner and semi joins, and
+  // build-preserving kinds (a dropped tuple could not have marked anything).
+  // Anti, outer, and mark joins must see every probe tuple.
+  static bool BloomApplicable(JoinKind kind) {
+    return kind == JoinKind::kInner || kind == JoinKind::kProbeSemi ||
+           kind == JoinKind::kBuildSemi || kind == JoinKind::kBuildAnti ||
+           kind == JoinKind::kRightOuter;
+  }
+
+  bool bloom_enabled() const {
+    return (options_.strategy == JoinStrategy::kBRJ ||
+            options_.strategy == JoinStrategy::kBRJAdaptive) &&
+           BloomApplicable(kind_);
+  }
+  bool adaptive() const {
+    return options_.strategy == JoinStrategy::kBRJAdaptive;
+  }
+
+  RadixPartitioner& build_partitioner() { return *build_part_; }
+  RadixPartitioner& probe_partitioner() { return *probe_part_; }
+  BlockedBloomFilter& bloom() { return bloom_; }
+  AdaptiveFilterController& adaptive_controller() { return adaptive_; }
+
+  const KeySpec& build_key() const { return build_key_; }
+  const KeySpec& probe_key() const { return probe_key_; }
+  const JoinProjection& projection() const { return projection_; }
+  const RowLayout* build_layout() const { return build_layout_; }
+  const RowLayout* probe_layout() const { return probe_layout_; }
+
+  // Peak auxiliary memory (partitions + temporaries), for the memory-budget
+  // observations of Section 5.3 (Q8/Q9/Q21 at SF 100).
+  uint64_t PartitionBytes() const {
+    return build_part_->OutputBytes() + probe_part_->OutputBytes();
+  }
+
+  // Audit counters.
+  void AddProbeSeen(uint64_t n) {
+    probe_seen_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddProbeMatched(uint64_t n) {
+    probe_matched_.fetch_add(n, std::memory_order_relaxed);
+  }
+  JoinAudit Audit(int join_id) const {
+    JoinAudit audit;
+    audit.join_id = join_id;
+    audit.kind = kind_;
+    audit.strategy = options_.strategy;
+    audit.build_tuples = build_part_->total_tuples();
+    audit.probe_tuples = probe_seen_.load(std::memory_order_relaxed);
+    audit.probe_matched = probe_matched_.load(std::memory_order_relaxed);
+    audit.build_width = build_layout_->stride();
+    audit.probe_width = probe_layout_->stride();
+    return audit;
+  }
+
+ private:
+  JoinKind kind_;
+  Options options_;
+  const RowLayout* build_layout_;
+  const RowLayout* probe_layout_;
+  KeySpec build_key_;
+  KeySpec probe_key_;
+  JoinProjection projection_;
+  std::unique_ptr<RadixPartitioner> build_part_;
+  std::unique_ptr<RadixPartitioner> probe_part_;
+  BlockedBloomFilter bloom_;
+  AdaptiveFilterController adaptive_;
+  std::atomic<uint64_t> probe_seen_{0};
+  std::atomic<uint64_t> probe_matched_{0};
+};
+
+// Terminates the build pipeline: partitions the build side and (for BRJ)
+// constructs the Bloom filter during the second pass.
+class RadixBuildSink : public Operator {
+ public:
+  explicit RadixBuildSink(RadixJoin* join) : join_(join) {}
+
+  void Consume(Batch& batch, ThreadContext& ctx) override;
+  void Close(ThreadContext& ctx) override;
+  void Finish(ExecContext& exec) override;
+  const RowLayout* OutputLayout() const override {
+    return join_->build_layout();
+  }
+
+ private:
+  RadixJoin* join_;
+};
+
+// Terminates the probe pipeline: Bloom-filters (BRJ) and partitions the
+// probe side.
+class RadixProbeSink : public Operator {
+ public:
+  explicit RadixProbeSink(RadixJoin* join) : join_(join) {}
+
+  void Consume(Batch& batch, ThreadContext& ctx) override;
+  void Close(ThreadContext& ctx) override;
+  void Finish(ExecContext& exec) override;
+  const RowLayout* OutputLayout() const override {
+    return join_->probe_layout();
+  }
+
+  uint64_t tuples_dropped_by_filter() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  RadixJoin* join_;
+  std::atomic<uint64_t> dropped_{0};
+};
+
+// Starts the join pipeline: partition pairs are morsels; each builds its
+// hash table on the fly and probes it, emitting joined tuples downstream.
+class PartitionJoinSource : public Source {
+ public:
+  explicit PartitionJoinSource(RadixJoin* join) : join_(join) {}
+
+  void Prepare(ExecContext& exec) override;
+  void Open(ThreadContext& ctx) override;
+  bool ProduceMorsel(Operator& consumer, ThreadContext& ctx) override;
+  void Close(ThreadContext& ctx) override;
+  const RowLayout* OutputLayout() const override {
+    return join_->projection().output;
+  }
+
+ private:
+  struct WorkerState {
+    RobinHoodTable table;       // reused across partitions (Section 4.6)
+    std::vector<uint8_t> matched;  // slot-indexed matched flags
+    JoinEmitter emitter;
+    bool emitter_bound = false;  // emitter binds on the worker's first morsel
+  };
+
+  RadixJoin* join_;
+  std::atomic<int> cursor_{0};
+  std::vector<WorkerState> workers_;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_JOIN_RADIX_JOIN_H_

@@ -1,0 +1,43 @@
+#include "partition/chunked_buffer.h"
+
+#include <algorithm>
+
+#include "util/bitutil.h"
+#include "util/check.h"
+
+namespace pjoin {
+
+namespace {
+// First page 16 KiB; pages double up to 1 MiB ("whenever a page is full, a
+// larger page is prepended and used instead").
+constexpr uint64_t kFirstChunkBytes = 16 * 1024;
+constexpr uint64_t kMaxChunkBytes = 1024 * 1024;
+}  // namespace
+
+std::byte* ChunkedTupleBuffer::AllocBytes(uint32_t bytes) {
+  PJOIN_DCHECK(stride_ != 0);
+  if (chunks_.empty() || chunks_.back().used + bytes > chunks_.back().capacity) {
+    AddChunk(bytes);
+  }
+  Chunk& chunk = chunks_.back();
+  std::byte* dst = chunk.mem.data() + chunk.used;
+  chunk.used += bytes;
+  total_bytes_ += bytes;
+  return dst;
+}
+
+void ChunkedTupleBuffer::AddChunk(uint32_t min_bytes) {
+  uint64_t cap = chunks_.empty() ? kFirstChunkBytes
+                                 : std::min(chunks_.back().capacity * 2,
+                                            kMaxChunkBytes);
+  // Capacity must hold the request and stay a multiple of the write-combine
+  // block size so streamed blocks never straddle chunks.
+  while (cap < min_bytes) cap *= 2;
+  cap = AlignUp(cap, kSwwcbBytes);
+  Chunk chunk;
+  chunk.mem.Allocate(cap);
+  chunk.capacity = cap;
+  chunks_.push_back(std::move(chunk));
+}
+
+}  // namespace pjoin

@@ -1,0 +1,76 @@
+// Worker-local chunked tuple storage for the first partitioning pass.
+//
+// The radix join consumes a dataflow, so the input cardinality is unknown and
+// the first pass cannot use histogram-computed offsets. Each temporary
+// partition is therefore a linked list of pages (Section 4.5): whenever a
+// page fills up, a larger one is appended. Pages are cache-line aligned and
+// their capacity is a multiple of the write-combine block size, so streaming
+// flushes never straddle a page boundary.
+//
+// Keeping these chunks worker-local is also the NUMA-aware design of Schuh
+// et al. (Section 3.3 C): every pass-1 write goes to memory owned by the
+// writing worker; only pass-2 reads cross workers.
+#ifndef PJOIN_PARTITION_CHUNKED_BUFFER_H_
+#define PJOIN_PARTITION_CHUNKED_BUFFER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/aligned_buffer.h"
+
+namespace pjoin {
+
+// Block size of the software write-combine buffers: four cache lines.
+inline constexpr uint32_t kSwwcbBytes = 256;
+
+class ChunkedTupleBuffer {
+ public:
+  ChunkedTupleBuffer() = default;
+
+  void Init(uint32_t tuple_stride) {
+    stride_ = tuple_stride;
+    total_bytes_ = 0;
+    chunks_.clear();
+  }
+
+  // Returns a contiguous, 64-byte-aligned region of `bytes` (either one
+  // write-combine block or one tuple). Page capacities are multiples of
+  // kSwwcbBytes, and block allocations always precede single-tuple
+  // allocations within a pass, so block regions stay 64-byte aligned.
+  std::byte* AllocBytes(uint32_t bytes);
+
+  uint64_t total_bytes() const { return total_bytes_; }
+  uint64_t num_tuples() const { return stride_ ? total_bytes_ / stride_ : 0; }
+  uint32_t stride() const { return stride_; }
+  bool empty() const { return total_bytes_ == 0; }
+
+  // Iterates chunks in insertion order: fn(data, used_bytes).
+  template <typename Fn>
+  void ForEachChunk(Fn&& fn) const {
+    for (const Chunk& c : chunks_) {
+      if (c.used > 0) fn(c.mem.data(), c.used);
+    }
+  }
+
+  void Clear() {
+    chunks_.clear();
+    total_bytes_ = 0;
+  }
+
+ private:
+  struct Chunk {
+    AlignedBuffer mem;
+    uint64_t used = 0;
+    uint64_t capacity = 0;
+  };
+
+  void AddChunk(uint32_t min_bytes);
+
+  uint32_t stride_ = 0;
+  uint64_t total_bytes_ = 0;
+  std::vector<Chunk> chunks_;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_PARTITION_CHUNKED_BUFFER_H_

@@ -1,0 +1,56 @@
+// Non-temporal streaming block copies.
+//
+// Software write-combine buffers are flushed to their destination with
+// non-temporal stores that bypass the cache hierarchy (Section 3.3 of the
+// paper): the partition output is written once and not read until the next
+// pass, so caching it would only evict useful data. Destinations must be
+// cache-line aligned; the widest available SIMD store is selected at compile
+// time (AVX-512 stores a full cache line per instruction, as the paper notes
+// for modern Intel processors).
+#ifndef PJOIN_PARTITION_STREAM_STORE_H_
+#define PJOIN_PARTITION_STREAM_STORE_H_
+
+#include <cstdint>
+#include <cstring>
+
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+#include "util/check.h"
+
+namespace pjoin {
+
+// Copies `bytes` (a multiple of 64) from 64-byte-aligned `src` to
+// 64-byte-aligned `dst` with non-temporal stores.
+inline void StreamCopyAligned(std::byte* dst, const std::byte* src,
+                              size_t bytes) {
+  PJOIN_DCHECK(reinterpret_cast<uintptr_t>(dst) % 64 == 0);
+  PJOIN_DCHECK(bytes % 64 == 0);
+#if defined(__AVX512F__)
+  for (size_t i = 0; i < bytes; i += 64) {
+    __m512i v = _mm512_load_si512(reinterpret_cast<const void*>(src + i));
+    _mm512_stream_si512(reinterpret_cast<__m512i*>(dst + i), v);
+  }
+#elif defined(__AVX2__)
+  for (size_t i = 0; i < bytes; i += 32) {
+    __m256i v =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_stream_si256(reinterpret_cast<__m256i*>(dst + i), v);
+  }
+#else
+  std::memcpy(dst, src, bytes);
+#endif
+}
+
+// Orders all pending non-temporal stores; call once per worker at the end of
+// a partitioning pass before other threads read the output.
+inline void StreamFence() {
+#if defined(__AVX2__) || defined(__AVX512F__)
+  _mm_sfence();
+#endif
+}
+
+}  // namespace pjoin
+
+#endif  // PJOIN_PARTITION_STREAM_STORE_H_

@@ -1,0 +1,91 @@
+// A single column stored as a contiguous array of fixed-width values.
+//
+// Umbra stores relations column-wise in main memory (Section 4.2 of the
+// paper); table scans read only the columns a query needs and stitch them
+// into row-format tuples that flow through the pipeline. Late
+// materialization re-fetches columns from here by tuple id after a join.
+#ifndef PJOIN_STORAGE_COLUMN_H_
+#define PJOIN_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "storage/types.h"
+#include "util/check.h"
+
+namespace pjoin {
+
+class Column {
+ public:
+  Column() = default;
+  Column(DataType type, uint32_t char_len = 0)
+      : type_(type), width_(TypeWidth(type, char_len)) {}
+
+  DataType type() const { return type_; }
+  uint32_t width() const { return width_; }
+  uint64_t size() const { return width_ == 0 ? 0 : data_.size() / width_; }
+
+  void Reserve(uint64_t rows) { data_.reserve(rows * width_); }
+
+  void AppendInt64(int64_t v) {
+    PJOIN_DCHECK(type_ == DataType::kInt64);
+    AppendRaw(&v, 8);
+  }
+  void AppendInt32(int32_t v) {
+    PJOIN_DCHECK(type_ == DataType::kInt32 || type_ == DataType::kDate);
+    AppendRaw(&v, 4);
+  }
+  void AppendFloat64(double v) {
+    PJOIN_DCHECK(type_ == DataType::kFloat64);
+    AppendRaw(&v, 8);
+  }
+  // Space-pads or truncates `s` to the column width.
+  void AppendString(const std::string& s) {
+    PJOIN_DCHECK(type_ == DataType::kChar);
+    size_t n = s.size() < width_ ? s.size() : width_;
+    size_t old = data_.size();
+    data_.resize(old + width_, std::byte{' '});
+    std::memcpy(data_.data() + old, s.data(), n);
+  }
+
+  int64_t GetInt64(uint64_t row) const {
+    int64_t v;
+    std::memcpy(&v, Raw(row), 8);
+    return v;
+  }
+  int32_t GetInt32(uint64_t row) const {
+    int32_t v;
+    std::memcpy(&v, Raw(row), 4);
+    return v;
+  }
+  double GetFloat64(uint64_t row) const {
+    double v;
+    std::memcpy(&v, Raw(row), 8);
+    return v;
+  }
+  std::string GetString(uint64_t row) const {
+    return std::string(reinterpret_cast<const char*>(Raw(row)), width_);
+  }
+
+  const std::byte* Raw(uint64_t row) const {
+    return data_.data() + row * width_;
+  }
+  const std::byte* data() const { return data_.data(); }
+
+ private:
+  void AppendRaw(const void* src, size_t n) {
+    size_t old = data_.size();
+    data_.resize(old + n);
+    std::memcpy(data_.data() + old, src, n);
+  }
+
+  DataType type_ = DataType::kInt64;
+  uint32_t width_ = 8;
+  std::vector<std::byte> data_;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_STORAGE_COLUMN_H_

@@ -1,0 +1,41 @@
+#include "storage/row_buffer.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace pjoin {
+
+RowBuffer::RowBuffer(uint32_t stride, uint32_t page_rows)
+    : stride_(stride), page_rows_(page_rows) {
+  PJOIN_CHECK(stride > 0);
+  PJOIN_CHECK(page_rows > 0);
+}
+
+std::byte* RowBuffer::Append(const std::byte* row) {
+  std::byte* dst = AppendSlot();
+  std::memcpy(dst, row, stride_);
+  return dst;
+}
+
+std::byte* RowBuffer::AppendSlot() {
+  if (pages_.empty() || pages_.back().count == page_rows_) AddPage();
+  Page& page = pages_.back();
+  std::byte* dst = page.data.data() + page.count * stride_;
+  ++page.count;
+  ++size_;
+  return dst;
+}
+
+void RowBuffer::AddPage() {
+  Page page;
+  page.data.Allocate(static_cast<size_t>(page_rows_) * stride_);
+  pages_.push_back(std::move(page));
+}
+
+void RowBuffer::Clear() {
+  pages_.clear();
+  size_ = 0;
+}
+
+}  // namespace pjoin

@@ -1,0 +1,39 @@
+#include "storage/row_layout.h"
+
+namespace pjoin {
+
+RowLayout::RowLayout(std::vector<RowField> fields)
+    : fields_(std::move(fields)) {
+  uint32_t offset = 0;
+  for (auto& f : fields_) {
+    f.offset = offset;
+    offset += f.width;
+  }
+  stride_ = offset;
+}
+
+RowLayout RowLayout::FromSchema(const Schema& schema,
+                                const std::vector<std::string>& columns) {
+  std::vector<RowField> fields;
+  fields.reserve(columns.size());
+  for (const auto& name : columns) {
+    const ColumnDef& def = schema.column(schema.IndexOf(name));
+    fields.push_back(RowField{def.name, def.type, def.width(), 0});
+  }
+  return RowLayout(std::move(fields));
+}
+
+int RowLayout::IndexOf(const std::string& name) const {
+  int idx = Find(name);
+  PJOIN_CHECK_MSG(idx >= 0, name.c_str());
+  return idx;
+}
+
+int RowLayout::Find(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace pjoin

@@ -1,0 +1,105 @@
+// Row-format layout of tuples flowing through pipelines.
+//
+// A pipeline batch is an array of fixed-stride rows; RowLayout maps field
+// names to byte offsets within a row. All accessors use memcpy, which GCC
+// compiles to single loads/stores on x86, so fields need no alignment and
+// rows can be tightly packed (tuple width is a first-order performance factor
+// in the paper, so we do not waste padding here; the radix partitioner pads
+// separately when it needs power-of-two strides for its write-combine
+// buffers).
+#ifndef PJOIN_STORAGE_ROW_LAYOUT_H_
+#define PJOIN_STORAGE_ROW_LAYOUT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "util/check.h"
+
+namespace pjoin {
+
+struct RowField {
+  std::string name;
+  DataType type = DataType::kInt64;
+  uint32_t width = 8;
+  uint32_t offset = 0;
+};
+
+class RowLayout {
+ public:
+  RowLayout() = default;
+  explicit RowLayout(std::vector<RowField> fields);
+
+  // Builds a layout from (subset of) schema columns.
+  static RowLayout FromSchema(const Schema& schema,
+                              const std::vector<std::string>& columns);
+
+  uint32_t stride() const { return stride_; }
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const RowField& field(int i) const { return fields_[i]; }
+  const std::vector<RowField>& fields() const { return fields_; }
+
+  int IndexOf(const std::string& name) const;
+  int Find(const std::string& name) const;
+
+  // Typed accessors by field index.
+  int64_t GetInt64(const std::byte* row, int f) const {
+    int64_t v;
+    std::memcpy(&v, row + fields_[f].offset, 8);
+    return v;
+  }
+  int32_t GetInt32(const std::byte* row, int f) const {
+    int32_t v;
+    std::memcpy(&v, row + fields_[f].offset, 4);
+    return v;
+  }
+  double GetFloat64(const std::byte* row, int f) const {
+    double v;
+    std::memcpy(&v, row + fields_[f].offset, 8);
+    return v;
+  }
+  const char* GetChar(const std::byte* row, int f) const {
+    return reinterpret_cast<const char*>(row + fields_[f].offset);
+  }
+  std::string GetString(const std::byte* row, int f) const {
+    return std::string(GetChar(row, f), fields_[f].width);
+  }
+
+  // Reads a numeric field widened to int64 (INT64/INT32/DATE).
+  int64_t GetNumeric(const std::byte* row, int f) const {
+    const RowField& fld = fields_[f];
+    if (fld.width == 8) return GetInt64(row, f);
+    return GetInt32(row, f);
+  }
+
+  void SetInt64(std::byte* row, int f, int64_t v) const {
+    std::memcpy(row + fields_[f].offset, &v, 8);
+  }
+  void SetInt32(std::byte* row, int f, int32_t v) const {
+    std::memcpy(row + fields_[f].offset, &v, 4);
+  }
+  void SetFloat64(std::byte* row, int f, double v) const {
+    std::memcpy(row + fields_[f].offset, &v, 8);
+  }
+  void SetChar(std::byte* row, int f, const void* src) const {
+    std::memcpy(row + fields_[f].offset, src, fields_[f].width);
+  }
+
+  // Copies field `src_f` of `src_row` (layout `src`) into field `dst_f`.
+  void CopyField(std::byte* dst_row, int dst_f, const RowLayout& src,
+                 const std::byte* src_row, int src_f) const {
+    PJOIN_DCHECK(fields_[dst_f].width == src.fields_[src_f].width);
+    std::memcpy(dst_row + fields_[dst_f].offset,
+                src_row + src.fields_[src_f].offset, fields_[dst_f].width);
+  }
+
+ private:
+  std::vector<RowField> fields_;
+  uint32_t stride_ = 0;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_STORAGE_ROW_LAYOUT_H_

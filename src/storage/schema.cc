@@ -1,0 +1,29 @@
+#include "storage/schema.h"
+
+#include "util/check.h"
+
+namespace pjoin {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    for (size_t j = i + 1; j < columns_.size(); ++j) {
+      PJOIN_CHECK_MSG(columns_[i].name != columns_[j].name,
+                      "duplicate column name in schema");
+    }
+  }
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  int idx = Find(name);
+  PJOIN_CHECK_MSG(idx >= 0, name.c_str());
+  return idx;
+}
+
+int Schema::Find(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace pjoin

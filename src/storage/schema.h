@@ -1,0 +1,43 @@
+// Table schemas: ordered lists of named, typed columns.
+#ifndef PJOIN_STORAGE_SCHEMA_H_
+#define PJOIN_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace pjoin {
+
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kInt64;
+  uint32_t char_len = 0;  // only used for kChar
+
+  uint32_t width() const { return TypeWidth(type, char_len); }
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  // Index of column `name`; aborts if absent (schema mistakes are programming
+  // errors in this system, not user input).
+  int IndexOf(const std::string& name) const;
+
+  // Index of column `name`, or -1 if absent.
+  int Find(const std::string& name) const;
+
+  const ColumnDef& column(int i) const { return columns_[i]; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_STORAGE_SCHEMA_H_

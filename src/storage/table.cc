@@ -1,0 +1,35 @@
+#include "storage/table.h"
+
+#include "util/check.h"
+
+namespace pjoin {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_columns());
+  for (int i = 0; i < schema_.num_columns(); ++i) {
+    const ColumnDef& def = schema_.column(i);
+    columns_.emplace_back(def.type, def.char_len);
+  }
+}
+
+void Table::Reserve(uint64_t rows) {
+  for (auto& col : columns_) col.Reserve(rows);
+}
+
+void Table::FinishRow() {
+  ++num_rows_;
+#ifndef NDEBUG
+  for (const auto& col : columns_) {
+    PJOIN_DCHECK(col.size() == num_rows_);
+  }
+#endif
+}
+
+uint64_t Table::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& col : columns_) total += col.size() * col.width();
+  return total;
+}
+
+}  // namespace pjoin

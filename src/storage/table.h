@@ -1,0 +1,48 @@
+// Columnar base table.
+#ifndef PJOIN_STORAGE_TABLE_H_
+#define PJOIN_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/column.h"
+#include "storage/schema.h"
+
+namespace pjoin {
+
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  uint64_t num_rows() const { return num_rows_; }
+
+  Column& column(int i) { return columns_[i]; }
+  const Column& column(int i) const { return columns_[i]; }
+  const Column& column(const std::string& name) const {
+    return columns_[schema_.IndexOf(name)];
+  }
+
+  void Reserve(uint64_t rows);
+
+  // Generators append column values for one row via the columns directly and
+  // then bump the row count; FinishRow checks all columns stayed in sync.
+  void FinishRow();
+
+  // Total bytes stored across all columns (used to report relation sizes in
+  // the figures, mirroring the paper's "Build Side Size [Byte]" axes).
+  uint64_t TotalBytes() const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Column> columns_;
+  uint64_t num_rows_ = 0;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_STORAGE_TABLE_H_

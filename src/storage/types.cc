@@ -1,0 +1,66 @@
+#include "storage/types.h"
+
+#include <cstdio>
+
+namespace pjoin {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kInt32:
+      return "INT32";
+    case DataType::kFloat64:
+      return "FLOAT64";
+    case DataType::kDate:
+      return "DATE";
+    case DataType::kChar:
+      return "CHAR";
+  }
+  return "?";
+}
+
+namespace {
+// Howard Hinnant's days_from_civil algorithm.
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097LL + static_cast<int>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* y, int* m, int* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yy = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  *m = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  *y = static_cast<int>(yy + (*m <= 2));
+}
+}  // namespace
+
+int32_t MakeDate(int year, int month, int day) {
+  return static_cast<int32_t>(DaysFromCivil(year, month, day));
+}
+
+int32_t DateYear(int32_t days) {
+  int y, m, d;
+  CivilFromDays(days, &y, &m, &d);
+  return y;
+}
+
+std::string FormatDate(int32_t days) {
+  int y, m, d;
+  CivilFromDays(days, &y, &m, &d);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+}  // namespace pjoin

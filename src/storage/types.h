@@ -1,0 +1,51 @@
+// Column data types supported by the engine.
+//
+// TPC-H (and the paper's microbenchmarks) only require fixed-width types:
+// 64/32-bit integers, doubles, dates, and fixed-width character strings.
+#ifndef PJOIN_STORAGE_TYPES_H_
+#define PJOIN_STORAGE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pjoin {
+
+enum class DataType : uint8_t {
+  kInt64,    // 8 bytes
+  kInt32,    // 4 bytes (workload B uses 4-byte keys/payloads)
+  kFloat64,  // 8 bytes
+  kDate,     // 4 bytes, days since 1970-01-01
+  kChar,     // fixed width, space padded
+};
+
+// Width in bytes of a value of `type`; `char_len` is used for kChar.
+inline uint32_t TypeWidth(DataType type, uint32_t char_len = 0) {
+  switch (type) {
+    case DataType::kInt64:
+    case DataType::kFloat64:
+      return 8;
+    case DataType::kInt32:
+    case DataType::kDate:
+      return 4;
+    case DataType::kChar:
+      return char_len;
+  }
+  return 0;
+}
+
+const char* DataTypeName(DataType type);
+
+// Converts a calendar date to days since 1970-01-01 (proleptic Gregorian).
+// TPC-H date predicates ("l_shipdate <= date '1998-12-01'") are evaluated on
+// this representation.
+int32_t MakeDate(int year, int month, int day);
+
+// Formats a kDate value back to YYYY-MM-DD (for result printing).
+std::string FormatDate(int32_t days);
+
+// Extracts the calendar year of a kDate value (EXTRACT(year FROM ...)).
+int32_t DateYear(int32_t days);
+
+}  // namespace pjoin
+
+#endif  // PJOIN_STORAGE_TYPES_H_

@@ -1,0 +1,366 @@
+#include "tpch/gen.h"
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace pjoin {
+
+namespace {
+
+// --- spec vocabularies -------------------------------------------------------
+
+constexpr const char* kRegions[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                     "MIDDLE EAST"};
+
+// Nation -> region mapping per the TPC-H specification.
+struct NationDef {
+  const char* name;
+  int region;
+};
+constexpr NationDef kNations[25] = {
+    {"ALGERIA", 0},        {"ARGENTINA", 1},  {"BRAZIL", 1},
+    {"CANADA", 1},         {"EGYPT", 4},      {"ETHIOPIA", 0},
+    {"FRANCE", 3},         {"GERMANY", 3},    {"INDIA", 2},
+    {"INDONESIA", 2},      {"IRAN", 4},       {"IRAQ", 4},
+    {"JAPAN", 2},          {"JORDAN", 4},     {"KENYA", 0},
+    {"MOROCCO", 0},        {"MOZAMBIQUE", 0}, {"PERU", 1},
+    {"CHINA", 2},          {"ROMANIA", 3},    {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},        {"RUSSIA", 3},     {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+
+constexpr const char* kTypeSyllable1[6] = {"STANDARD", "SMALL",  "MEDIUM",
+                                           "LARGE",    "ECONOMY", "PROMO"};
+constexpr const char* kTypeSyllable2[5] = {"ANODIZED", "BURNISHED", "PLATED",
+                                           "POLISHED", "BRUSHED"};
+constexpr const char* kTypeSyllable3[5] = {"TIN", "NICKEL", "BRASS", "STEEL",
+                                           "COPPER"};
+
+constexpr const char* kContainerSyllable1[5] = {"SM", "LG", "MED", "JUMBO",
+                                                "WRAP"};
+constexpr const char* kContainerSyllable2[8] = {"CASE", "BOX", "BAG", "JAR",
+                                                "PKG", "PACK", "CAN", "DRUM"};
+
+constexpr const char* kSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                      "MACHINERY", "HOUSEHOLD"};
+
+constexpr const char* kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                        "4-NOT SPECIFIED", "5-LOW"};
+
+constexpr const char* kShipModes[7] = {"REG AIR", "AIR",  "RAIL", "SHIP",
+                                       "TRUCK",   "MAIL", "FOB"};
+
+constexpr const char* kShipInstructs[4] = {"DELIVER IN PERSON", "COLLECT COD",
+                                           "NONE", "TAKE BACK RETURN"};
+
+// The spec's 92 p_name color words (subset is fine for selectivity shape;
+// we keep the full list so LIKE '%green%' and 'forest%' hit spec rates).
+constexpr const char* kColors[92] = {
+    "almond",    "antique",   "aquamarine", "azure",     "beige",
+    "bisque",    "black",     "blanched",   "blue",      "blush",
+    "brown",     "burlywood", "burnished",  "chartreuse", "chiffon",
+    "chocolate", "coral",     "cornflower", "cornsilk",  "cream",
+    "cyan",      "dark",      "deep",       "dim",       "dodger",
+    "drab",      "firebrick", "floral",     "forest",    "frosted",
+    "gainsboro", "ghost",     "goldenrod",  "green",     "grey",
+    "honeydew",  "hot",       "indian",     "ivory",     "khaki",
+    "lace",      "lavender",  "lawn",       "lemon",     "light",
+    "lime",      "linen",     "magenta",    "maroon",    "medium",
+    "metallic",  "midnight",  "mint",       "misty",     "moccasin",
+    "navajo",    "navy",      "olive",      "orange",    "orchid",
+    "pale",      "papaya",    "peach",      "peru",      "pink",
+    "plum",      "powder",    "puff",       "purple",    "red",
+    "rose",      "rosy",      "royal",      "saddle",    "salmon",
+    "sandy",     "seashell",  "sienna",     "sky",       "slate",
+    "smoke",     "snow",      "spring",     "steel",     "tan",
+    "thistle",   "tomato",    "turquoise",  "violet",    "wheat",
+    "white",     "yellow"};
+
+std::string RandomWords(Rng& rng, int count) {
+  std::string out;
+  for (int i = 0; i < count; ++i) {
+    if (i > 0) out += ' ';
+    out += kColors[rng.Below(92)];
+  }
+  return out;
+}
+
+}  // namespace
+
+int32_t TpchStartDate() { return MakeDate(1992, 1, 1); }
+int32_t TpchEndDate() { return MakeDate(1998, 12, 31); }
+
+const Table& TpchDb::ByName(const std::string& name) const {
+  if (name == "region") return region;
+  if (name == "nation") return nation;
+  if (name == "supplier") return supplier;
+  if (name == "customer") return customer;
+  if (name == "part") return part;
+  if (name == "partsupp") return partsupp;
+  if (name == "orders") return orders;
+  if (name == "lineitem") return lineitem;
+  PJOIN_CHECK_MSG(false, name.c_str());
+  return region;
+}
+
+uint64_t TpchDb::TotalBytes() const {
+  return region.TotalBytes() + nation.TotalBytes() + supplier.TotalBytes() +
+         customer.TotalBytes() + part.TotalBytes() + partsupp.TotalBytes() +
+         orders.TotalBytes() + lineitem.TotalBytes();
+}
+
+std::unique_ptr<TpchDb> GenerateTpch(double scale_factor, uint64_t seed,
+                                     double fk_skew) {
+  PJOIN_CHECK(scale_factor > 0);
+  PJOIN_CHECK(fk_skew >= 0.0);
+  auto db = std::make_unique<TpchDb>();
+  db->scale_factor = scale_factor;
+  Rng rng(seed);
+
+  auto scaled = [&](double base) {
+    int64_t n = static_cast<int64_t>(base * scale_factor);
+    return n < 1 ? int64_t{1} : n;
+  };
+  const int64_t num_suppliers =
+      ((scaled(10'000) + 3) / 4) * 4;  // multiple of 4 for the ps formula
+  const int64_t num_customers = scaled(150'000);
+  const int64_t num_parts = scaled(200'000);
+  const int64_t num_orders = scaled(1'500'000);
+
+  // --- region / nation -----------------------------------------------------
+  db->region = Table("region", Schema({{"r_regionkey", DataType::kInt64, 0},
+                                       {"r_name", DataType::kChar, 25}}));
+  for (int r = 0; r < 5; ++r) {
+    db->region.column(0).AppendInt64(r);
+    db->region.column(1).AppendString(kRegions[r]);
+    db->region.FinishRow();
+  }
+
+  db->nation = Table("nation", Schema({{"n_nationkey", DataType::kInt64, 0},
+                                       {"n_name", DataType::kChar, 25},
+                                       {"n_regionkey", DataType::kInt64, 0}}));
+  for (int n = 0; n < 25; ++n) {
+    db->nation.column(0).AppendInt64(n);
+    db->nation.column(1).AppendString(kNations[n].name);
+    db->nation.column(2).AppendInt64(kNations[n].region);
+    db->nation.FinishRow();
+  }
+
+  // --- supplier --------------------------------------------------------------
+  db->supplier =
+      Table("supplier", Schema({{"s_suppkey", DataType::kInt64, 0},
+                                {"s_name", DataType::kChar, 25},
+                                {"s_address", DataType::kChar, 40},
+                                {"s_nationkey", DataType::kInt64, 0},
+                                {"s_phone", DataType::kChar, 15},
+                                {"s_acctbal", DataType::kFloat64, 0},
+                                {"s_comment", DataType::kChar, 101}}));
+  db->supplier.Reserve(num_suppliers);
+  for (int64_t s = 1; s <= num_suppliers; ++s) {
+    int64_t nation = rng.Below(25);
+    db->supplier.column(0).AppendInt64(s);
+    db->supplier.column(1).AppendString("Supplier#" + std::to_string(s));
+    db->supplier.column(2).AppendString(RandomWords(rng, 3));
+    db->supplier.column(3).AppendInt64(nation);
+    db->supplier.column(4).AppendString(std::to_string(10 + nation) + "-" +
+                                        std::to_string(100 + rng.Below(900)));
+    db->supplier.column(5).AppendFloat64(
+        static_cast<double>(rng.Range(-99999, 999999)) / 100.0);
+    // The spec plants "Customer ... Complaints" in ~0.05% of comments (Q16)
+    // and "Customer ... Recommends" in another sliver; we plant complaints
+    // at 1/200 so small scale factors still select a handful.
+    std::string comment = RandomWords(rng, 6);
+    if (rng.Below(200) == 0) comment = "Customer Complaints " + comment;
+    db->supplier.column(6).AppendString(comment);
+    db->supplier.FinishRow();
+  }
+
+  // --- customer --------------------------------------------------------------
+  db->customer =
+      Table("customer", Schema({{"c_custkey", DataType::kInt64, 0},
+                                {"c_name", DataType::kChar, 25},
+                                {"c_nationkey", DataType::kInt64, 0},
+                                {"c_phone", DataType::kChar, 15},
+                                {"c_acctbal", DataType::kFloat64, 0},
+                                {"c_mktsegment", DataType::kChar, 10}}));
+  db->customer.Reserve(num_customers);
+  for (int64_t c = 1; c <= num_customers; ++c) {
+    int64_t nation = rng.Below(25);
+    db->customer.column(0).AppendInt64(c);
+    db->customer.column(1).AppendString("Customer#" + std::to_string(c));
+    db->customer.column(2).AppendInt64(nation);
+    db->customer.column(3).AppendString(std::to_string(10 + nation) + "-" +
+                                        std::to_string(100 + rng.Below(900)));
+    db->customer.column(4).AppendFloat64(
+        static_cast<double>(rng.Range(-99999, 999999)) / 100.0);
+    db->customer.column(5).AppendString(kSegments[rng.Below(5)]);
+    db->customer.FinishRow();
+  }
+
+  // --- part --------------------------------------------------------------------
+  db->part = Table("part", Schema({{"p_partkey", DataType::kInt64, 0},
+                                   {"p_name", DataType::kChar, 55},
+                                   {"p_mfgr", DataType::kChar, 25},
+                                   {"p_brand", DataType::kChar, 10},
+                                   {"p_type", DataType::kChar, 25},
+                                   {"p_size", DataType::kInt64, 0},
+                                   {"p_container", DataType::kChar, 10},
+                                   {"p_retailprice", DataType::kFloat64, 0}}));
+  db->part.Reserve(num_parts);
+  for (int64_t p = 1; p <= num_parts; ++p) {
+    int64_t mfgr = 1 + rng.Below(5);
+    int64_t brand = mfgr * 10 + 1 + rng.Below(5);
+    std::string type = std::string(kTypeSyllable1[rng.Below(6)]) + " " +
+                       kTypeSyllable2[rng.Below(5)] + " " +
+                       kTypeSyllable3[rng.Below(5)];
+    db->part.column(0).AppendInt64(p);
+    db->part.column(1).AppendString(RandomWords(rng, 5));
+    db->part.column(2).AppendString("Manufacturer#" + std::to_string(mfgr));
+    db->part.column(3).AppendString("Brand#" + std::to_string(brand));
+    db->part.column(4).AppendString(type);
+    db->part.column(5).AppendInt64(1 + rng.Below(50));
+    db->part.column(6).AppendString(std::string(kContainerSyllable1[rng.Below(5)]) +
+                                    " " + kContainerSyllable2[rng.Below(8)]);
+    db->part.column(7).AppendFloat64(900.0 + (p % 1000) + 100.0 * (p % 10));
+    db->part.FinishRow();
+  }
+
+  // --- partsupp ---------------------------------------------------------------
+  // Exactly four suppliers per part; lineitem picks one of the same four, so
+  // lineitem ⋈ partsupp on (partkey, suppkey) always matches (Q9, Q20).
+  auto part_supplier = [&](int64_t partkey, int64_t i) {
+    return (partkey + i * (num_suppliers / 4)) % num_suppliers + 1;
+  };
+  db->partsupp =
+      Table("partsupp", Schema({{"ps_partkey", DataType::kInt64, 0},
+                                {"ps_suppkey", DataType::kInt64, 0},
+                                {"ps_availqty", DataType::kInt64, 0},
+                                {"ps_supplycost", DataType::kFloat64, 0}}));
+  db->partsupp.Reserve(num_parts * 4);
+  for (int64_t p = 1; p <= num_parts; ++p) {
+    for (int64_t i = 0; i < 4; ++i) {
+      db->partsupp.column(0).AppendInt64(p);
+      db->partsupp.column(1).AppendInt64(part_supplier(p, i));
+      db->partsupp.column(2).AppendInt64(1 + rng.Below(9999));
+      db->partsupp.column(3).AppendFloat64(
+          static_cast<double>(100 + rng.Below(99900)) / 100.0);
+      db->partsupp.FinishRow();
+    }
+  }
+
+  // --- orders + lineitem -------------------------------------------------------
+  db->orders = Table("orders", Schema({{"o_orderkey", DataType::kInt64, 0},
+                                       {"o_custkey", DataType::kInt64, 0},
+                                       {"o_orderstatus", DataType::kChar, 1},
+                                       {"o_totalprice", DataType::kFloat64, 0},
+                                       {"o_orderdate", DataType::kDate, 0},
+                                       {"o_orderpriority", DataType::kChar, 15}}));
+  db->lineitem =
+      Table("lineitem", Schema({{"l_orderkey", DataType::kInt64, 0},
+                                {"l_partkey", DataType::kInt64, 0},
+                                {"l_suppkey", DataType::kInt64, 0},
+                                {"l_linenumber", DataType::kInt64, 0},
+                                {"l_quantity", DataType::kFloat64, 0},
+                                {"l_extendedprice", DataType::kFloat64, 0},
+                                {"l_discount", DataType::kFloat64, 0},
+                                {"l_tax", DataType::kFloat64, 0},
+                                {"l_returnflag", DataType::kChar, 1},
+                                {"l_linestatus", DataType::kChar, 1},
+                                {"l_shipdate", DataType::kDate, 0},
+                                {"l_commitdate", DataType::kDate, 0},
+                                {"l_receiptdate", DataType::kDate, 0},
+                                {"l_shipinstruct", DataType::kChar, 25},
+                                {"l_shipmode", DataType::kChar, 10}}));
+  db->orders.Reserve(num_orders);
+  db->lineitem.Reserve(num_orders * 4);
+
+  const int32_t order_date_min = TpchStartDate();
+  const int32_t order_date_max = MakeDate(1998, 8, 2);
+  const int32_t current_date = MakeDate(1995, 6, 17);
+
+  // JCC-H-style foreign-key skew: Zipf over customers/parts when requested.
+  std::unique_ptr<ZipfGenerator> cust_zipf, part_zipf;
+  if (fk_skew > 0) {
+    cust_zipf = std::make_unique<ZipfGenerator>(
+        static_cast<uint64_t>(num_customers), fk_skew);
+    part_zipf = std::make_unique<ZipfGenerator>(
+        static_cast<uint64_t>(num_parts), fk_skew);
+  }
+
+  for (int64_t o = 1; o <= num_orders; ++o) {
+    // Only two thirds of customers have orders (spec: custkey never
+    // congruent 0 mod 3) — the backbone of Q22's anti join selectivity.
+    int64_t custkey =
+        cust_zipf ? static_cast<int64_t>(cust_zipf->Next(rng))
+                  : 1 + rng.Below(static_cast<uint64_t>(num_customers));
+    if (custkey % 3 == 0) {
+      custkey = custkey > 1 ? custkey - 1 : custkey + 1;
+    }
+    int32_t orderdate = order_date_min + static_cast<int32_t>(rng.Below(
+                            static_cast<uint64_t>(order_date_max -
+                                                  order_date_min + 1)));
+    int lines = 1 + static_cast<int>(rng.Below(7));
+    double totalprice = 0;
+    int finished_lines = 0;
+
+    for (int l = 1; l <= lines; ++l) {
+      int64_t partkey =
+          part_zipf ? static_cast<int64_t>(part_zipf->Next(rng))
+                    : 1 + rng.Below(static_cast<uint64_t>(num_parts));
+      int64_t suppkey = part_supplier(partkey, rng.Below(4));
+      double quantity = static_cast<double>(1 + rng.Below(50));
+      double price = quantity * (900.0 + (partkey % 1000) +
+                                 100.0 * (partkey % 10)) / 10.0;
+      double discount = static_cast<double>(rng.Below(11)) / 100.0;
+      double tax = static_cast<double>(rng.Below(9)) / 100.0;
+      int32_t shipdate = orderdate + 1 + static_cast<int32_t>(rng.Below(121));
+      int32_t commitdate = orderdate + 30 + static_cast<int32_t>(rng.Below(61));
+      int32_t receiptdate = shipdate + 1 + static_cast<int32_t>(rng.Below(30));
+      const char* returnflag =
+          receiptdate <= current_date ? (rng.Below(2) ? "R" : "A") : "N";
+      const char* linestatus = shipdate > current_date ? "O" : "F";
+
+      db->lineitem.column(0).AppendInt64(o);
+      db->lineitem.column(1).AppendInt64(partkey);
+      db->lineitem.column(2).AppendInt64(suppkey);
+      db->lineitem.column(3).AppendInt64(l);
+      db->lineitem.column(4).AppendFloat64(quantity);
+      db->lineitem.column(5).AppendFloat64(price);
+      db->lineitem.column(6).AppendFloat64(discount);
+      db->lineitem.column(7).AppendFloat64(tax);
+      db->lineitem.column(8).AppendString(returnflag);
+      db->lineitem.column(9).AppendString(linestatus);
+      db->lineitem.column(10).AppendInt32(shipdate);
+      db->lineitem.column(11).AppendInt32(commitdate);
+      db->lineitem.column(12).AppendInt32(receiptdate);
+      db->lineitem.column(13).AppendString(kShipInstructs[rng.Below(4)]);
+      db->lineitem.column(14).AppendString(kShipModes[rng.Below(7)]);
+      db->lineitem.FinishRow();
+      totalprice += price * (1.0 - discount) * (1.0 + tax);
+      ++finished_lines;
+    }
+    (void)finished_lines;
+
+    // Order status follows its lineitems' status.
+    int32_t latest_ship = orderdate + 122;
+    const char* status = latest_ship <= current_date  ? "F"
+                         : orderdate > current_date ? "O"
+                                                      : (rng.Below(2) ? "F" : "P");
+    db->orders.column(0).AppendInt64(o);
+    db->orders.column(1).AppendInt64(custkey);
+    db->orders.column(2).AppendString(status);
+    db->orders.column(3).AppendFloat64(totalprice);
+    db->orders.column(4).AppendInt32(orderdate);
+    db->orders.column(5).AppendString(kPriorities[rng.Below(5)]);
+    db->orders.FinishRow();
+  }
+
+  return db;
+}
+
+}  // namespace pjoin

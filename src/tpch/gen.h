@@ -1,0 +1,57 @@
+// Deterministic TPC-H-shaped data generator.
+//
+// Generates the eight TPC-H tables at an arbitrary scale factor with the
+// spec's key structure and cardinalities: dense primary keys, four suppliers
+// per part in partsupp (lineitem references one of them), only two thirds of
+// customers placing orders, 1-7 lineitems per order, spec value domains for
+// dates, priorities, brands, types, containers, ship modes, segments,
+// nations and regions. Strings are drawn from the spec vocabularies
+// (p_name color words, "Customer ... Complaints" plants for Q16), so every
+// predicate in our query plans selects with approximately the spec
+// selectivity. Column subset: every column referenced by the 19 join-bearing
+// queries, plus representative payload columns so tuple widths match the
+// paper's Figure 2 discussion.
+#ifndef PJOIN_TPCH_GEN_H_
+#define PJOIN_TPCH_GEN_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "storage/table.h"
+
+namespace pjoin {
+
+struct TpchDb {
+  Table region;
+  Table nation;
+  Table supplier;
+  Table customer;
+  Table part;
+  Table partsupp;
+  Table orders;
+  Table lineitem;
+
+  double scale_factor = 0;
+
+  const Table& ByName(const std::string& name) const;
+  uint64_t TotalBytes() const;
+};
+
+// Generates all eight tables at `scale_factor` (may be fractional; SF 1 is
+// the spec's 1 GB). Deterministic for a given (scale_factor, seed).
+//
+// `fk_skew` > 0 produces a JCC-H-style variant (Boncz et al., TPCTC'17;
+// paper footnote 11): the o_custkey and l_partkey foreign keys follow a
+// Zipf distribution with that exponent instead of the spec's uniform one.
+// The paper notes this "puts even more pressure on the radix join" —
+// bench/ext_skewed_tpch measures exactly that.
+std::unique_ptr<TpchDb> GenerateTpch(double scale_factor, uint64_t seed = 19,
+                                     double fk_skew = 0.0);
+
+// Spec date constants used across queries.
+int32_t TpchStartDate();  // 1992-01-01
+int32_t TpchEndDate();    // 1998-12-31
+
+}  // namespace pjoin
+
+#endif  // PJOIN_TPCH_GEN_H_

@@ -1,0 +1,44 @@
+// The 19 join-bearing TPC-H queries (Q1, Q6 have no joins; Q13 uses a
+// groupjoin in the paper's system and is excluded there too).
+//
+// Each query is a function building and executing the (hand-optimized) plan
+// the paper's system would use, with every equi-join replaced by the join
+// strategy under test. Queries with scalar or aggregated subqueries run them
+// as separate steps whose intermediate results are materialized into
+// temporary tables; stats accumulate across steps, and the per-join
+// strategy overrides of Figure 12 are numbered post-order across all steps.
+#ifndef PJOIN_TPCH_QUERIES_H_
+#define PJOIN_TPCH_QUERIES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "engine/executor.h"
+#include "tpch/gen.h"
+
+namespace pjoin {
+
+struct TpchQuery {
+  int id = 0;
+  std::string name;
+  // Number of equi-joins this query executes (across all steps).
+  int num_joins = 0;
+  std::function<QueryResult(const TpchDb&, const ExecOptions&, QueryStats*,
+                            ThreadPool*)>
+      run;
+};
+
+// All 19 queries, ordered by id.
+const std::vector<TpchQuery>& TpchQueries();
+
+// Lookup by query id; aborts on unknown ids.
+const TpchQuery& GetTpchQuery(int id);
+
+// Total number of equi-joins across the benchmark (the paper reports 59 for
+// its plans; ours is close — the exact count is printed by the benches).
+int TotalTpchJoins();
+
+}  // namespace pjoin
+
+#endif  // PJOIN_TPCH_QUERIES_H_

@@ -1,0 +1,32 @@
+#include "util/aligned_buffer.h"
+
+#include <cstdlib>
+
+#include "util/bitutil.h"
+#include "util/check.h"
+
+namespace pjoin {
+
+void AlignedBuffer::Allocate(size_t bytes, size_t alignment) {
+  Free();
+  if (bytes == 0) return;
+  PJOIN_CHECK(IsPow2(alignment));
+  size_t padded = AlignUp(bytes, alignment);
+  void* p = std::aligned_alloc(alignment, padded);
+  PJOIN_CHECK_MSG(p != nullptr, "aligned_alloc failed");
+  data_ = static_cast<std::byte*>(p);
+  size_ = padded;
+}
+
+void AlignedBuffer::EnsureCapacity(size_t bytes, size_t alignment) {
+  if (bytes <= size_) return;
+  Allocate(bytes, alignment);
+}
+
+void AlignedBuffer::Free() {
+  std::free(data_);
+  data_ = nullptr;
+  size_ = 0;
+}
+
+}  // namespace pjoin

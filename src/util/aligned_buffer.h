@@ -1,0 +1,61 @@
+// Cache-line-aligned memory buffer.
+//
+// The radix partitioner streams full software write-combine buffers to their
+// destination with non-temporal stores, which require 64-byte alignment of
+// both source and destination; all partition output memory therefore comes
+// from AlignedBuffer.
+#ifndef PJOIN_UTIL_ALIGNED_BUFFER_H_
+#define PJOIN_UTIL_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace pjoin {
+
+inline constexpr size_t kCacheLineSize = 64;
+
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(size_t bytes, size_t alignment = kCacheLineSize) {
+    Allocate(bytes, alignment);
+  }
+  ~AlignedBuffer() { Free(); }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      Free();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  // (Re-)allocates the buffer. Existing contents are discarded.
+  void Allocate(size_t bytes, size_t alignment = kCacheLineSize);
+
+  // Grows the buffer if it is smaller than `bytes`; never shrinks. Used by
+  // the per-worker reusable hash-table segments (Section 4.6 of the paper).
+  void EnsureCapacity(size_t bytes, size_t alignment = kCacheLineSize);
+
+  std::byte* data() { return data_; }
+  const std::byte* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  void Free();
+
+  std::byte* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_UTIL_ALIGNED_BUFFER_H_

@@ -1,0 +1,28 @@
+// Small bit-manipulation helpers used by hash tables and the partitioner.
+#ifndef PJOIN_UTIL_BITUTIL_H_
+#define PJOIN_UTIL_BITUTIL_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace pjoin {
+
+// Smallest power of two >= v (v must be >= 1).
+inline uint64_t NextPow2(uint64_t v) { return std::bit_ceil(v); }
+
+// log2 of a power of two.
+inline int Log2Pow2(uint64_t v) { return std::countr_zero(v); }
+
+// Ceiling of log2(v) for v >= 1.
+inline int CeilLog2(uint64_t v) { return Log2Pow2(NextPow2(v)); }
+
+inline bool IsPow2(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+// Rounds v up to the next multiple of `align` (align must be a power of two).
+inline uint64_t AlignUp(uint64_t v, uint64_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+}  // namespace pjoin
+
+#endif  // PJOIN_UTIL_BITUTIL_H_

@@ -1,0 +1,25 @@
+#include "util/byte_counter.h"
+
+namespace pjoin {
+
+const char* JoinPhaseName(JoinPhase phase) {
+  switch (phase) {
+    case JoinPhase::kBuildPipeline:
+      return "build";
+    case JoinPhase::kPartitionPass1:
+      return "partition pass 1";
+    case JoinPhase::kHistogramScan:
+      return "scan";
+    case JoinPhase::kPartitionPass2:
+      return "partition pass 2";
+    case JoinPhase::kJoin:
+      return "join";
+    case JoinPhase::kProbePipeline:
+      return "probe";
+    case JoinPhase::kNumPhases:
+      break;
+  }
+  return "unknown";
+}
+
+}  // namespace pjoin

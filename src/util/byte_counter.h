@@ -1,0 +1,79 @@
+// Software byte accounting, our substitute for Intel PCM in Figure 10.
+//
+// Each join phase registers the bytes it logically reads and writes. The
+// bandwidth benchmark divides these totals by the phase wall time to produce
+// the per-phase effective-bandwidth profile the paper measures with hardware
+// counters. Counting is per-thread and merged on demand, so the hot paths
+// stay contention-free.
+#ifndef PJOIN_UTIL_BYTE_COUNTER_H_
+#define PJOIN_UTIL_BYTE_COUNTER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pjoin {
+
+// Execution phases distinguished by Figure 10 of the paper.
+enum class JoinPhase : int {
+  kBuildPipeline = 0,   // scanning/producing the build input
+  kPartitionPass1 = 1,  // first radix pass (chunked, worker-local)
+  kHistogramScan = 2,   // re-scan of pass-1 chunks for pass-2 histograms
+  kPartitionPass2 = 3,  // second radix pass (scatter to final partitions)
+  kJoin = 4,            // hash-table build + probe per partition
+  kProbePipeline = 5,   // scanning/producing the probe input
+  kNumPhases = 6
+};
+
+const char* JoinPhaseName(JoinPhase phase);
+
+struct PhaseBytes {
+  uint64_t read = 0;
+  uint64_t written = 0;
+};
+
+// Per-thread accumulator. Instances are owned by the thread contexts of a
+// pipeline execution; no synchronization on the increment path.
+class ByteCounter {
+ public:
+  void AddRead(JoinPhase phase, uint64_t bytes) {
+    bytes_[static_cast<int>(phase)].read += bytes;
+  }
+  void AddWrite(JoinPhase phase, uint64_t bytes) {
+    bytes_[static_cast<int>(phase)].written += bytes;
+  }
+
+  const PhaseBytes& phase(JoinPhase p) const {
+    return bytes_[static_cast<int>(p)];
+  }
+
+  void Merge(const ByteCounter& other) {
+    for (int i = 0; i < static_cast<int>(JoinPhase::kNumPhases); ++i) {
+      bytes_[i].read += other.bytes_[i].read;
+      bytes_[i].written += other.bytes_[i].written;
+    }
+  }
+
+  void Reset() { bytes_ = {}; }
+
+ private:
+  std::array<PhaseBytes, static_cast<size_t>(JoinPhase::kNumPhases)> bytes_{};
+};
+
+// Wall time per phase, recorded by the phase owner (single writer).
+class PhaseTimer {
+ public:
+  void Add(JoinPhase phase, double seconds) {
+    seconds_[static_cast<int>(phase)] += seconds;
+  }
+  double seconds(JoinPhase p) const { return seconds_[static_cast<int>(p)]; }
+  void Reset() { seconds_ = {}; }
+
+ private:
+  std::array<double, static_cast<size_t>(JoinPhase::kNumPhases)> seconds_{};
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_UTIL_BYTE_COUNTER_H_

@@ -1,0 +1,36 @@
+// Lightweight CHECK macros. PJOIN_CHECK is always active (used on cold paths
+// and invariants whose violation would corrupt results); PJOIN_DCHECK compiles
+// away outside debug builds and may be used on hot paths.
+#ifndef PJOIN_UTIL_CHECK_H_
+#define PJOIN_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define PJOIN_CHECK(cond)                                                     \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "PJOIN_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define PJOIN_CHECK_MSG(cond, msg)                                            \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "PJOIN_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                           \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#ifndef NDEBUG
+#define PJOIN_DCHECK(cond) PJOIN_CHECK(cond)
+#else
+#define PJOIN_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#endif
+
+#endif  // PJOIN_UTIL_CHECK_H_

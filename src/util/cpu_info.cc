@@ -1,0 +1,70 @@
+#include "util/cpu_info.h"
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace pjoin {
+
+namespace {
+
+// Parses strings like "32K", "1024K", "19M" from sysfs cache size files.
+int64_t ParseCacheSize(const std::string& text) {
+  if (text.empty()) return 0;
+  size_t pos = 0;
+  long long value = std::stoll(text, &pos);
+  if (pos < text.size()) {
+    char suffix = text[pos];
+    if (suffix == 'K' || suffix == 'k') value *= 1024;
+    if (suffix == 'M' || suffix == 'm') value *= 1024 * 1024;
+  }
+  return value;
+}
+
+std::string ReadFirstLine(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (in) std::getline(in, line);
+  return line;
+}
+
+CpuInfo Probe() {
+  CpuInfo info;
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > 0) info.logical_cores = hw;
+
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        info.model_name = line.substr(colon + 2);
+      }
+      break;
+    }
+  }
+
+  const std::string base = "/sys/devices/system/cpu/cpu0/cache/";
+  for (int idx = 0; idx < 8; ++idx) {
+    std::string dir = base + "index" + std::to_string(idx) + "/";
+    std::string level = ReadFirstLine(dir + "level");
+    if (level.empty()) break;
+    std::string type = ReadFirstLine(dir + "type");
+    int64_t size = ParseCacheSize(ReadFirstLine(dir + "size"));
+    if (size <= 0) continue;
+    if (level == "1" && type == "Data") info.l1d_bytes = size;
+    if (level == "2") info.l2_bytes = size;
+    if (level == "3") info.llc_bytes = size;
+  }
+  return info;
+}
+
+}  // namespace
+
+const CpuInfo& GetCpuInfo() {
+  static const CpuInfo* info = new CpuInfo(Probe());
+  return *info;
+}
+
+}  // namespace pjoin

@@ -1,0 +1,28 @@
+// Probes cache sizes and core counts of the host.
+//
+// The paper's Table 4 expresses the partitioning break-even in terms of the
+// last-level cache size; the partitioner also sizes its fan-out so that one
+// build partition fits in the L2 cache.
+#ifndef PJOIN_UTIL_CPU_INFO_H_
+#define PJOIN_UTIL_CPU_INFO_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pjoin {
+
+struct CpuInfo {
+  std::string model_name;
+  int logical_cores = 1;
+  int64_t l1d_bytes = 32 * 1024;
+  int64_t l2_bytes = 1024 * 1024;
+  int64_t llc_bytes = 16 * 1024 * 1024;
+};
+
+// Cached singleton; reads /sys and /proc on first use, falling back to the
+// defaults above when the files are unavailable.
+const CpuInfo& GetCpuInfo();
+
+}  // namespace pjoin
+
+#endif  // PJOIN_UTIL_CPU_INFO_H_

@@ -1,0 +1,46 @@
+#include "util/env.h"
+
+#include <cstdlib>
+#include <thread>
+
+namespace pjoin {
+
+int64_t GetEnvInt64(const char* name, int64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return def;
+  return static_cast<int64_t>(parsed);
+}
+
+double GetEnvDouble(const char* name, double def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  if (end == v) return def;
+  return parsed;
+}
+
+std::string GetEnvString(const char* name, const std::string& def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  return std::string(v);
+}
+
+int DefaultThreads() {
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw <= 0) hw = 1;
+  return static_cast<int>(GetEnvInt64("PJOIN_THREADS", hw));
+}
+
+int64_t WorkloadScaleDivisor() { return GetEnvInt64("PJOIN_SCALE", 64); }
+
+double BenchScaleFactor() { return GetEnvDouble("PJOIN_SF", 0.1); }
+
+int BenchRepetitions() {
+  return static_cast<int>(GetEnvInt64("PJOIN_REPS", 3));
+}
+
+}  // namespace pjoin

@@ -1,0 +1,38 @@
+// Environment-variable knobs shared by benchmarks and examples.
+#ifndef PJOIN_UTIL_ENV_H_
+#define PJOIN_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pjoin {
+
+// Returns the integer value of environment variable `name`, or `def` if the
+// variable is unset or unparsable.
+int64_t GetEnvInt64(const char* name, int64_t def);
+
+// Returns the floating-point value of environment variable `name`, or `def`.
+double GetEnvDouble(const char* name, double def);
+
+// Returns the string value of environment variable `name`, or `def`.
+std::string GetEnvString(const char* name, const std::string& def);
+
+// Number of worker threads to use: PJOIN_THREADS, defaulting to the hardware
+// concurrency of this machine.
+int DefaultThreads();
+
+// Scale divisor applied to the prior-work microbenchmark workloads
+// (PJOIN_SCALE, default 64). The paper's workload A is 256 MiB x 4096 MiB,
+// which does not fit a laptop-scale benchmarking budget; the divisor keeps
+// all size *ratios* intact.
+int64_t WorkloadScaleDivisor();
+
+// TPC-H scale factor for benchmark runs (PJOIN_SF, default 0.1).
+double BenchScaleFactor();
+
+// Median-of-N repetitions for throughput measurements (PJOIN_REPS, default 3).
+int BenchRepetitions();
+
+}  // namespace pjoin
+
+#endif  // PJOIN_UTIL_ENV_H_

@@ -1,0 +1,40 @@
+// Hash functions used across the join implementations.
+//
+// Like the system described in the paper, every tuple that flows into a join
+// carries a precomputed 64-bit hash of its join key. The radix partitioner
+// consumes the *low* bits of this hash pass-by-pass, the hash tables consume
+// the high bits, and the Bloom filter derives its block index and tag from
+// disjoint regions, so all consumers see independent bit ranges.
+#ifndef PJOIN_UTIL_HASH_H_
+#define PJOIN_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pjoin {
+
+// 64-bit finalizer from MurmurHash3 applied to an 8-byte key. This is the
+// standard integer mixer used by main-memory join studies; it is invertible
+// and distributes all input bits over all output bits.
+inline uint64_t HashInt64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+// MurmurHash64A for arbitrary byte strings (seeded); used for CHAR columns.
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed = 0x8445d61a4e774912ULL);
+
+// Combines two hashes (for composite join keys).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  // 64-bit variant of boost::hash_combine with a Murmur-style remix.
+  a ^= b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4);
+  return HashInt64(a);
+}
+
+}  // namespace pjoin
+
+#endif  // PJOIN_UTIL_HASH_H_

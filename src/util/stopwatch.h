@@ -1,0 +1,33 @@
+// Wall-clock stopwatch for benchmark harnesses and phase timing.
+#ifndef PJOIN_UTIL_STOPWATCH_H_
+#define PJOIN_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace pjoin {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_UTIL_STOPWATCH_H_

@@ -1,0 +1,94 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace pjoin {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  PJOIN_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << " ";
+    for (size_t i = 0; i < row.size(); ++i) {
+      out << " " << row[i];
+      out << std::string(widths[i] - row[i].size() + 1, ' ');
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  out << " ";
+  for (size_t w : widths) out << " " << std::string(w + 1, '-');
+  out << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TablePrinter::Print() const {
+  std::string text = ToString();
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string TablePrinter::Mib(double bytes) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f MiB", bytes / (1024.0 * 1024.0));
+  return buf;
+}
+
+std::string TablePrinter::Bytes(double bytes) {
+  char buf[64];
+  if (bytes >= 1024.0 * 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f GiB", bytes / (1024.0 * 1024.0 * 1024.0));
+  } else if (bytes >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB", bytes / (1024.0 * 1024.0));
+  } else if (bytes >= 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", bytes / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+  }
+  return buf;
+}
+
+std::string TablePrinter::TuplesPerSec(double tps) {
+  char buf[64];
+  if (tps >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f G T/s", tps / 1e9);
+  } else if (tps >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1f M T/s", tps / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f T/s", tps);
+  }
+  return buf;
+}
+
+std::string TablePrinter::Percent(double fraction) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string TablePrinter::Double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace pjoin

@@ -1,0 +1,39 @@
+// Minimal fixed-width table formatter for benchmark output.
+#ifndef PJOIN_UTIL_TABLE_PRINTER_H_
+#define PJOIN_UTIL_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pjoin {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the table with aligned columns; every row is prefixed by two
+  // spaces so the output is easy to grep out of benchmark logs.
+  std::string ToString() const;
+
+  // Convenience: render and write to stdout.
+  void Print() const;
+
+  // Formats helpers used by the benches.
+  static std::string Mib(double bytes);
+  // Auto-selects B / KiB / MiB / GiB.
+  static std::string Bytes(double bytes);
+  static std::string TuplesPerSec(double tps);
+  static std::string Percent(double fraction);
+  static std::string Double(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,55 @@
+#include "util/zipf.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pjoin {
+
+namespace {
+// Helper for the rejection-inversion method: generalized harmonic integrand.
+double HIntegral(double x, double theta) {
+  const double log_x = std::log(x);
+  if (std::abs(1.0 - theta) < 1e-12) return log_x;
+  // (x^(1-theta) - 1) / (1 - theta), computed stably via expm1.
+  return std::expm1((1.0 - theta) * log_x) / (1.0 - theta);
+}
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+  PJOIN_CHECK(n >= 1);
+  PJOIN_CHECK(theta >= 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -theta));
+}
+
+double ZipfGenerator::H(double x) const {
+  if (std::abs(1.0 - theta_) < 1e-12) return std::log(x);
+  return HIntegral(x, theta_);
+}
+
+double ZipfGenerator::HInverse(double x) const {
+  if (std::abs(1.0 - theta_) < 1e-12) return std::exp(x);
+  return std::pow(std::max(0.0, x * (1.0 - theta_) + 1.0),
+                  1.0 / (1.0 - theta_));
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) {
+  if (theta_ == 0.0) return 1 + rng.Below(n_);
+  // Hormann & Derflinger rejection-inversion.
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_ ||
+        u >= H(kd + 0.5) - std::exp(-theta_ * std::log(kd))) {
+      return k;
+    }
+  }
+}
+
+}  // namespace pjoin

@@ -1,0 +1,39 @@
+// Zipf-distributed integer generator.
+//
+// Section 5.4.5 of the paper populates the probe-side foreign keys with Zipf
+// data for z in [0, 2]. We use Hormann's rejection-inversion sampler, which is
+// O(1) per sample for any universe size and exact for all z >= 0.
+#ifndef PJOIN_UTIL_ZIPF_H_
+#define PJOIN_UTIL_ZIPF_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace pjoin {
+
+class ZipfGenerator {
+ public:
+  // Generates values in [1, n] with P(k) proportional to 1 / k^theta.
+  // theta == 0 degenerates to the uniform distribution.
+  ZipfGenerator(uint64_t n, double theta);
+
+  uint64_t Next(Rng& rng);
+
+  uint64_t universe() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double theta_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_UTIL_ZIPF_H_

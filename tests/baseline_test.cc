@@ -1,0 +1,137 @@
+// Tests for the stand-alone Balkesen et al. baseline joins (NPJ and PRJ).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "baseline/balkesen.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace pjoin {
+namespace {
+
+template <typename Tuple>
+uint64_t ReferenceCount(const std::vector<Tuple>& build,
+                        const std::vector<Tuple>& probe) {
+  std::map<int64_t, uint64_t> counts;
+  for (const auto& b : build) counts[b.key]++;
+  uint64_t total = 0;
+  for (const auto& p : probe) {
+    auto it = counts.find(p.key);
+    if (it != counts.end()) total += it->second;
+  }
+  return total;
+}
+
+std::vector<Tuple8> DenseRelation8(uint64_t n, uint64_t seed) {
+  // Dense shuffled keys 1..n, the prior-work setup (Table 1).
+  std::vector<Tuple8> rel(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    rel[i] = Tuple8{static_cast<int64_t>(i + 1), static_cast<int64_t>(i)};
+  }
+  Rng rng(seed);
+  for (uint64_t i = n; i > 1; --i) {
+    std::swap(rel[i - 1], rel[rng.Below(i)]);
+  }
+  return rel;
+}
+
+std::vector<Tuple8> FkRelation8(uint64_t n, uint64_t key_universe,
+                                uint64_t seed) {
+  std::vector<Tuple8> rel(n);
+  Rng rng(seed);
+  for (uint64_t i = 0; i < n; ++i) {
+    rel[i] = Tuple8{static_cast<int64_t>(1 + rng.Below(key_universe)),
+                    static_cast<int64_t>(i)};
+  }
+  return rel;
+}
+
+TEST(BalkesenNPJ, ExactCountOnFkJoin) {
+  auto build = DenseRelation8(10000, 1);
+  auto probe = FkRelation8(80000, 10000, 2);
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(BalkesenNPJ(build, probe, pool), probe.size());
+  }
+}
+
+TEST(BalkesenNPJ, CountWithMissingKeys) {
+  auto build = DenseRelation8(5000, 3);
+  auto probe = FkRelation8(40000, 10000, 4);  // ~half the keys miss
+  ThreadPool pool(2);
+  EXPECT_EQ(BalkesenNPJ(build, probe, pool), ReferenceCount(build, probe));
+}
+
+TEST(BalkesenNPJ, DuplicateBuildKeys) {
+  auto build = FkRelation8(5000, 500, 5);  // duplicates
+  auto probe = FkRelation8(20000, 1000, 6);
+  ThreadPool pool(3);
+  EXPECT_EQ(BalkesenNPJ(build, probe, pool), ReferenceCount(build, probe));
+}
+
+TEST(BalkesenNPJ, EmptyInputs) {
+  std::vector<Tuple8> empty;
+  auto rel = DenseRelation8(100, 7);
+  ThreadPool pool(2);
+  EXPECT_EQ(BalkesenNPJ(empty, rel, pool), 0u);
+  EXPECT_EQ(BalkesenNPJ(rel, empty, pool), 0u);
+}
+
+TEST(BalkesenPRJ, ExactCountOnFkJoin) {
+  auto build = DenseRelation8(10000, 8);
+  auto probe = FkRelation8(80000, 10000, 9);
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(BalkesenPRJ(build, probe, pool), probe.size());
+  }
+}
+
+TEST(BalkesenPRJ, MatchesNPJOnRandomData) {
+  auto build = FkRelation8(20000, 3000, 10);
+  auto probe = FkRelation8(100000, 5000, 11);
+  ThreadPool pool(4);
+  uint64_t expected = ReferenceCount(build, probe);
+  EXPECT_EQ(BalkesenPRJ(build, probe, pool), expected);
+  EXPECT_EQ(BalkesenNPJ(build, probe, pool), expected);
+}
+
+TEST(BalkesenPRJ, VariousRadixBits) {
+  auto build = DenseRelation8(4096, 12);
+  auto probe = FkRelation8(30000, 4096, 13);
+  ThreadPool pool(2);
+  for (PrjConfig config : {PrjConfig{4, 4}, PrjConfig{7, 7}, PrjConfig{2, 0},
+                           PrjConfig{0, 5}}) {
+    EXPECT_EQ(BalkesenPRJ(build, probe, pool, config), probe.size())
+        << config.bits1 << "/" << config.bits2;
+  }
+}
+
+TEST(BalkesenPRJ, SkewedProbeStillExact) {
+  auto build = DenseRelation8(10000, 14);
+  std::vector<Tuple8> probe(60000);
+  Rng rng(15);
+  ZipfGenerator zipf(10000, 1.25);
+  for (auto& t : probe) {
+    t = Tuple8{static_cast<int64_t>(zipf.Next(rng)), 0};
+  }
+  ThreadPool pool(4);
+  EXPECT_EQ(BalkesenPRJ(build, probe, pool), probe.size());
+  EXPECT_EQ(BalkesenNPJ(build, probe, pool), probe.size());
+}
+
+TEST(BalkesenJoins, Tuple4Workloads) {
+  // Workload B shape: equal sizes, 4-byte keys.
+  std::vector<Tuple4> build(5000), probe(5000);
+  for (int i = 0; i < 5000; ++i) {
+    build[i] = Tuple4{i + 1, i};
+    probe[i] = Tuple4{(i * 7) % 5000 + 1, i};
+  }
+  ThreadPool pool(2);
+  EXPECT_EQ(BalkesenNPJ(build, probe, pool), 5000u);
+  EXPECT_EQ(BalkesenPRJ(build, probe, pool), 5000u);
+}
+
+}  // namespace
+}  // namespace pjoin

@@ -1,0 +1,117 @@
+// Tests for the microbenchmark workload generators and the harness.
+#include <gtest/gtest.h>
+
+#include "bench_util/harness.h"
+#include "bench_util/workloads.h"
+
+namespace pjoin {
+namespace {
+
+constexpr int64_t kDiv = 4096;  // tiny workloads for unit testing
+
+TEST(Workloads, WorkloadARatioPreserved) {
+  MicroWorkload w = MakeWorkloadA(kDiv);
+  EXPECT_EQ(w.probe_tuples, w.build_tuples * 16);  // 256 MiB : 4096 MiB
+  EXPECT_EQ(w.build.num_rows(), w.build_tuples);
+  EXPECT_EQ(w.probe.num_rows(), w.probe_tuples);
+  // 8 B key + 8 B payload per side.
+  EXPECT_EQ(w.build.TotalBytes(), w.build_tuples * 16);
+}
+
+TEST(Workloads, WorkloadBEqualSides4Byte) {
+  MicroWorkload w = MakeWorkloadB(kDiv * 8);
+  EXPECT_EQ(w.build_tuples, w.probe_tuples);
+  EXPECT_EQ(w.build.schema().column(0).width(), 4u);
+  EXPECT_EQ(w.probe.TotalBytes(), w.probe_tuples * 8);
+}
+
+TEST(Workloads, BuildKeysAreDensePermutation) {
+  MicroWorkload w = MakeWorkloadA(kDiv);
+  std::vector<char> seen(w.build_tuples + 1, 0);
+  for (uint64_t r = 0; r < w.build.num_rows(); ++r) {
+    int64_t k = w.build.column(0).GetInt64(r);
+    ASSERT_GE(k, 1);
+    ASSERT_LE(k, static_cast<int64_t>(w.build_tuples));
+    ASSERT_EQ(seen[k], 0);
+    seen[k] = 1;
+  }
+}
+
+TEST(Workloads, SelectivityControlsMatches) {
+  for (double sel : {0.0, 0.25, 1.0}) {
+    MicroWorkload w = MakeSelectivityWorkload(kDiv, sel);
+    uint64_t matching = 0;
+    for (uint64_t r = 0; r < w.probe.num_rows(); ++r) {
+      if (w.probe.column(0).GetInt64(r) <=
+          static_cast<int64_t>(w.build_tuples)) {
+        ++matching;
+      }
+    }
+    double fraction = static_cast<double>(matching) / w.probe_tuples;
+    EXPECT_NEAR(fraction, sel, 0.02) << sel;
+  }
+}
+
+TEST(Workloads, PayloadColumnsWidenProbe) {
+  MicroWorkload w0 = MakePayloadWorkload(kDiv, 0);
+  MicroWorkload w8 = MakePayloadWorkload(kDiv, 8);
+  EXPECT_EQ(w0.probe.TotalBytes(), w0.probe_tuples * 8);
+  EXPECT_EQ(w8.probe.TotalBytes(), w8.probe_tuples * 72);
+}
+
+TEST(Workloads, SkewWorkloadConcentrates) {
+  MicroWorkload uniform = MakeSkewWorkload(kDiv, 0.0);
+  MicroWorkload skewed = MakeSkewWorkload(kDiv, 1.5);
+  auto top_key_share = [](const MicroWorkload& w) {
+    uint64_t hot = 0;
+    for (uint64_t r = 0; r < w.probe.num_rows(); ++r) {
+      if (w.probe.column(0).GetInt64(r) == 1) ++hot;
+    }
+    return static_cast<double>(hot) / w.probe_tuples;
+  };
+  EXPECT_GT(top_key_share(skewed), top_key_share(uniform) * 100);
+}
+
+TEST(Workloads, StarSchemaShape) {
+  MicroWorkload w = MakeStarWorkload(kDiv, 3);
+  EXPECT_EQ(w.dims.size(), 3u);
+  EXPECT_EQ(w.probe.schema().num_columns(), 3);
+  EXPECT_EQ(w.dims[0]->num_rows(), w.build_tuples);
+}
+
+TEST(Workloads, QueriesRunAndAgree) {
+  MicroWorkload w = MakeWorkloadA(kDiv);
+  auto plan = CountJoinPlan(w);
+  ExecOptions bhj, rj;
+  bhj.join_strategy = JoinStrategy::kBHJ;
+  rj.join_strategy = JoinStrategy::kRJ;
+  QueryResult a = ExecuteQuery(*plan, bhj);
+  QueryResult b = ExecuteQuery(*plan, rj);
+  EXPECT_TRUE(a.ApproxEquals(b));
+  // 100% FK selectivity: every probe tuple matches exactly once.
+  EXPECT_EQ(std::get<int64_t>(a.rows[0][0]),
+            static_cast<int64_t>(w.probe_tuples));
+}
+
+TEST(Workloads, StarPlanDepthMatches) {
+  MicroWorkload w = MakeStarWorkload(kDiv, 4);
+  auto plan = StarJoinPlan(w);
+  EXPECT_EQ(plan->CountJoins(), 4);
+  QueryResult r1 = ExecuteQuery(*plan, ExecOptions{});
+  ExecOptions rj;
+  rj.join_strategy = JoinStrategy::kRJ;
+  QueryResult r2 = ExecuteQuery(*plan, rj);
+  EXPECT_TRUE(r1.ApproxEquals(r2));
+}
+
+TEST(Harness, MedianOfRuns) {
+  MicroWorkload w = MakeWorkloadA(kDiv);
+  auto plan = CountJoinPlan(w);
+  ThreadPool pool(2);
+  QueryStats stats = MeasurePlan(*plan, ExecOptions{}, 3, &pool);
+  EXPECT_GT(stats.seconds, 0.0);
+  EXPECT_EQ(stats.source_tuples, w.build_tuples + w.probe_tuples);
+}
+
+}  // namespace
+}  // namespace pjoin

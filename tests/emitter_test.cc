@@ -1,0 +1,130 @@
+// Tests for the join emitter: projection mapping, null padding, mark
+// columns, and batch flushing behavior.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "join/emitter.h"
+
+namespace pjoin {
+namespace {
+
+class RecordingSink : public Operator {
+ public:
+  explicit RecordingSink(const RowLayout* layout) : layout_(layout) {}
+  void Consume(Batch& batch, ThreadContext&) override {
+    ++batches_;
+    for (uint32_t i = 0; i < batch.size; ++i) {
+      std::vector<int64_t> row;
+      for (int f = 0; f < layout_->num_fields(); ++f) {
+        row.push_back(layout_->GetInt64(batch.Row(i), f));
+      }
+      rows_.push_back(std::move(row));
+    }
+  }
+  const RowLayout* OutputLayout() const override { return layout_; }
+
+  int batches_ = 0;
+  std::vector<std::vector<int64_t>> rows_;
+
+ private:
+  const RowLayout* layout_;
+};
+
+class EmitterTest : public ::testing::Test {
+ protected:
+  EmitterTest()
+      : build_({{"b0", DataType::kInt64, 8, 0}, {"b1", DataType::kInt64, 8, 0}}),
+        probe_({{"p0", DataType::kInt64, 8, 0}}),
+        out_({{"b1", DataType::kInt64, 8, 0},
+              {"p0", DataType::kInt64, 8, 0},
+              {"m", DataType::kInt64, 8, 0}}) {
+    projection_.output = &out_;
+    projection_.build = &build_;
+    projection_.probe = &probe_;
+    projection_.from_build = {{0, 1}};  // out.b1 <- build.b1
+    projection_.from_probe = {{1, 0}};  // out.p0 <- probe.p0
+    projection_.mark_field = 2;
+    sink_ = std::make_unique<RecordingSink>(&out_);
+    emitter_.Bind(&projection_, sink_.get());
+    ctx_.thread_id = 0;
+    bytes_ = std::make_unique<ByteCounter>();
+    ctx_.bytes = bytes_.get();
+  }
+
+  std::vector<std::byte> BuildRow(int64_t b0, int64_t b1) {
+    std::vector<std::byte> row(build_.stride());
+    build_.SetInt64(row.data(), 0, b0);
+    build_.SetInt64(row.data(), 1, b1);
+    return row;
+  }
+  std::vector<std::byte> ProbeRow(int64_t p0) {
+    std::vector<std::byte> row(probe_.stride());
+    probe_.SetInt64(row.data(), 0, p0);
+    return row;
+  }
+
+  RowLayout build_, probe_, out_;
+  JoinProjection projection_;
+  std::unique_ptr<RecordingSink> sink_;
+  std::unique_ptr<ByteCounter> bytes_;
+  JoinEmitter emitter_;
+  ThreadContext ctx_;
+};
+
+TEST_F(EmitterTest, PairProjectsSelectedFields) {
+  auto b = BuildRow(7, 42);
+  auto p = ProbeRow(99);
+  emitter_.EmitPair(b.data(), p.data(), ctx_);
+  emitter_.Flush(ctx_);
+  ASSERT_EQ(sink_->rows_.size(), 1u);
+  EXPECT_EQ(sink_->rows_[0][0], 42);  // b1, not b0
+  EXPECT_EQ(sink_->rows_[0][1], 99);
+}
+
+TEST_F(EmitterTest, ProbeOnlyZeroesBuildSide) {
+  auto p = ProbeRow(5);
+  emitter_.EmitProbeOnly(p.data(), ctx_);
+  emitter_.Flush(ctx_);
+  EXPECT_EQ(sink_->rows_[0][0], 0);
+  EXPECT_EQ(sink_->rows_[0][1], 5);
+}
+
+TEST_F(EmitterTest, BuildOnlyZeroesProbeSide) {
+  auto b = BuildRow(1, 2);
+  emitter_.EmitBuildOnly(b.data(), ctx_);
+  emitter_.Flush(ctx_);
+  EXPECT_EQ(sink_->rows_[0][0], 2);
+  EXPECT_EQ(sink_->rows_[0][1], 0);
+}
+
+TEST_F(EmitterTest, MarkColumnSet) {
+  auto p = ProbeRow(5);
+  emitter_.EmitMark(p.data(), true, ctx_);
+  emitter_.EmitMark(p.data(), false, ctx_);
+  emitter_.Flush(ctx_);
+  ASSERT_EQ(sink_->rows_.size(), 2u);
+  EXPECT_EQ(sink_->rows_[0][2], 1);
+  EXPECT_EQ(sink_->rows_[1][2], 0);
+}
+
+TEST_F(EmitterTest, FlushesFullBatchesAutomatically) {
+  auto b = BuildRow(1, 2);
+  auto p = ProbeRow(3);
+  for (uint32_t i = 0; i < kBatchCapacity + 10; ++i) {
+    emitter_.EmitPair(b.data(), p.data(), ctx_);
+  }
+  EXPECT_EQ(sink_->batches_, 1);  // one full batch pushed eagerly
+  emitter_.Flush(ctx_);
+  EXPECT_EQ(sink_->batches_, 2);
+  EXPECT_EQ(sink_->rows_.size(), kBatchCapacity + 10);
+  EXPECT_EQ(emitter_.rows_emitted(), kBatchCapacity + 10);
+}
+
+TEST_F(EmitterTest, FlushOnEmptyIsNoop) {
+  emitter_.Flush(ctx_);
+  EXPECT_EQ(sink_->batches_, 0);
+}
+
+}  // namespace
+}  // namespace pjoin

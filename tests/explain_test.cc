@@ -1,0 +1,70 @@
+// Tests for the plan explainer.
+#include <gtest/gtest.h>
+
+#include "engine/explain.h"
+#include "engine/plan.h"
+
+namespace pjoin {
+namespace {
+
+TEST(Explain, RendersTreeWithJoinIdsAndStrategies) {
+  Table a("ta", Schema({{"a_k", DataType::kInt64, 0}}));
+  Table b("tb", Schema({{"b_k", DataType::kInt64, 0}}));
+  Table c("tc", Schema({{"c_k", DataType::kInt64, 0}}));
+  a.column(0).AppendInt64(1);
+  a.FinishRow();
+  b.column(0).AppendInt64(1);
+  b.FinishRow();
+  c.column(0).AppendInt64(1);
+  c.FinishRow();
+
+  auto inner = Join(ScanTable(&a, {ScanPredicate::GtI("a_k", 0)}),
+                    ScanTable(&b), {{"a_k", "b_k"}});
+  auto outer = Join(std::move(inner), ScanTable(&c), {{"a_k", "c_k"}},
+                    JoinKind::kProbeSemi);
+  auto plan = Aggregate(std::move(outer), {}, {AggDef::CountStar("n")});
+
+  ExecOptions options;
+  options.join_strategy = JoinStrategy::kBHJ;
+  options.join_overrides[1] = JoinStrategy::kBRJ;
+  std::string text = ExplainPlan(*plan, options);
+
+  EXPECT_NE(text.find("aggregate"), std::string::npos);
+  // Post-order: the inner join is #0 (default BHJ), the semi join is #1
+  // (overridden to BRJ).
+  EXPECT_NE(text.find("join #0 [inner, BHJ]"), std::string::npos);
+  EXPECT_NE(text.find("join #1 [probe-semi, BRJ]"), std::string::npos);
+  EXPECT_NE(text.find("scan ta [1 rows, a_k >]"), std::string::npos);
+  EXPECT_NE(text.find("scan tc"), std::string::npos);
+}
+
+TEST(Explain, RendersFilterAndMapLabels) {
+  Table t("tt", Schema({{"x", DataType::kInt64, 0}}));
+  t.column(0).AppendInt64(1);
+  t.FinishRow();
+  FilterDef filter;
+  filter.label = "x is even";
+  filter.inputs = {"x"};
+  filter.fn = [](const RowLayout& l, const std::byte* r, const int* f) {
+    return l.GetInt64(r, f[0]) % 2 == 0;
+  };
+  MapDef map;
+  map.name = "x2";
+  map.type = DataType::kInt64;
+  map.inputs = {"x"};
+  map.fn = [](const RowLayout& l, const std::byte* r, const int* f,
+              std::byte* dst) {
+    int64_t v = l.GetInt64(r, f[0]) * 2;
+    std::memcpy(dst, &v, 8);
+  };
+  auto plan =
+      Aggregate(MapColumns(Filter(ScanTable(&t), std::move(filter)),
+                           {std::move(map)}),
+                {}, {AggDef::Sum("x2", "s")});
+  std::string text = ExplainPlan(*plan, ExecOptions{});
+  EXPECT_NE(text.find("filter [x is even]"), std::string::npos);
+  EXPECT_NE(text.find("map [x2]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pjoin

@@ -1,0 +1,113 @@
+// Tests for the register-blocked Bloom filter and the adaptive controller.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <vector>
+
+#include "filter/adaptive.h"
+#include "filter/blocked_bloom.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace pjoin {
+namespace {
+
+TEST(BlockedBloom, NoFalseNegatives) {
+  BlockedBloomFilter bloom;
+  bloom.Resize(10000);
+  std::vector<uint64_t> hashes;
+  for (uint64_t k = 0; k < 10000; ++k) hashes.push_back(HashInt64(k));
+  for (uint64_t h : hashes) bloom.InsertUnsynchronized(h);
+  for (uint64_t h : hashes) EXPECT_TRUE(bloom.MayContain(h));
+}
+
+TEST(BlockedBloom, FalsePositiveRateBounded) {
+  BlockedBloomFilter bloom;
+  bloom.Resize(100000);
+  for (uint64_t k = 0; k < 100000; ++k) {
+    bloom.InsertUnsynchronized(HashInt64(k));
+  }
+  uint64_t false_positives = 0;
+  const uint64_t kProbes = 100000;
+  for (uint64_t k = 0; k < kProbes; ++k) {
+    if (bloom.MayContain(HashInt64(k + 10'000'000))) ++false_positives;
+  }
+  // Register-blocked filters at 16 bits/key with k=4 stay well below 5% FPR.
+  EXPECT_LT(false_positives, kProbes / 20);
+}
+
+TEST(BlockedBloom, EmptyFilterRejectsEverything) {
+  BlockedBloomFilter bloom;
+  bloom.Resize(1000);
+  int hits = 0;
+  for (uint64_t k = 0; k < 1000; ++k) {
+    if (bloom.MayContain(HashInt64(k))) ++hits;
+  }
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(BlockedBloom, BitMaskSetsAtMostFourBits) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t mask = BlockedBloomFilter::BitMask(rng.Next());
+    int bits = std::popcount(mask);
+    EXPECT_GE(bits, 1);
+    EXPECT_LE(bits, 4);
+  }
+}
+
+TEST(BlockedBloom, BlockIndexUsesLowBits) {
+  // All keys of one radix partition (same low bits) must map to blocks in
+  // that partition's range: block mod fanout == partition.
+  BlockedBloomFilter bloom;
+  bloom.Resize(1 << 16, /*min_blocks=*/64);
+  const uint64_t fanout = 64;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    uint64_t hash = HashInt64(i);
+    uint64_t partition = hash & (fanout - 1);
+    EXPECT_EQ(bloom.BlockIndex(hash) & (fanout - 1), partition);
+  }
+}
+
+TEST(BlockedBloom, MinBlocksRespected) {
+  BlockedBloomFilter bloom;
+  bloom.Resize(1, /*min_blocks=*/256);
+  EXPECT_GE(bloom.num_blocks(), 256u);
+}
+
+TEST(BlockedBloom, AtomicInsertVisible) {
+  BlockedBloomFilter bloom;
+  bloom.Resize(100);
+  bloom.InsertAtomic(HashInt64(7));
+  EXPECT_TRUE(bloom.MayContain(HashInt64(7)));
+}
+
+TEST(AdaptiveController, StaysOnAtLowPassRate) {
+  AdaptiveFilterController ctrl(0.75, 1000);
+  for (int i = 0; i < 100; ++i) ctrl.ReportWindow(100, 10);
+  EXPECT_TRUE(ctrl.enabled());
+}
+
+TEST(AdaptiveController, SwitchesOffAtHighPassRate) {
+  AdaptiveFilterController ctrl(0.75, 1000);
+  for (int i = 0; i < 100 && ctrl.enabled(); ++i) ctrl.ReportWindow(100, 99);
+  EXPECT_FALSE(ctrl.enabled());
+}
+
+TEST(AdaptiveController, WaitsForMinimumSamples) {
+  AdaptiveFilterController ctrl(0.75, 100000);
+  ctrl.ReportWindow(100, 100);
+  EXPECT_TRUE(ctrl.enabled());  // too few samples to decide
+}
+
+TEST(AdaptiveController, ResetReenables) {
+  AdaptiveFilterController ctrl(0.5, 10);
+  ctrl.ReportWindow(1000, 1000);
+  EXPECT_FALSE(ctrl.enabled());
+  ctrl.Reset();
+  EXPECT_TRUE(ctrl.enabled());
+  EXPECT_EQ(ctrl.sampled_checks(), 0u);
+}
+
+}  // namespace
+}  // namespace pjoin

@@ -1,0 +1,123 @@
+// Tests for hash aggregation: all aggregate functions, group-key types,
+// merging across workers, and empty-input semantics.
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "engine/plan.h"
+#include "util/rng.h"
+
+namespace pjoin {
+namespace {
+
+Table MakeTable() {
+  Table t("t", Schema({{"g", DataType::kInt64, 0},
+                       {"v", DataType::kInt64, 0},
+                       {"f", DataType::kFloat64, 0},
+                       {"s", DataType::kChar, 4},
+                       {"d", DataType::kDate, 0}}));
+  auto add = [&](int64_t g, int64_t v, double f, const std::string& s,
+                 int32_t d) {
+    t.column(0).AppendInt64(g);
+    t.column(1).AppendInt64(v);
+    t.column(2).AppendFloat64(f);
+    t.column(3).AppendString(s);
+    t.column(4).AppendInt32(d);
+    t.FinishRow();
+  };
+  add(1, 10, 1.5, "aa", MakeDate(1995, 1, 1));
+  add(1, 20, 2.5, "aa", MakeDate(1995, 1, 2));
+  add(2, -5, 0.5, "bb", MakeDate(1996, 1, 1));
+  add(2, 15, -0.5, "bb", MakeDate(1996, 1, 2));
+  add(2, 0, 10.0, "cc", MakeDate(1997, 1, 1));
+  return t;
+}
+
+TEST(HashAgg, AllAggregateOps) {
+  Table t = MakeTable();
+  auto plan = Aggregate(ScanTable(&t), {"g"},
+                        {AggDef::Sum("v", "sv"), AggDef::Sum("f", "sf"),
+                         AggDef::Count("v", "cnt"), AggDef::Min("v", "mn"),
+                         AggDef::Max("v", "mx"), AggDef::Avg("f", "avg"),
+                         AggDef::CountStar("star")});
+  QueryResult r = ExecuteQuery(*plan, ExecOptions{});
+  ASSERT_EQ(r.num_rows(), 2u);
+  // Group g=1 (sorted first).
+  EXPECT_EQ(std::get<int64_t>(r.rows[0][0]), 1);
+  EXPECT_EQ(std::get<int64_t>(r.rows[0][1]), 30);       // sum v
+  EXPECT_DOUBLE_EQ(std::get<double>(r.rows[0][2]), 4.0);  // sum f
+  EXPECT_EQ(std::get<int64_t>(r.rows[0][3]), 2);        // count
+  EXPECT_DOUBLE_EQ(std::get<double>(r.rows[0][4]), 10.0);  // min
+  EXPECT_DOUBLE_EQ(std::get<double>(r.rows[0][5]), 20.0);  // max
+  EXPECT_DOUBLE_EQ(std::get<double>(r.rows[0][6]), 2.0);   // avg f
+  EXPECT_EQ(std::get<int64_t>(r.rows[0][7]), 2);        // count(*)
+  // Group g=2.
+  EXPECT_EQ(std::get<int64_t>(r.rows[1][1]), 10);
+  EXPECT_DOUBLE_EQ(std::get<double>(r.rows[1][4]), -5.0);
+}
+
+TEST(HashAgg, CharAndDateGroupKeys) {
+  Table t = MakeTable();
+  auto by_str = Aggregate(ScanTable(&t), {"s"}, {AggDef::CountStar("n")});
+  QueryResult r1 = ExecuteQuery(*by_str, ExecOptions{});
+  ASSERT_EQ(r1.num_rows(), 3u);
+  EXPECT_EQ(std::get<std::string>(r1.rows[0][0]), "aa");  // trimmed
+
+  auto by_date = Aggregate(ScanTable(&t), {"d"}, {AggDef::CountStar("n")});
+  QueryResult r2 = ExecuteQuery(*by_date, ExecOptions{});
+  EXPECT_EQ(r2.num_rows(), 5u);  // all dates distinct
+}
+
+TEST(HashAgg, CompositeGroupKeys) {
+  Table t = MakeTable();
+  auto plan =
+      Aggregate(ScanTable(&t), {"g", "s"}, {AggDef::CountStar("n")});
+  QueryResult r = ExecuteQuery(*plan, ExecOptions{});
+  EXPECT_EQ(r.num_rows(), 3u);  // (1,aa), (2,bb), (2,cc)
+}
+
+TEST(HashAgg, ScalarAggregateOnEmptyInput) {
+  Table t = MakeTable();
+  auto plan = Aggregate(ScanTable(&t, {ScanPredicate::GtI("v", 1000)}), {},
+                        {AggDef::CountStar("n"), AggDef::Sum("v", "sv")});
+  QueryResult r = ExecuteQuery(*plan, ExecOptions{});
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(std::get<int64_t>(r.rows[0][0]), 0);
+  EXPECT_EQ(std::get<int64_t>(r.rows[0][1]), 0);
+}
+
+TEST(HashAgg, GroupedAggregateOnEmptyInputYieldsNoRows) {
+  Table t = MakeTable();
+  auto plan = Aggregate(ScanTable(&t, {ScanPredicate::GtI("v", 1000)}), {"g"},
+                        {AggDef::CountStar("n")});
+  QueryResult r = ExecuteQuery(*plan, ExecOptions{});
+  EXPECT_EQ(r.num_rows(), 0u);
+}
+
+TEST(HashAgg, ParallelMergeMatchesSingleThread) {
+  // Large random input aggregated with 1 and 4 workers must agree exactly
+  // for integer aggregates.
+  Table t("big", Schema({{"g", DataType::kInt64, 0},
+                         {"v", DataType::kInt64, 0}}));
+  Rng rng(3);
+  for (int i = 0; i < 300000; ++i) {
+    t.column(0).AppendInt64(static_cast<int64_t>(rng.Below(100)));
+    t.column(1).AppendInt64(static_cast<int64_t>(rng.Below(1000)));
+    t.FinishRow();
+  }
+  auto make_plan = [&] {
+    return Aggregate(ScanTable(&t), {"g"},
+                     {AggDef::Sum("v", "sv"), AggDef::CountStar("n"),
+                      AggDef::Min("v", "mn"), AggDef::Max("v", "mx")});
+  };
+  ExecOptions one;
+  one.num_threads = 1;
+  ExecOptions four;
+  four.num_threads = 4;
+  QueryResult r1 = ExecuteQuery(*make_plan(), one);
+  QueryResult r4 = ExecuteQuery(*make_plan(), four);
+  EXPECT_EQ(r1.num_rows(), 100u);
+  EXPECT_TRUE(r1.ApproxEquals(r4, 0.0));  // exact: integer aggregates
+}
+
+}  // namespace
+}  // namespace pjoin

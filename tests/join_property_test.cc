@@ -1,0 +1,195 @@
+// Property-style join tests over key types and randomized instances:
+// 4-byte keys (workload B's format), composite keys, CHAR keys, and a
+// seed sweep asserting pairwise strategy agreement.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "engine/executor.h"
+#include "engine/plan.h"
+#include "util/rng.h"
+
+namespace pjoin {
+namespace {
+
+const std::vector<JoinStrategy> kStrategies = {
+    JoinStrategy::kBHJ, JoinStrategy::kRJ, JoinStrategy::kBRJ,
+    JoinStrategy::kBRJAdaptive};
+
+// --- 4-byte integer keys (the workload-B column format) ---------------------
+
+TEST(JoinKeyTypes, Int32Keys) {
+  Table build("b32", Schema({{"bk", DataType::kInt32, 0},
+                             {"bp", DataType::kInt32, 0}}));
+  Table probe("p32", Schema({{"pk", DataType::kInt32, 0},
+                             {"pp", DataType::kInt32, 0}}));
+  Rng rng(31);
+  std::map<int32_t, int> build_counts;
+  for (int i = 0; i < 2000; ++i) {
+    int32_t k = static_cast<int32_t>(rng.Below(900));
+    build.column(0).AppendInt32(k);
+    build.column(1).AppendInt32(i);
+    build.FinishRow();
+    build_counts[k]++;
+  }
+  int64_t expected = 0;
+  for (int i = 0; i < 30000; ++i) {
+    int32_t k = static_cast<int32_t>(rng.Below(1200));
+    probe.column(0).AppendInt32(k);
+    probe.column(1).AppendInt32(i);
+    probe.FinishRow();
+    auto it = build_counts.find(k);
+    if (it != build_counts.end()) expected += it->second;
+  }
+  for (JoinStrategy s : kStrategies) {
+    auto plan = Aggregate(
+        Join(ScanTable(&build), ScanTable(&probe), {{"bk", "pk"}}), {},
+        {AggDef::CountStar("n")});
+    ExecOptions options;
+    options.join_strategy = s;
+    QueryResult r = ExecuteQuery(*plan, options);
+    EXPECT_EQ(std::get<int64_t>(r.rows[0][0]), expected)
+        << JoinStrategyName(s);
+  }
+}
+
+// --- composite (two-column) keys ---------------------------------------------
+
+TEST(JoinKeyTypes, CompositeKeys) {
+  Table build("bc", Schema({{"b1", DataType::kInt64, 0},
+                            {"b2", DataType::kInt64, 0}}));
+  Table probe("pc", Schema({{"p1", DataType::kInt64, 0},
+                            {"p2", DataType::kInt64, 0}}));
+  Rng rng(32);
+  std::map<std::pair<int64_t, int64_t>, int> build_counts;
+  for (int i = 0; i < 3000; ++i) {
+    int64_t a = static_cast<int64_t>(rng.Below(50));
+    int64_t b = static_cast<int64_t>(rng.Below(50));
+    build.column(0).AppendInt64(a);
+    build.column(1).AppendInt64(b);
+    build.FinishRow();
+    build_counts[{a, b}]++;
+  }
+  int64_t expected = 0;
+  for (int i = 0; i < 40000; ++i) {
+    int64_t a = static_cast<int64_t>(rng.Below(60));
+    int64_t b = static_cast<int64_t>(rng.Below(60));
+    probe.column(0).AppendInt64(a);
+    probe.column(1).AppendInt64(b);
+    probe.FinishRow();
+    auto it = build_counts.find({a, b});
+    if (it != build_counts.end()) expected += it->second;
+  }
+  for (JoinStrategy s : kStrategies) {
+    auto plan = Aggregate(Join(ScanTable(&build), ScanTable(&probe),
+                               {{"b1", "p1"}, {"b2", "p2"}}),
+                          {}, {AggDef::CountStar("n")});
+    ExecOptions options;
+    options.join_strategy = s;
+    QueryResult r = ExecuteQuery(*plan, options);
+    EXPECT_EQ(std::get<int64_t>(r.rows[0][0]), expected)
+        << JoinStrategyName(s);
+  }
+  // A key pair must not collide with its swap: (a,b) != (b,a).
+  Table probe_swapped("ps", Schema({{"q1", DataType::kInt64, 0},
+                                    {"q2", DataType::kInt64, 0}}));
+  probe_swapped.column(0).AppendInt64(1);
+  probe_swapped.column(1).AppendInt64(2);
+  probe_swapped.FinishRow();
+  Table build_one("bo", Schema({{"c1", DataType::kInt64, 0},
+                                {"c2", DataType::kInt64, 0}}));
+  build_one.column(0).AppendInt64(2);
+  build_one.column(1).AppendInt64(1);
+  build_one.FinishRow();
+  auto plan = Aggregate(Join(ScanTable(&build_one), ScanTable(&probe_swapped),
+                             {{"c1", "q1"}, {"c2", "q2"}}),
+                        {}, {AggDef::CountStar("n")});
+  QueryResult r = ExecuteQuery(*plan, ExecOptions{});
+  EXPECT_EQ(std::get<int64_t>(r.rows[0][0]), 0);
+}
+
+// --- CHAR keys ----------------------------------------------------------------
+
+TEST(JoinKeyTypes, CharKeys) {
+  Table build("bs", Schema({{"bname", DataType::kChar, 12},
+                            {"bval", DataType::kInt64, 0}}));
+  Table probe("pstr", Schema({{"pname", DataType::kChar, 12},
+                              {"pval", DataType::kInt64, 0}}));
+  const char* names[] = {"alpha", "beta", "gamma", "delta", "epsilon"};
+  for (int i = 0; i < 5; ++i) {
+    build.column(0).AppendString(names[i]);
+    build.column(1).AppendInt64(i);
+    build.FinishRow();
+  }
+  Rng rng(33);
+  int64_t expected = 0;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t pick = rng.Below(8);  // 3/8 of probes miss
+    probe.column(0).AppendString(pick < 5 ? names[pick] : "unknown");
+    probe.column(1).AppendInt64(i);
+    probe.FinishRow();
+    if (pick < 5) ++expected;
+  }
+  for (JoinStrategy s : kStrategies) {
+    auto plan = Aggregate(
+        Join(ScanTable(&build), ScanTable(&probe), {{"bname", "pname"}}), {},
+        {AggDef::CountStar("n"), AggDef::Sum("bval", "sv")});
+    ExecOptions options;
+    options.join_strategy = s;
+    QueryResult r = ExecuteQuery(*plan, options);
+    EXPECT_EQ(std::get<int64_t>(r.rows[0][0]), expected)
+        << JoinStrategyName(s);
+  }
+}
+
+// --- randomized seed sweep -----------------------------------------------------
+
+class JoinSeedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(JoinSeedSweep, AllStrategiesAgreeOnRandomInstance) {
+  Rng meta(GetParam());
+  const uint64_t build_n = 100 + meta.Below(3000);
+  const uint64_t probe_n = 1000 + meta.Below(30000);
+  const uint64_t universe = 1 + meta.Below(5000);
+  Table build("rb", Schema({{"rbk", DataType::kInt64, 0},
+                            {"rbp", DataType::kInt64, 0}}));
+  Table probe("rp", Schema({{"rpk", DataType::kInt64, 0},
+                            {"rpp", DataType::kInt64, 0}}));
+  Rng rng(GetParam() * 7919 + 1);
+  for (uint64_t i = 0; i < build_n; ++i) {
+    build.column(0).AppendInt64(static_cast<int64_t>(rng.Below(universe)));
+    build.column(1).AppendInt64(static_cast<int64_t>(i));
+    build.FinishRow();
+  }
+  for (uint64_t i = 0; i < probe_n; ++i) {
+    probe.column(0).AppendInt64(
+        static_cast<int64_t>(rng.Below(universe + universe / 3)));
+    probe.column(1).AppendInt64(static_cast<int64_t>(i));
+    probe.FinishRow();
+  }
+  auto make_plan = [&] {
+    return Aggregate(
+        Join(ScanTable(&build), ScanTable(&probe), {{"rbk", "rpk"}}),
+        {}, {AggDef::CountStar("n"), AggDef::Sum("rbp", "sb"),
+             AggDef::Sum("rpp", "sp")});
+  };
+  QueryResult reference;
+  for (size_t i = 0; i < kStrategies.size(); ++i) {
+    ExecOptions options;
+    options.join_strategy = kStrategies[i];
+    options.num_threads = 1 + GetParam() % 4;
+    QueryResult r = ExecuteQuery(*make_plan(), options);
+    if (i == 0) {
+      reference = r;
+    } else {
+      ASSERT_TRUE(r.ApproxEquals(reference))
+          << "seed " << GetParam() << " "
+          << JoinStrategyName(kStrategies[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinSeedSweep, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace pjoin

@@ -1,0 +1,263 @@
+// Tests for the chunked buffers and the two-pass radix partitioner.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "filter/blocked_bloom.h"
+#include "partition/chunked_buffer.h"
+#include "partition/radix_partitioner.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace pjoin {
+namespace {
+
+TEST(ChunkedBuffer, AppendAcrossChunks) {
+  ChunkedTupleBuffer buf;
+  buf.Init(16);
+  for (int i = 0; i < 5000; ++i) {
+    std::byte* dst = buf.AllocBytes(16);
+    std::memcpy(dst, &i, 4);
+  }
+  EXPECT_EQ(buf.num_tuples(), 5000u);
+  EXPECT_EQ(buf.total_bytes(), 5000u * 16u);
+  int next = 0;
+  buf.ForEachChunk([&](const std::byte* data, uint64_t used) {
+    for (uint64_t off = 0; off < used; off += 16) {
+      int v;
+      std::memcpy(&v, data + off, 4);
+      EXPECT_EQ(v, next++);
+    }
+  });
+  EXPECT_EQ(next, 5000);
+}
+
+TEST(ChunkedBuffer, BlockAllocationsStayAligned) {
+  ChunkedTupleBuffer buf;
+  buf.Init(16);
+  for (int i = 0; i < 1000; ++i) {
+    std::byte* dst = buf.AllocBytes(kSwwcbBytes);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(dst) % 64, 0u) << i;
+  }
+}
+
+TEST(ChunkedBuffer, ClearReleases) {
+  ChunkedTupleBuffer buf;
+  buf.Init(8);
+  buf.AllocBytes(8);
+  buf.Clear();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.num_tuples(), 0u);
+}
+
+// ---- RadixPartitioner -------------------------------------------------------
+
+struct PartitionCase {
+  int bits1;
+  int bits2;
+  bool swwcb;
+  bool streaming;
+  uint32_t row_stride;
+  int threads;
+};
+
+class RadixPartitionerTest
+    : public ::testing::TestWithParam<PartitionCase> {};
+
+TEST_P(RadixPartitionerTest, AllTuplesLandInCorrectPartition) {
+  const PartitionCase& pc = GetParam();
+  RadixConfig config;
+  config.row_stride = pc.row_stride;
+  config.bits1 = pc.bits1;
+  config.bits2 = pc.bits2;
+  config.num_threads = pc.threads;
+  config.use_swwcb = pc.swwcb;
+  config.use_streaming = pc.streaming;
+  RadixPartitioner part(config);
+
+  const uint64_t kTuples = 40000;
+  ThreadPool pool(pc.threads);
+  // Feed tuples round-robin from all worker threads, row = key bytes.
+  pool.ParallelRun([&](int tid) {
+    std::vector<std::byte> row(pc.row_stride);
+    for (uint64_t k = tid; k < kTuples; k += pc.threads) {
+      std::memcpy(row.data(), &k, 8);
+      part.Add(tid, HashInt64(k), row.data(), nullptr);
+    }
+    part.FlushThread(tid, nullptr);
+  });
+  part.Finalize(pool, nullptr, nullptr);
+
+  EXPECT_EQ(part.total_tuples(), kTuples);
+  const int mask = part.num_partitions() - 1;
+  uint64_t seen = 0;
+  std::vector<char> key_seen(kTuples, 0);
+  for (int f = 0; f < part.num_partitions(); ++f) {
+    const std::byte* data = part.partition_data(f);
+    for (uint64_t i = 0; i < part.partition_tuples(f); ++i) {
+      const std::byte* tuple = data + i * part.tuple_stride();
+      uint64_t hash = RadixPartitioner::TupleHash(tuple);
+      EXPECT_EQ(static_cast<int>(hash & mask), f);
+      uint64_t key;
+      std::memcpy(&key, RadixPartitioner::TupleRow(tuple), 8);
+      ASSERT_LT(key, kTuples);
+      EXPECT_EQ(hash, HashInt64(key));  // hash stored with the tuple
+      key_seen[key]++;
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, kTuples);
+  for (uint64_t k = 0; k < kTuples; ++k) {
+    EXPECT_EQ(key_seen[k], 1) << "key duplicated or lost: " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, RadixPartitionerTest,
+    ::testing::Values(
+        PartitionCase{4, 4, true, true, 8, 1},
+        PartitionCase{4, 4, true, true, 8, 4},
+        PartitionCase{6, 4, true, false, 8, 2},   // SWWCB without streaming
+        PartitionCase{6, 4, false, false, 8, 2},  // direct scatter
+        PartitionCase{3, 0, true, true, 8, 2},    // single-pass (bits2 = 0)
+        PartitionCase{0, 4, true, true, 8, 2},    // degenerate pass 1
+        PartitionCase{5, 3, true, true, 24, 3},   // 32B padded tuples
+        PartitionCase{4, 2, true, true, 56, 2},   // 64B padded tuples
+        PartitionCase{4, 2, true, true, 100, 2},  // >64B: buffers disabled
+        PartitionCase{8, 8, true, true, 8, 2}));  // max fan-out 65536
+
+TEST(RadixPartitioner, EmptyInput) {
+  RadixConfig config;
+  config.num_threads = 2;
+  RadixPartitioner part(config);
+  ThreadPool pool(2);
+  pool.ParallelRun([&](int tid) { part.FlushThread(tid, nullptr); });
+  part.Finalize(pool, nullptr, nullptr);
+  EXPECT_EQ(part.total_tuples(), 0u);
+  for (int f = 0; f < part.num_partitions(); ++f) {
+    EXPECT_EQ(part.partition_tuples(f), 0u);
+  }
+}
+
+TEST(RadixPartitioner, StridePaddedToPowerOfTwo) {
+  RadixConfig config;
+  config.row_stride = 24;  // 8 hash + 24 row = 32
+  RadixPartitioner part(config);
+  EXPECT_EQ(part.tuple_stride(), 32u);
+
+  config.row_stride = 25;  // 33 -> pad to 64
+  RadixPartitioner part2(config);
+  EXPECT_EQ(part2.tuple_stride(), 64u);
+
+  config.row_stride = 80;  // 88 > 64: unbuffered, 8-byte aligned
+  RadixPartitioner part3(config);
+  EXPECT_EQ(part3.tuple_stride(), 88u);
+}
+
+TEST(RadixPartitioner, PendingTuplesBeforeFinalize) {
+  RadixConfig config;
+  config.num_threads = 1;
+  config.row_stride = 8;
+  RadixPartitioner part(config);
+  int64_t row = 0;
+  for (uint64_t k = 0; k < 777; ++k) {
+    part.Add(0, HashInt64(k), reinterpret_cast<std::byte*>(&row), nullptr);
+  }
+  part.FlushThread(0, nullptr);
+  EXPECT_EQ(part.PendingTuples(), 777u);
+}
+
+TEST(RadixPartitioner, BloomBuiltDuringPass2) {
+  RadixConfig config;
+  config.num_threads = 1;
+  config.row_stride = 8;
+  config.bits1 = 4;
+  config.bits2 = 2;
+  RadixPartitioner part(config);
+  BlockedBloomFilter bloom;
+
+  int64_t row = 0;
+  for (uint64_t k = 0; k < 5000; ++k) {
+    part.Add(0, HashInt64(k), reinterpret_cast<std::byte*>(&row), nullptr);
+  }
+  part.FlushThread(0, nullptr);
+  bloom.Resize(part.PendingTuples(), uint64_t{1} << config.bits1);
+  part.set_bloom(&bloom);
+  ThreadPool pool(1);
+  part.Finalize(pool, nullptr, nullptr);
+
+  for (uint64_t k = 0; k < 5000; ++k) {
+    EXPECT_TRUE(bloom.MayContain(HashInt64(k)));
+  }
+  int fp = 0;
+  for (uint64_t k = 5000; k < 15000; ++k) {
+    if (bloom.MayContain(HashInt64(k))) ++fp;
+  }
+  EXPECT_LT(fp, 1000);
+}
+
+TEST(RadixPartitioner, ByteAccountingCoversAllTuples) {
+  RadixConfig config;
+  config.num_threads = 1;
+  config.row_stride = 8;
+  RadixPartitioner part(config);
+  ByteCounter bytes;
+  int64_t row = 0;
+  const uint64_t kTuples = 10000;
+  for (uint64_t k = 0; k < kTuples; ++k) {
+    part.Add(0, HashInt64(k), reinterpret_cast<std::byte*>(&row), &bytes);
+  }
+  part.FlushThread(0, &bytes);
+  ThreadPool pool(1);
+  ByteCounter finalize_bytes[1];
+  part.Finalize(pool, nullptr, finalize_bytes);
+  uint64_t stride = part.tuple_stride();
+  EXPECT_EQ(bytes.phase(JoinPhase::kPartitionPass1).written, kTuples * stride);
+  EXPECT_EQ(finalize_bytes[0].phase(JoinPhase::kPartitionPass2).written,
+            kTuples * stride);
+  EXPECT_EQ(finalize_bytes[0].phase(JoinPhase::kHistogramScan).read,
+            kTuples * stride);
+}
+
+TEST(ChooseRadixBits, ScalesWithBuildSize) {
+  RadixBits small = ChooseRadixBits(1000, 16);
+  RadixBits large = ChooseRadixBits(100'000'000, 16);
+  EXPECT_LE(small.bits1 + small.bits2, large.bits1 + large.bits2);
+  EXPECT_GE(small.bits1 + small.bits2, 1);
+  EXPECT_LE(large.bits1 + large.bits2, 16);
+}
+
+TEST(RadixPartitioner, SkewedInputStillCorrect) {
+  // Heavy skew (many duplicates of one key) stresses the chunk growth and
+  // per-partition cursor logic.
+  RadixConfig config;
+  config.num_threads = 2;
+  config.row_stride = 8;
+  config.bits1 = 4;
+  config.bits2 = 4;
+  RadixPartitioner part(config);
+  ThreadPool pool(2);
+  const uint64_t kTuples = 60000;
+  pool.ParallelRun([&](int tid) {
+    Rng rng(100 + tid);
+    int64_t row = 0;
+    for (uint64_t i = tid; i < kTuples; i += 2) {
+      uint64_t key = rng.Below(10) == 0 ? rng.Below(1000) : 42;  // ~90% dup
+      part.Add(tid, HashInt64(key), reinterpret_cast<std::byte*>(&row),
+               nullptr);
+    }
+    part.FlushThread(tid, nullptr);
+  });
+  part.Finalize(pool, nullptr, nullptr);
+  EXPECT_EQ(part.total_tuples(), kTuples);
+  // The partition holding key 42 must contain >= 90% of all tuples.
+  int hot = static_cast<int>(HashInt64(42) & (part.num_partitions() - 1));
+  EXPECT_GT(part.partition_tuples(hot), kTuples * 8 / 10);
+}
+
+}  // namespace
+}  // namespace pjoin

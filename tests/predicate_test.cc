@@ -1,0 +1,95 @@
+// Tests for the table-scan predicate descriptors and their evaluator.
+#include <gtest/gtest.h>
+
+#include "engine/predicate.h"
+#include "storage/table.h"
+
+namespace pjoin {
+namespace {
+
+class PredicateTest : public ::testing::Test {
+ protected:
+  PredicateTest()
+      : table_("t", Schema({{"i", DataType::kInt64, 0},
+                            {"d", DataType::kDate, 0},
+                            {"f", DataType::kFloat64, 0},
+                            {"s", DataType::kChar, 10},
+                            {"i2", DataType::kInt64, 0}})) {
+    auto add = [&](int64_t i, int32_t d, double f, const std::string& s,
+                   int64_t i2) {
+      table_.column(0).AppendInt64(i);
+      table_.column(1).AppendInt32(d);
+      table_.column(2).AppendFloat64(f);
+      table_.column(3).AppendString(s);
+      table_.column(4).AppendInt64(i2);
+      table_.FinishRow();
+    };
+    add(1, MakeDate(1994, 1, 1), 0.5, "MAIL", 2);
+    add(5, MakeDate(1995, 6, 15), 1.5, "SHIP", 5);
+    add(10, MakeDate(1996, 12, 31), 2.5, "AIR BOX", 3);
+    add(-3, MakeDate(1992, 1, 1), -1.0, "REG AIR", -3);
+  }
+
+  int Count(const ScanPredicate& pred) {
+    int n = 0;
+    for (uint64_t r = 0; r < table_.num_rows(); ++r) {
+      n += EvalPredicate(pred, table_, r) ? 1 : 0;
+    }
+    return n;
+  }
+
+  Table table_;
+};
+
+TEST_F(PredicateTest, IntComparisons) {
+  EXPECT_EQ(Count(ScanPredicate::EqI("i", 5)), 1);
+  EXPECT_EQ(Count(ScanPredicate::NeI("i", 5)), 3);
+  EXPECT_EQ(Count(ScanPredicate::LtI("i", 5)), 2);
+  EXPECT_EQ(Count(ScanPredicate::LeI("i", 5)), 3);
+  EXPECT_EQ(Count(ScanPredicate::GtI("i", 1)), 2);
+  EXPECT_EQ(Count(ScanPredicate::GeI("i", 1)), 3);
+  EXPECT_EQ(Count(ScanPredicate::BetweenI("i", 1, 5)), 2);
+  EXPECT_EQ(Count(ScanPredicate::InI("i", {1, 10, 99})), 2);
+}
+
+TEST_F(PredicateTest, DateComparisons) {
+  EXPECT_EQ(Count(ScanPredicate::BetweenI("d", MakeDate(1994, 1, 1),
+                                          MakeDate(1995, 12, 31))),
+            2);
+  EXPECT_EQ(Count(ScanPredicate::LtI("d", MakeDate(1993, 1, 1))), 1);
+}
+
+TEST_F(PredicateTest, DoubleComparisons) {
+  EXPECT_EQ(Count(ScanPredicate::GtD("f", 0.0)), 3);
+  EXPECT_EQ(Count(ScanPredicate::LtD("f", 1.0)), 2);
+  EXPECT_EQ(Count(ScanPredicate::BetweenD("f", 0.5, 1.5)), 2);
+}
+
+TEST_F(PredicateTest, StringOps) {
+  EXPECT_EQ(Count(ScanPredicate::StrEq("s", "MAIL")), 1);
+  EXPECT_EQ(Count(ScanPredicate::StrNe("s", "MAIL")), 3);
+  EXPECT_EQ(Count(ScanPredicate::StrPrefix("s", "AIR")), 1);
+  EXPECT_EQ(Count(ScanPredicate::StrSuffix("s", "AIR")), 1);
+  EXPECT_EQ(Count(ScanPredicate::StrContains("s", "AIR")), 2);
+  EXPECT_EQ(Count(ScanPredicate::StrNotContains("s", "AIR")), 2);
+  EXPECT_EQ(Count(ScanPredicate::StrIn("s", {"MAIL", "SHIP"})), 2);
+}
+
+TEST_F(PredicateTest, StringPaddingIgnored) {
+  // Cells are space padded to width 10; trimmed comparison must not see it.
+  EXPECT_EQ(Count(ScanPredicate::StrEq("s", "MAIL      ")), 0);
+  EXPECT_EQ(Count(ScanPredicate::StrSuffix("s", "BOX")), 1);
+}
+
+TEST_F(PredicateTest, ColumnColumnComparisons) {
+  EXPECT_EQ(Count(ScanPredicate::ColLt("i", "i2")), 1);   // 1 < 2
+  EXPECT_EQ(Count(ScanPredicate::ColNe("i", "i2")), 2);   // rows 0 and 2
+}
+
+TEST_F(PredicateTest, EmptySetsMatchNothing) {
+  EXPECT_EQ(Count(ScanPredicate::InI("i", {})), 0);
+  EXPECT_EQ(Count(ScanPredicate::StrIn("s", {})), 0);
+}
+
+}  // namespace
+}  // namespace pjoin

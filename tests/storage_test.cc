@@ -1,0 +1,166 @@
+// Unit tests for src/storage: types, schema, columns, tables, row layouts,
+// row buffers.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "storage/column.h"
+#include "storage/row_buffer.h"
+#include "storage/row_layout.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/types.h"
+
+namespace pjoin {
+namespace {
+
+TEST(Types, Widths) {
+  EXPECT_EQ(TypeWidth(DataType::kInt64), 8u);
+  EXPECT_EQ(TypeWidth(DataType::kInt32), 4u);
+  EXPECT_EQ(TypeWidth(DataType::kFloat64), 8u);
+  EXPECT_EQ(TypeWidth(DataType::kDate), 4u);
+  EXPECT_EQ(TypeWidth(DataType::kChar, 25), 25u);
+}
+
+TEST(Types, DateRoundTrip) {
+  int32_t d = MakeDate(1998, 12, 1);
+  EXPECT_EQ(FormatDate(d), "1998-12-01");
+  EXPECT_EQ(FormatDate(MakeDate(1970, 1, 1)), "1970-01-01");
+  EXPECT_EQ(MakeDate(1970, 1, 1), 0);
+  EXPECT_EQ(MakeDate(1970, 1, 2), 1);
+}
+
+TEST(Types, DateOrdering) {
+  EXPECT_LT(MakeDate(1994, 1, 1), MakeDate(1995, 1, 1));
+  EXPECT_LT(MakeDate(1995, 2, 28), MakeDate(1995, 3, 1));
+}
+
+TEST(Schema, IndexLookup) {
+  Schema schema({{"a", DataType::kInt64, 0},
+                 {"b", DataType::kChar, 10},
+                 {"c", DataType::kFloat64, 0}});
+  EXPECT_EQ(schema.num_columns(), 3);
+  EXPECT_EQ(schema.IndexOf("b"), 1);
+  EXPECT_EQ(schema.Find("missing"), -1);
+  EXPECT_EQ(schema.column(1).width(), 10u);
+}
+
+TEST(Column, Int64RoundTrip) {
+  Column col(DataType::kInt64);
+  for (int64_t v : {-1, 0, 42, 1 << 30}) col.AppendInt64(v);
+  EXPECT_EQ(col.size(), 4u);
+  EXPECT_EQ(col.GetInt64(0), -1);
+  EXPECT_EQ(col.GetInt64(3), 1 << 30);
+}
+
+TEST(Column, StringPadding) {
+  Column col(DataType::kChar, 8);
+  col.AppendString("hi");
+  col.AppendString("exactly8");
+  col.AppendString("way too long");
+  EXPECT_EQ(col.GetString(0), "hi      ");
+  EXPECT_EQ(col.GetString(1), "exactly8");
+  EXPECT_EQ(col.GetString(2), "way too ");
+}
+
+TEST(Table, AppendAndCount) {
+  Table t("t", Schema({{"k", DataType::kInt64, 0}, {"v", DataType::kFloat64, 0}}));
+  for (int i = 0; i < 10; ++i) {
+    t.column(0).AppendInt64(i);
+    t.column(1).AppendFloat64(i * 0.5);
+    t.FinishRow();
+  }
+  EXPECT_EQ(t.num_rows(), 10u);
+  EXPECT_EQ(t.column("v").GetFloat64(4), 2.0);
+  EXPECT_EQ(t.TotalBytes(), 10u * 16u);
+}
+
+TEST(RowLayout, OffsetsAndStride) {
+  RowLayout layout({{"k", DataType::kInt64, 8, 0},
+                    {"d", DataType::kDate, 4, 0},
+                    {"s", DataType::kChar, 10, 0}});
+  EXPECT_EQ(layout.stride(), 22u);
+  EXPECT_EQ(layout.field(0).offset, 0u);
+  EXPECT_EQ(layout.field(1).offset, 8u);
+  EXPECT_EQ(layout.field(2).offset, 12u);
+  EXPECT_EQ(layout.IndexOf("s"), 2);
+}
+
+TEST(RowLayout, TypedAccess) {
+  RowLayout layout({{"k", DataType::kInt64, 8, 0},
+                    {"f", DataType::kFloat64, 8, 0},
+                    {"d", DataType::kDate, 4, 0}});
+  std::vector<std::byte> row(layout.stride());
+  layout.SetInt64(row.data(), 0, -77);
+  layout.SetFloat64(row.data(), 1, 2.75);
+  layout.SetInt32(row.data(), 2, MakeDate(1995, 6, 1));
+  EXPECT_EQ(layout.GetInt64(row.data(), 0), -77);
+  EXPECT_EQ(layout.GetFloat64(row.data(), 1), 2.75);
+  EXPECT_EQ(layout.GetInt32(row.data(), 2), MakeDate(1995, 6, 1));
+  EXPECT_EQ(layout.GetNumeric(row.data(), 2), MakeDate(1995, 6, 1));
+}
+
+TEST(RowLayout, FromSchemaSubset) {
+  Schema schema({{"a", DataType::kInt64, 0},
+                 {"b", DataType::kChar, 5},
+                 {"c", DataType::kFloat64, 0}});
+  RowLayout layout = RowLayout::FromSchema(schema, {"c", "a"});
+  EXPECT_EQ(layout.num_fields(), 2);
+  EXPECT_EQ(layout.field(0).name, "c");
+  EXPECT_EQ(layout.stride(), 16u);
+}
+
+TEST(RowLayout, CopyField) {
+  RowLayout src({{"x", DataType::kInt64, 8, 0}});
+  RowLayout dst({{"pad", DataType::kInt32, 4, 0}, {"y", DataType::kInt64, 8, 0}});
+  std::vector<std::byte> srow(src.stride()), drow(dst.stride());
+  src.SetInt64(srow.data(), 0, 123456789);
+  dst.CopyField(drow.data(), 1, src, srow.data(), 0);
+  EXPECT_EQ(dst.GetInt64(drow.data(), 1), 123456789);
+}
+
+TEST(RowBuffer, AppendAndIterate) {
+  RowBuffer buf(8, /*page_rows=*/4);
+  for (int64_t i = 0; i < 11; ++i) {
+    buf.Append(reinterpret_cast<const std::byte*>(&i));
+  }
+  EXPECT_EQ(buf.size(), 11u);
+  int64_t sum = 0;
+  uint64_t pages = 0;
+  buf.ForEachPage([&](const std::byte* rows, uint32_t count) {
+    ++pages;
+    for (uint32_t i = 0; i < count; ++i) {
+      int64_t v;
+      std::memcpy(&v, rows + i * 8, 8);
+      sum += v;
+    }
+  });
+  EXPECT_EQ(pages, 3u);
+  EXPECT_EQ(sum, 55);
+}
+
+TEST(RowBuffer, RowAtStablePointers) {
+  RowBuffer buf(8, 4);
+  std::vector<std::byte*> ptrs;
+  for (int64_t i = 0; i < 20; ++i) {
+    ptrs.push_back(buf.Append(reinterpret_cast<const std::byte*>(&i)));
+  }
+  for (int64_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(buf.RowAt(i), ptrs[i]);
+    int64_t v;
+    std::memcpy(&v, buf.RowAt(i), 8);
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(RowBuffer, ClearResets) {
+  RowBuffer buf(16);
+  std::vector<std::byte> row(16);
+  buf.Append(row.data());
+  buf.Clear();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.TotalBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace pjoin

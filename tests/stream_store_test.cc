@@ -1,0 +1,65 @@
+// Tests for the non-temporal streaming copy helper and related formatting
+// utilities.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "partition/stream_store.h"
+#include "util/aligned_buffer.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+namespace pjoin {
+namespace {
+
+TEST(StreamStore, CopiesExactBytes) {
+  AlignedBuffer src(4096), dst(4096);
+  Rng rng(1);
+  for (size_t i = 0; i < 4096; i += 8) {
+    uint64_t v = rng.Next();
+    std::memcpy(src.data() + i, &v, 8);
+  }
+  std::memset(dst.data(), 0xAB, 4096);
+  StreamCopyAligned(dst.data(), src.data(), 4096);
+  StreamFence();
+  EXPECT_EQ(std::memcmp(dst.data(), src.data(), 4096), 0);
+}
+
+TEST(StreamStore, PartialBufferRegionsUntouched) {
+  AlignedBuffer src(256), dst(512);
+  std::memset(src.data(), 0x11, 256);
+  std::memset(dst.data(), 0x22, 512);
+  StreamCopyAligned(dst.data(), src.data(), 256);
+  StreamFence();
+  for (size_t i = 0; i < 256; ++i) {
+    ASSERT_EQ(static_cast<unsigned char>(dst.data()[i]), 0x11u);
+  }
+  for (size_t i = 256; i < 512; ++i) {
+    ASSERT_EQ(static_cast<unsigned char>(dst.data()[i]), 0x22u);
+  }
+}
+
+TEST(StreamStore, ManySmallBlocks) {
+  // 64-byte blocks at varying aligned offsets (the SWWCB flush pattern).
+  AlignedBuffer src(64), dst(64 * 128);
+  Rng rng(2);
+  for (int block = 0; block < 128; ++block) {
+    for (size_t i = 0; i < 64; ++i) {
+      src.data()[i] = static_cast<std::byte>(rng.Next() & 0xFF);
+    }
+    StreamCopyAligned(dst.data() + block * 64, src.data(), 64);
+    StreamFence();
+    ASSERT_EQ(std::memcmp(dst.data() + block * 64, src.data(), 64), 0);
+  }
+}
+
+TEST(TablePrinterBytes, UnitSelection) {
+  EXPECT_EQ(TablePrinter::Bytes(512), "512 B");
+  EXPECT_EQ(TablePrinter::Bytes(32 * 1024.0), "32.0 KiB");
+  EXPECT_EQ(TablePrinter::Bytes(19.0 * 1024 * 1024), "19.0 MiB");
+  EXPECT_EQ(TablePrinter::Bytes(2.5 * 1024 * 1024 * 1024), "2.5 GiB");
+}
+
+}  // namespace
+}  // namespace pjoin

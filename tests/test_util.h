@@ -1,0 +1,170 @@
+// Shared helpers for pipeline-level tests: an in-memory row source, a
+// collecting sink, and a nested-loop reference join covering every kind.
+#ifndef PJOIN_TESTS_TEST_UTIL_H_
+#define PJOIN_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "exec/batch.h"
+#include "exec/morsel.h"
+#include "exec/pipeline.h"
+#include "join/join_types.h"
+#include "storage/row_layout.h"
+
+namespace pjoin {
+
+// Rows of int64 columns, used as plain relations in tests.
+using IntRows = std::vector<std::vector<int64_t>>;
+
+// Builds an N-int64-column layout named c0, c1, ...
+inline RowLayout IntLayout(int columns) {
+  std::vector<RowField> fields;
+  for (int i = 0; i < columns; ++i) {
+    fields.push_back(RowField{"c" + std::to_string(i) + "_x",
+                              DataType::kInt64, 8, 0});
+  }
+  return RowLayout(std::move(fields));
+}
+
+// Pipeline source producing batches from IntRows.
+class IntRowsSource : public Source {
+ public:
+  IntRowsSource(const RowLayout* layout, const IntRows* rows)
+      : layout_(layout), rows_(rows), queue_(rows->size(), 2048) {}
+
+  bool ProduceMorsel(Operator& consumer, ThreadContext& ctx) override {
+    Morsel m = queue_.Next();
+    if (m.empty()) return false;
+    BatchScratch scratch;
+    scratch.Bind(layout_);
+    Batch batch = scratch.Start();
+    for (uint64_t r = m.begin; r < m.end; ++r) {
+      std::byte* slot = scratch.AppendSlot(batch);
+      const auto& row = (*rows_)[r];
+      for (int c = 0; c < layout_->num_fields(); ++c) {
+        layout_->SetInt64(slot, c, row[c]);
+      }
+      if (scratch.Full(batch)) {
+        consumer.Consume(batch, ctx);
+        batch = scratch.Start();
+      }
+    }
+    if (batch.size > 0) consumer.Consume(batch, ctx);
+    return true;
+  }
+  const RowLayout* OutputLayout() const override { return layout_; }
+
+ private:
+  const RowLayout* layout_;
+  const IntRows* rows_;
+  MorselQueue queue_;
+};
+
+// Sink collecting all numeric fields of incoming rows (thread-safe).
+class IntCollectSink : public Operator {
+ public:
+  explicit IntCollectSink(const RowLayout* layout) : layout_(layout) {}
+
+  void Consume(Batch& batch, ThreadContext&) override {
+    std::vector<std::vector<int64_t>> local;
+    local.reserve(batch.size);
+    for (uint32_t i = 0; i < batch.size; ++i) {
+      std::vector<int64_t> row(layout_->num_fields());
+      for (int c = 0; c < layout_->num_fields(); ++c) {
+        row[c] = layout_->GetNumeric(batch.Row(i), c);
+      }
+      local.push_back(std::move(row));
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& r : local) rows_.push_back(std::move(r));
+  }
+  const RowLayout* OutputLayout() const override { return layout_; }
+
+  // Rows sorted lexicographically (output order is nondeterministic).
+  IntRows SortedRows() const {
+    IntRows copy = rows_;
+    std::sort(copy.begin(), copy.end());
+    return copy;
+  }
+  uint64_t count() const { return rows_.size(); }
+
+ private:
+  const RowLayout* layout_;
+  mutable std::mutex mu_;
+  IntRows rows_;
+};
+
+// Nested-loop reference join over IntRows. Key is column `key_col` on both
+// sides. Output schema mirrors the join operators:
+//   pair kinds:   build cols ++ probe cols (absent side zero-filled)
+//   probe-only:   zeros(build) ++ probe cols
+//   build-only:   build cols ++ zeros(probe)
+//   mark:         zeros(build) ++ probe cols ++ [mark]
+inline IntRows ReferenceJoin(const IntRows& build, const IntRows& probe,
+                             int key_col, JoinKind kind, int build_cols,
+                             int probe_cols) {
+  IntRows out;
+  std::multimap<int64_t, const std::vector<int64_t>*> index;
+  for (const auto& b : build) index.emplace(b[key_col], &b);
+
+  auto pair_row = [&](const std::vector<int64_t>* b,
+                      const std::vector<int64_t>* p) {
+    std::vector<int64_t> row;
+    for (int c = 0; c < build_cols; ++c) row.push_back(b ? (*b)[c] : 0);
+    for (int c = 0; c < probe_cols; ++c) row.push_back(p ? (*p)[c] : 0);
+    return row;
+  };
+
+  std::vector<char> build_matched(build.size(), 0);
+  std::map<const std::vector<int64_t>*, size_t> build_index;
+  for (size_t i = 0; i < build.size(); ++i) build_index[&build[i]] = i;
+
+  for (const auto& p : probe) {
+    auto [lo, hi] = index.equal_range(p[key_col]);
+    bool matched = lo != hi;
+    for (auto it = lo; it != hi; ++it) {
+      build_matched[build_index[it->second]] = 1;
+      if (kind == JoinKind::kInner || kind == JoinKind::kLeftOuter ||
+          kind == JoinKind::kRightOuter) {
+        out.push_back(pair_row(it->second, &p));
+      }
+    }
+    switch (kind) {
+      case JoinKind::kProbeSemi:
+        if (matched) out.push_back(pair_row(nullptr, &p));
+        break;
+      case JoinKind::kProbeAnti:
+        if (!matched) out.push_back(pair_row(nullptr, &p));
+        break;
+      case JoinKind::kLeftOuter:
+        if (!matched) out.push_back(pair_row(nullptr, &p));
+        break;
+      case JoinKind::kMark: {
+        auto row = pair_row(nullptr, &p);
+        row.push_back(matched ? 1 : 0);
+        out.push_back(std::move(row));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  for (size_t i = 0; i < build.size(); ++i) {
+    const bool m = build_matched[i] != 0;
+    if ((kind == JoinKind::kBuildSemi && m) ||
+        (kind == JoinKind::kBuildAnti && !m) ||
+        (kind == JoinKind::kRightOuter && !m)) {
+      out.push_back(pair_row(&build[i], nullptr));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pjoin
+
+#endif  // PJOIN_TESTS_TEST_UTIL_H_

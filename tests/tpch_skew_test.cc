@@ -1,0 +1,71 @@
+// Tests for the JCC-H-style skewed TPC-H generator extension.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "engine/executor.h"
+#include "tpch/gen.h"
+#include "tpch/queries.h"
+
+namespace pjoin {
+namespace {
+
+TEST(TpchSkew, SkewConcentratesForeignKeys) {
+  auto uniform = GenerateTpch(0.01, 19, 0.0);
+  auto skewed = GenerateTpch(0.01, 19, 1.2);
+
+  auto top_partkey_share = [](const TpchDb& db) {
+    std::map<int64_t, uint64_t> counts;
+    for (uint64_t r = 0; r < db.lineitem.num_rows(); ++r) {
+      counts[db.lineitem.column(1).GetInt64(r)]++;
+    }
+    uint64_t max_count = 0;
+    for (const auto& [k, n] : counts) max_count = std::max(max_count, n);
+    return static_cast<double>(max_count) / db.lineitem.num_rows();
+  };
+  EXPECT_GT(top_partkey_share(*skewed), top_partkey_share(*uniform) * 20);
+}
+
+TEST(TpchSkew, ForeignKeysStayValid) {
+  auto db = GenerateTpch(0.01, 19, 1.5);
+  const int64_t parts = static_cast<int64_t>(db->part.num_rows());
+  const int64_t customers = static_cast<int64_t>(db->customer.num_rows());
+  for (uint64_t r = 0; r < db->lineitem.num_rows(); r += 3) {
+    int64_t pk = db->lineitem.column(1).GetInt64(r);
+    ASSERT_GE(pk, 1);
+    ASSERT_LE(pk, parts);
+  }
+  for (uint64_t r = 0; r < db->orders.num_rows(); r += 3) {
+    int64_t ck = db->orders.column(1).GetInt64(r);
+    ASSERT_GE(ck, 1);
+    ASSERT_LE(ck, customers);
+    ASSERT_NE(ck % 3, 0);
+  }
+}
+
+TEST(TpchSkew, QueriesStillAgreeAcrossStrategies) {
+  auto db = GenerateTpch(0.01, 19, 1.0);
+  ThreadPool pool(2);
+  for (int qid : {3, 5, 14}) {
+    const TpchQuery& query = GetTpchQuery(qid);
+    QueryResult reference;
+    bool first = true;
+    for (JoinStrategy s : {JoinStrategy::kBHJ, JoinStrategy::kRJ,
+                           JoinStrategy::kBRJ}) {
+      ExecOptions options;
+      options.join_strategy = s;
+      options.num_threads = 2;
+      QueryResult result = query.run(*db, options, nullptr, &pool);
+      if (first) {
+        reference = result;
+        first = false;
+      } else {
+        ASSERT_TRUE(result.ApproxEquals(reference, 1e-6))
+            << "Q" << qid << " " << JoinStrategyName(s);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pjoin

@@ -1,0 +1,193 @@
+// TPC-H generator invariants and cross-strategy query equivalence.
+//
+// The core guarantee behind the paper's methodology: replacing every join in
+// a query plan with any of BHJ / RJ / BRJ / adaptive BRJ — with or without
+// late materialization — must not change any query result.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "engine/executor.h"
+#include "tpch/gen.h"
+#include "tpch/queries.h"
+
+namespace pjoin {
+namespace {
+
+class TpchFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = GenerateTpch(0.01).release();
+    pool_ = new ThreadPool(2);
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+    delete pool_;
+    pool_ = nullptr;
+  }
+
+  static TpchDb* db_;
+  static ThreadPool* pool_;
+};
+
+TpchDb* TpchFixture::db_ = nullptr;
+ThreadPool* TpchFixture::pool_ = nullptr;
+
+TEST_F(TpchFixture, Cardinalities) {
+  EXPECT_EQ(db_->region.num_rows(), 5u);
+  EXPECT_EQ(db_->nation.num_rows(), 25u);
+  EXPECT_EQ(db_->supplier.num_rows(), 100u);
+  EXPECT_EQ(db_->customer.num_rows(), 1500u);
+  EXPECT_EQ(db_->part.num_rows(), 2000u);
+  EXPECT_EQ(db_->partsupp.num_rows(), 8000u);
+  EXPECT_EQ(db_->orders.num_rows(), 15000u);
+  // 1..7 lineitems per order, ~4 on average.
+  EXPECT_GT(db_->lineitem.num_rows(), db_->orders.num_rows() * 2);
+  EXPECT_LT(db_->lineitem.num_rows(), db_->orders.num_rows() * 7);
+}
+
+TEST_F(TpchFixture, Deterministic) {
+  auto db2 = GenerateTpch(0.01);
+  EXPECT_EQ(db_->lineitem.num_rows(), db2->lineitem.num_rows());
+  EXPECT_EQ(db_->lineitem.column(5).GetFloat64(100),
+            db2->lineitem.column(5).GetFloat64(100));
+  EXPECT_EQ(db_->part.column(1).GetString(7), db2->part.column(1).GetString(7));
+}
+
+TEST_F(TpchFixture, ForeignKeyIntegrity) {
+  const int64_t suppliers = static_cast<int64_t>(db_->supplier.num_rows());
+  const int64_t parts = static_cast<int64_t>(db_->part.num_rows());
+  const int64_t customers = static_cast<int64_t>(db_->customer.num_rows());
+  const int64_t orders = static_cast<int64_t>(db_->orders.num_rows());
+  for (uint64_t r = 0; r < db_->lineitem.num_rows(); ++r) {
+    int64_t ok = db_->lineitem.column(0).GetInt64(r);
+    int64_t pk = db_->lineitem.column(1).GetInt64(r);
+    int64_t sk = db_->lineitem.column(2).GetInt64(r);
+    ASSERT_GE(ok, 1);
+    ASSERT_LE(ok, orders);
+    ASSERT_GE(pk, 1);
+    ASSERT_LE(pk, parts);
+    ASSERT_GE(sk, 1);
+    ASSERT_LE(sk, suppliers);
+  }
+  for (uint64_t r = 0; r < db_->orders.num_rows(); ++r) {
+    int64_t ck = db_->orders.column(1).GetInt64(r);
+    ASSERT_GE(ck, 1);
+    ASSERT_LE(ck, customers);
+    ASSERT_NE(ck % 3, 0) << "only 2/3 of customers place orders";
+  }
+}
+
+TEST_F(TpchFixture, LineitemSuppliersComeFromPartsupp) {
+  // Every (l_partkey, l_suppkey) must exist in partsupp — Q9/Q20 rely on it.
+  std::set<std::pair<int64_t, int64_t>> ps;
+  for (uint64_t r = 0; r < db_->partsupp.num_rows(); ++r) {
+    ps.emplace(db_->partsupp.column(0).GetInt64(r),
+               db_->partsupp.column(1).GetInt64(r));
+  }
+  for (uint64_t r = 0; r < db_->lineitem.num_rows(); r += 7) {
+    std::pair<int64_t, int64_t> key{db_->lineitem.column(1).GetInt64(r),
+                                    db_->lineitem.column(2).GetInt64(r)};
+    ASSERT_TRUE(ps.count(key)) << key.first << "/" << key.second;
+  }
+}
+
+TEST_F(TpchFixture, DatesConsistent) {
+  for (uint64_t r = 0; r < db_->lineitem.num_rows(); r += 13) {
+    int32_t ship = db_->lineitem.column(10).GetInt32(r);
+    int32_t receipt = db_->lineitem.column(12).GetInt32(r);
+    ASSERT_LT(ship, receipt);
+    ASSERT_GE(ship, TpchStartDate());
+    ASSERT_LE(receipt, TpchEndDate() + 200);
+  }
+}
+
+TEST_F(TpchFixture, ValueDomains) {
+  std::set<std::string> regions, segments, modes;
+  for (uint64_t r = 0; r < db_->region.num_rows(); ++r) {
+    regions.insert(db_->region.column(1).GetString(r));
+  }
+  EXPECT_EQ(regions.size(), 5u);
+  for (uint64_t r = 0; r < db_->customer.num_rows(); ++r) {
+    std::string s = db_->customer.column(5).GetString(r);
+    segments.insert(s.substr(0, s.find(' ') == std::string::npos
+                                    ? s.size()
+                                    : std::string::npos));
+  }
+  EXPECT_LE(segments.size(), 6u);
+  for (uint64_t r = 0; r < db_->lineitem.num_rows(); r += 11) {
+    modes.insert(db_->lineitem.column(14).GetString(r));
+  }
+  EXPECT_LE(modes.size(), 7u);
+}
+
+TEST_F(TpchFixture, JoinCatalogCounts59Joins) {
+  EXPECT_EQ(TotalTpchJoins(), 59);
+  EXPECT_EQ(TpchQueries().size(), 19u);
+}
+
+// Every query must produce identical results under all four join strategies
+// and both materialization strategies.
+class TpchQueryEquivalence : public TpchFixture,
+                             public ::testing::WithParamInterface<int> {};
+
+TEST_P(TpchQueryEquivalence, AllStrategiesAgree) {
+  const TpchQuery& query = GetTpchQuery(GetParam());
+  QueryResult reference;
+  bool first = true;
+  for (JoinStrategy s : {JoinStrategy::kBHJ, JoinStrategy::kRJ,
+                         JoinStrategy::kBRJ, JoinStrategy::kBRJAdaptive}) {
+    for (bool lm : {false, true}) {
+      ExecOptions options;
+      options.join_strategy = s;
+      options.late_materialization = lm;
+      options.num_threads = 2;
+      QueryStats stats;
+      QueryResult result = query.run(*db_, options, &stats, pool_);
+      EXPECT_GT(stats.source_tuples, 0u);
+      if (first) {
+        reference = result;
+        first = false;
+      } else {
+        ASSERT_TRUE(result.ApproxEquals(reference, 1e-6))
+            << "Q" << query.id << " " << JoinStrategyName(s)
+            << (lm ? " LM" : " EM") << "\nref:\n"
+            << reference.ToString() << "\ngot:\n"
+            << result.ToString();
+      }
+    }
+  }
+  // Every query must return something at SF 0.01 — empty results would make
+  // the benchmark comparisons vacuous. Q20 is exempt: its forest/CANADA
+  // parameters are so selective that a 20k-part sample may legitimately
+  // leave no qualifying supplier.
+  if (query.id != 20) {
+    EXPECT_GT(reference.num_rows(), 0u) << "Q" << query.id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TpchQueryEquivalence,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 9, 10, 11, 12, 14,
+                                           15, 16, 17, 18, 19, 20, 21, 22),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Q" + std::to_string(info.param);
+                         });
+
+// Per-join overrides must not change results either (Figure 12 machinery).
+TEST_F(TpchFixture, PerJoinOverridesPreserveResults) {
+  const TpchQuery& q5 = GetTpchQuery(5);
+  ExecOptions base;
+  base.join_strategy = JoinStrategy::kBHJ;
+  base.num_threads = 2;
+  QueryResult reference = q5.run(*db_, base, nullptr, pool_);
+  for (int j = 0; j < q5.num_joins; ++j) {
+    ExecOptions mixed = base;
+    mixed.join_overrides[j] = JoinStrategy::kBRJ;
+    QueryResult result = q5.run(*db_, mixed, nullptr, pool_);
+    ASSERT_TRUE(result.ApproxEquals(reference, 1e-6)) << "override join " << j;
+  }
+}
+
+}  // namespace
+}  // namespace pjoin

@@ -1,0 +1,250 @@
+// Unit tests for src/util: hashing, RNG, Zipf, bit tricks, buffers, env.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/aligned_buffer.h"
+#include "util/bitutil.h"
+#include "util/byte_counter.h"
+#include "util/cpu_info.h"
+#include "util/env.h"
+#include "util/hash.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+#include "util/zipf.h"
+
+namespace pjoin {
+namespace {
+
+TEST(BitUtil, NextPow2) {
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(2), 2u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(1000), 1024u);
+  EXPECT_EQ(NextPow2(1024), 1024u);
+}
+
+TEST(BitUtil, Log2Pow2) {
+  EXPECT_EQ(Log2Pow2(1), 0);
+  EXPECT_EQ(Log2Pow2(2), 1);
+  EXPECT_EQ(Log2Pow2(4096), 12);
+}
+
+TEST(BitUtil, CeilLog2) {
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(5), 3);
+  EXPECT_EQ(CeilLog2(8), 3);
+  EXPECT_EQ(CeilLog2(9), 4);
+}
+
+TEST(BitUtil, IsPow2) {
+  EXPECT_TRUE(IsPow2(1));
+  EXPECT_TRUE(IsPow2(64));
+  EXPECT_FALSE(IsPow2(0));
+  EXPECT_FALSE(IsPow2(48));
+}
+
+TEST(BitUtil, AlignUp) {
+  EXPECT_EQ(AlignUp(0, 64), 0u);
+  EXPECT_EQ(AlignUp(1, 64), 64u);
+  EXPECT_EQ(AlignUp(64, 64), 64u);
+  EXPECT_EQ(AlignUp(65, 64), 128u);
+}
+
+TEST(Hash, Int64Deterministic) {
+  EXPECT_EQ(HashInt64(42), HashInt64(42));
+  EXPECT_NE(HashInt64(42), HashInt64(43));
+}
+
+TEST(Hash, Int64SpreadsLowBits) {
+  // The radix partitioner uses the low bits; sequential keys must not map to
+  // sequential low bits.
+  std::set<uint64_t> low_bits;
+  for (uint64_t k = 0; k < 4096; ++k) {
+    low_bits.insert(HashInt64(k) & 0xFF);
+  }
+  EXPECT_EQ(low_bits.size(), 256u);  // all 256 buckets hit within 4k keys
+}
+
+TEST(Hash, BytesMatchesPrefixStability) {
+  const char data[] = "hello world, this is a hash test";
+  uint64_t h1 = HashBytes(data, sizeof(data) - 1);
+  uint64_t h2 = HashBytes(data, sizeof(data) - 1);
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(HashBytes(data, 5), HashBytes(data, 6));
+}
+
+TEST(Hash, CombineOrderSensitive) {
+  EXPECT_NE(HashCombine(HashInt64(1), HashInt64(2)),
+            HashCombine(HashInt64(2), HashInt64(1)));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, BelowInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.Range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Zipf, UniformWhenThetaZero) {
+  Rng rng(11);
+  ZipfGenerator zipf(10, 0.0);
+  std::vector<int> counts(11, 0);
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) counts[zipf.Next(rng)]++;
+  for (int k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(counts[k], kSamples / 10.0, kSamples * 0.01);
+  }
+}
+
+TEST(Zipf, InUniverse) {
+  Rng rng(12);
+  for (double theta : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+    ZipfGenerator zipf(1000, theta);
+    for (int i = 0; i < 10000; ++i) {
+      uint64_t v = zipf.Next(rng);
+      EXPECT_GE(v, 1u);
+      EXPECT_LE(v, 1000u);
+    }
+  }
+}
+
+TEST(Zipf, SkewConcentratesMass) {
+  // The paper notes that z > 1 means >50% of tuples hit the first 20% of the
+  // build relation; verify the sampler matches the analytic distribution.
+  Rng rng(13);
+  ZipfGenerator zipf(1000, 1.5);
+  const int kSamples = 200000;
+  int in_top_20pct = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Next(rng) <= 200) in_top_20pct++;
+  }
+  EXPECT_GT(in_top_20pct, kSamples / 2);
+}
+
+TEST(Zipf, FrequencyMatchesPowerLaw) {
+  Rng rng(14);
+  const double theta = 1.0;
+  ZipfGenerator zipf(100, theta);
+  std::vector<int> counts(101, 0);
+  const int kSamples = 500000;
+  for (int i = 0; i < kSamples; ++i) counts[zipf.Next(rng)]++;
+  // P(1)/P(2) should be 2^theta = 2.
+  double ratio = static_cast<double>(counts[1]) / counts[2];
+  EXPECT_NEAR(ratio, 2.0, 0.15);
+}
+
+TEST(AlignedBuffer, Alignment) {
+  AlignedBuffer buf(100);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(buf.data()) % kCacheLineSize, 0u);
+  EXPECT_GE(buf.size(), 100u);
+  EXPECT_EQ(buf.size() % kCacheLineSize, 0u);
+}
+
+TEST(AlignedBuffer, EnsureCapacityGrowsOnly) {
+  AlignedBuffer buf(128);
+  auto* p = buf.data();
+  buf.EnsureCapacity(64);
+  EXPECT_EQ(buf.data(), p);  // no shrink, no realloc
+  buf.EnsureCapacity(4096);
+  EXPECT_GE(buf.size(), 4096u);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer a(256);
+  auto* p = a.data();
+  AlignedBuffer b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(a.data(), nullptr);
+}
+
+TEST(ByteCounter, MergeAccumulates) {
+  ByteCounter a, b;
+  a.AddRead(JoinPhase::kJoin, 100);
+  a.AddWrite(JoinPhase::kJoin, 50);
+  b.AddRead(JoinPhase::kJoin, 1);
+  b.Merge(a);
+  EXPECT_EQ(b.phase(JoinPhase::kJoin).read, 101u);
+  EXPECT_EQ(b.phase(JoinPhase::kJoin).written, 50u);
+}
+
+TEST(ByteCounter, PhaseNames) {
+  EXPECT_STREQ(JoinPhaseName(JoinPhase::kPartitionPass1), "partition pass 1");
+  EXPECT_STREQ(JoinPhaseName(JoinPhase::kJoin), "join");
+}
+
+TEST(CpuInfo, SaneDefaults) {
+  const CpuInfo& info = GetCpuInfo();
+  EXPECT_GE(info.logical_cores, 1);
+  EXPECT_GT(info.l1d_bytes, 0);
+  EXPECT_GT(info.l2_bytes, 0);
+  EXPECT_GT(info.llc_bytes, 0);
+  EXPECT_GE(info.llc_bytes, info.l2_bytes);
+}
+
+TEST(Env, DefaultsWhenUnset) {
+  EXPECT_EQ(GetEnvInt64("PJOIN_DOES_NOT_EXIST", 42), 42);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("PJOIN_DOES_NOT_EXIST", 1.5), 1.5);
+  EXPECT_EQ(GetEnvString("PJOIN_DOES_NOT_EXIST", "x"), "x");
+}
+
+TEST(Env, ParsesSetValues) {
+  setenv("PJOIN_TEST_KNOB", "123", 1);
+  EXPECT_EQ(GetEnvInt64("PJOIN_TEST_KNOB", 0), 123);
+  setenv("PJOIN_TEST_KNOB", "2.5", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("PJOIN_TEST_KNOB", 0), 2.5);
+  unsetenv("PJOIN_TEST_KNOB");
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter tp({"name", "value"});
+  tp.AddRow({"a", "1"});
+  tp.AddRow({"long-name", "22"});
+  std::string out = tp.ToString();
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinter, Formatters) {
+  EXPECT_EQ(TablePrinter::Mib(1024.0 * 1024.0), "1.0 MiB");
+  EXPECT_EQ(TablePrinter::TuplesPerSec(2.5e9), "2.50 G T/s");
+  EXPECT_EQ(TablePrinter::Percent(0.5), "+50.0%");
+  EXPECT_EQ(TablePrinter::Double(3.14159, 2), "3.14");
+}
+
+}  // namespace
+}  // namespace pjoin
