@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_skewed_tpch.dir/ext_skewed_tpch.cc.o"
+  "CMakeFiles/ext_skewed_tpch.dir/ext_skewed_tpch.cc.o.d"
+  "ext_skewed_tpch"
+  "ext_skewed_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_skewed_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_tpch_join_map.dir/fig01_tpch_join_map.cc.o"
+  "CMakeFiles/fig01_tpch_join_map.dir/fig01_tpch_join_map.cc.o.d"
+  "fig01_tpch_join_map"
+  "fig01_tpch_join_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_tpch_join_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_workload_histograms.dir/fig02_workload_histograms.cc.o"
+  "CMakeFiles/fig02_workload_histograms.dir/fig02_workload_histograms.cc.o.d"
+  "fig02_workload_histograms"
+  "fig02_workload_histograms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_workload_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_tpch_throughput.dir/fig11_tpch_throughput.cc.o"
+  "CMakeFiles/fig11_tpch_throughput.dir/fig11_tpch_throughput.cc.o.d"
+  "fig11_tpch_throughput"
+  "fig11_tpch_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_tpch_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

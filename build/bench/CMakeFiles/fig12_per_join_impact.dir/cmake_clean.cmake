@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_per_join_impact.dir/fig12_per_join_impact.cc.o"
+  "CMakeFiles/fig12_per_join_impact.dir/fig12_per_join_impact.cc.o.d"
+  "fig12_per_join_impact"
+  "fig12_per_join_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_per_join_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

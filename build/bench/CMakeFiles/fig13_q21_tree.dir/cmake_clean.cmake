@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_q21_tree.dir/fig13_q21_tree.cc.o"
+  "CMakeFiles/fig13_q21_tree.dir/fig13_q21_tree.cc.o.d"
+  "fig13_q21_tree"
+  "fig13_q21_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_q21_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

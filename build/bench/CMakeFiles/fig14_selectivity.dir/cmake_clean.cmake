@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_selectivity.dir/fig14_selectivity.cc.o"
+  "CMakeFiles/fig14_selectivity.dir/fig14_selectivity.cc.o.d"
+  "fig14_selectivity"
+  "fig14_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_payload.dir/fig15_payload.cc.o"
+  "CMakeFiles/fig15_payload.dir/fig15_payload.cc.o.d"
+  "fig15_payload"
+  "fig15_payload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_payload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

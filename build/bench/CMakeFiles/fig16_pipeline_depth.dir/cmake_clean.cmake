@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_pipeline_depth.dir/fig16_pipeline_depth.cc.o"
+  "CMakeFiles/fig16_pipeline_depth.dir/fig16_pipeline_depth.cc.o.d"
+  "fig16_pipeline_depth"
+  "fig16_pipeline_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_pipeline_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

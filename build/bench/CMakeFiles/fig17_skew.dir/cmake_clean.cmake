@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_skew.dir/fig17_skew.cc.o"
+  "CMakeFiles/fig17_skew.dir/fig17_skew.cc.o.d"
+  "fig17_skew"
+  "fig17_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

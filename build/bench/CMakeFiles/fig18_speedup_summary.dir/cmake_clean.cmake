@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_speedup_summary.dir/fig18_speedup_summary.cc.o"
+  "CMakeFiles/fig18_speedup_summary.dir/fig18_speedup_summary.cc.o.d"
+  "fig18_speedup_summary"
+  "fig18_speedup_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_speedup_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

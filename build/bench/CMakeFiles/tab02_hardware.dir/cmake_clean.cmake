@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_hardware.dir/tab02_hardware.cc.o"
+  "CMakeFiles/tab02_hardware.dir/tab02_hardware.cc.o.d"
+  "tab02_hardware"
+  "tab02_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_late_materialization.dir/tab03_late_materialization.cc.o"
+  "CMakeFiles/tab03_late_materialization.dir/tab03_late_materialization.cc.o.d"
+  "tab03_late_materialization"
+  "tab03_late_materialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_late_materialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

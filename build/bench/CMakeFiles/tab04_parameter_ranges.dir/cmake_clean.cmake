@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_parameter_ranges.dir/tab04_parameter_ranges.cc.o"
+  "CMakeFiles/tab04_parameter_ranges.dir/tab04_parameter_ranges.cc.o.d"
+  "tab04_parameter_ranges"
+  "tab04_parameter_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_parameter_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab05_workload_survey.dir/tab05_workload_survey.cc.o"
+  "CMakeFiles/tab05_workload_survey.dir/tab05_workload_survey.cc.o.d"
+  "tab05_workload_survey"
+  "tab05_workload_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_workload_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

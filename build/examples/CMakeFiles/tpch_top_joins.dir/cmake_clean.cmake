@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_top_joins.dir/tpch_top_joins.cpp.o"
+  "CMakeFiles/tpch_top_joins.dir/tpch_top_joins.cpp.o.d"
+  "tpch_top_joins"
+  "tpch_top_joins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_top_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

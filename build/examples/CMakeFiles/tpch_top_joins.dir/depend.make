@@ -1,0 +1,2 @@
+# Empty dependencies file for tpch_top_joins.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/balkesen.cc" "src/CMakeFiles/pjoin.dir/baseline/balkesen.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/baseline/balkesen.cc.o.d"
+  "/root/repo/src/bench_util/harness.cc" "src/CMakeFiles/pjoin.dir/bench_util/harness.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/bench_util/harness.cc.o.d"
+  "/root/repo/src/bench_util/workloads.cc" "src/CMakeFiles/pjoin.dir/bench_util/workloads.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/bench_util/workloads.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/CMakeFiles/pjoin.dir/engine/executor.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/engine/executor.cc.o.d"
+  "/root/repo/src/engine/explain.cc" "src/CMakeFiles/pjoin.dir/engine/explain.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/engine/explain.cc.o.d"
+  "/root/repo/src/engine/hash_agg.cc" "src/CMakeFiles/pjoin.dir/engine/hash_agg.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/engine/hash_agg.cc.o.d"
+  "/root/repo/src/engine/operators.cc" "src/CMakeFiles/pjoin.dir/engine/operators.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/engine/operators.cc.o.d"
+  "/root/repo/src/engine/plan.cc" "src/CMakeFiles/pjoin.dir/engine/plan.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/engine/plan.cc.o.d"
+  "/root/repo/src/engine/predicate.cc" "src/CMakeFiles/pjoin.dir/engine/predicate.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/engine/predicate.cc.o.d"
+  "/root/repo/src/engine/scan.cc" "src/CMakeFiles/pjoin.dir/engine/scan.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/engine/scan.cc.o.d"
+  "/root/repo/src/engine/value.cc" "src/CMakeFiles/pjoin.dir/engine/value.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/engine/value.cc.o.d"
+  "/root/repo/src/exec/pipeline.cc" "src/CMakeFiles/pjoin.dir/exec/pipeline.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/exec/pipeline.cc.o.d"
+  "/root/repo/src/exec/thread_pool.cc" "src/CMakeFiles/pjoin.dir/exec/thread_pool.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/exec/thread_pool.cc.o.d"
+  "/root/repo/src/filter/blocked_bloom.cc" "src/CMakeFiles/pjoin.dir/filter/blocked_bloom.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/filter/blocked_bloom.cc.o.d"
+  "/root/repo/src/hash_table/chaining_ht.cc" "src/CMakeFiles/pjoin.dir/hash_table/chaining_ht.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/hash_table/chaining_ht.cc.o.d"
+  "/root/repo/src/hash_table/robin_hood.cc" "src/CMakeFiles/pjoin.dir/hash_table/robin_hood.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/hash_table/robin_hood.cc.o.d"
+  "/root/repo/src/join/group_join.cc" "src/CMakeFiles/pjoin.dir/join/group_join.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/join/group_join.cc.o.d"
+  "/root/repo/src/join/hash_join.cc" "src/CMakeFiles/pjoin.dir/join/hash_join.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/join/hash_join.cc.o.d"
+  "/root/repo/src/join/join_types.cc" "src/CMakeFiles/pjoin.dir/join/join_types.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/join/join_types.cc.o.d"
+  "/root/repo/src/join/radix_join.cc" "src/CMakeFiles/pjoin.dir/join/radix_join.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/join/radix_join.cc.o.d"
+  "/root/repo/src/partition/chunked_buffer.cc" "src/CMakeFiles/pjoin.dir/partition/chunked_buffer.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/partition/chunked_buffer.cc.o.d"
+  "/root/repo/src/partition/radix_partitioner.cc" "src/CMakeFiles/pjoin.dir/partition/radix_partitioner.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/partition/radix_partitioner.cc.o.d"
+  "/root/repo/src/storage/row_buffer.cc" "src/CMakeFiles/pjoin.dir/storage/row_buffer.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/storage/row_buffer.cc.o.d"
+  "/root/repo/src/storage/row_layout.cc" "src/CMakeFiles/pjoin.dir/storage/row_layout.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/storage/row_layout.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/pjoin.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/pjoin.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/types.cc" "src/CMakeFiles/pjoin.dir/storage/types.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/storage/types.cc.o.d"
+  "/root/repo/src/tpch/gen.cc" "src/CMakeFiles/pjoin.dir/tpch/gen.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/tpch/gen.cc.o.d"
+  "/root/repo/src/tpch/queries.cc" "src/CMakeFiles/pjoin.dir/tpch/queries.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/tpch/queries.cc.o.d"
+  "/root/repo/src/util/aligned_buffer.cc" "src/CMakeFiles/pjoin.dir/util/aligned_buffer.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/util/aligned_buffer.cc.o.d"
+  "/root/repo/src/util/byte_counter.cc" "src/CMakeFiles/pjoin.dir/util/byte_counter.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/util/byte_counter.cc.o.d"
+  "/root/repo/src/util/cpu_info.cc" "src/CMakeFiles/pjoin.dir/util/cpu_info.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/util/cpu_info.cc.o.d"
+  "/root/repo/src/util/env.cc" "src/CMakeFiles/pjoin.dir/util/env.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/util/env.cc.o.d"
+  "/root/repo/src/util/hash.cc" "src/CMakeFiles/pjoin.dir/util/hash.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/util/hash.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/pjoin.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/util/table_printer.cc.o.d"
+  "/root/repo/src/util/zipf.cc" "src/CMakeFiles/pjoin.dir/util/zipf.cc.o" "gcc" "src/CMakeFiles/pjoin.dir/util/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline_test.cc" "tests/CMakeFiles/pjoin_tests.dir/baseline_test.cc.o" "gcc" "tests/CMakeFiles/pjoin_tests.dir/baseline_test.cc.o.d"
+  "/root/repo/tests/bench_util_test.cc" "tests/CMakeFiles/pjoin_tests.dir/bench_util_test.cc.o" "gcc" "tests/CMakeFiles/pjoin_tests.dir/bench_util_test.cc.o.d"
+  "/root/repo/tests/emitter_test.cc" "tests/CMakeFiles/pjoin_tests.dir/emitter_test.cc.o" "gcc" "tests/CMakeFiles/pjoin_tests.dir/emitter_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/pjoin_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/pjoin_tests.dir/engine_test.cc.o.d"
+  "/root/repo/tests/exec_test.cc" "tests/CMakeFiles/pjoin_tests.dir/exec_test.cc.o" "gcc" "tests/CMakeFiles/pjoin_tests.dir/exec_test.cc.o.d"
+  "/root/repo/tests/explain_test.cc" "tests/CMakeFiles/pjoin_tests.dir/explain_test.cc.o" "gcc" "tests/CMakeFiles/pjoin_tests.dir/explain_test.cc.o.d"
+  "/root/repo/tests/filter_test.cc" "tests/CMakeFiles/pjoin_tests.dir/filter_test.cc.o" "gcc" "tests/CMakeFiles/pjoin_tests.dir/filter_test.cc.o.d"
+  "/root/repo/tests/group_join_test.cc" "tests/CMakeFiles/pjoin_tests.dir/group_join_test.cc.o" "gcc" "tests/CMakeFiles/pjoin_tests.dir/group_join_test.cc.o.d"
+  "/root/repo/tests/hash_agg_test.cc" "tests/CMakeFiles/pjoin_tests.dir/hash_agg_test.cc.o" "gcc" "tests/CMakeFiles/pjoin_tests.dir/hash_agg_test.cc.o.d"
+  "/root/repo/tests/hash_table_test.cc" "tests/CMakeFiles/pjoin_tests.dir/hash_table_test.cc.o" "gcc" "tests/CMakeFiles/pjoin_tests.dir/hash_table_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/pjoin_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/pjoin_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/join_property_test.cc" "tests/CMakeFiles/pjoin_tests.dir/join_property_test.cc.o" "gcc" "tests/CMakeFiles/pjoin_tests.dir/join_property_test.cc.o.d"
+  "/root/repo/tests/join_test.cc" "tests/CMakeFiles/pjoin_tests.dir/join_test.cc.o" "gcc" "tests/CMakeFiles/pjoin_tests.dir/join_test.cc.o.d"
+  "/root/repo/tests/partition_test.cc" "tests/CMakeFiles/pjoin_tests.dir/partition_test.cc.o" "gcc" "tests/CMakeFiles/pjoin_tests.dir/partition_test.cc.o.d"
+  "/root/repo/tests/plan_test.cc" "tests/CMakeFiles/pjoin_tests.dir/plan_test.cc.o" "gcc" "tests/CMakeFiles/pjoin_tests.dir/plan_test.cc.o.d"
+  "/root/repo/tests/predicate_test.cc" "tests/CMakeFiles/pjoin_tests.dir/predicate_test.cc.o" "gcc" "tests/CMakeFiles/pjoin_tests.dir/predicate_test.cc.o.d"
+  "/root/repo/tests/scan_test.cc" "tests/CMakeFiles/pjoin_tests.dir/scan_test.cc.o" "gcc" "tests/CMakeFiles/pjoin_tests.dir/scan_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/pjoin_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/pjoin_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/stream_store_test.cc" "tests/CMakeFiles/pjoin_tests.dir/stream_store_test.cc.o" "gcc" "tests/CMakeFiles/pjoin_tests.dir/stream_store_test.cc.o.d"
+  "/root/repo/tests/tpch_skew_test.cc" "tests/CMakeFiles/pjoin_tests.dir/tpch_skew_test.cc.o" "gcc" "tests/CMakeFiles/pjoin_tests.dir/tpch_skew_test.cc.o.d"
+  "/root/repo/tests/tpch_test.cc" "tests/CMakeFiles/pjoin_tests.dir/tpch_test.cc.o" "gcc" "tests/CMakeFiles/pjoin_tests.dir/tpch_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/pjoin_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/pjoin_tests.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pjoin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
