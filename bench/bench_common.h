@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
@@ -78,6 +79,24 @@ inline std::string Gts(double tuples_per_sec) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.3f", tuples_per_sec / 1e9);
   return buf;
+}
+
+// Machine-readable metrics side-channel: when PJOIN_METRICS_JSON is set,
+// appends one QueryMetrics::ToJson line per call, tagged with a caller-chosen
+// label, to the named file ("-" = stdout). Lets a plotting script consume the
+// per-phase/per-join internals without re-parsing the human tables.
+inline void DumpMetrics(const std::string& label, const QueryStats& stats) {
+  const char* path = std::getenv("PJOIN_METRICS_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  std::FILE* out = std::string(path) == "-" ? stdout : std::fopen(path, "a");
+  if (out == nullptr) return;
+  std::fprintf(out, "{\"label\":\"%s\",\"metrics\":%s}\n", label.c_str(),
+               stats.metrics.ToJson().c_str());
+  if (out == stdout) {
+    std::fflush(stdout);
+  } else {
+    std::fclose(out);
+  }
 }
 
 }  // namespace bench

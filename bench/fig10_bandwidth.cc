@@ -45,6 +45,7 @@ int main() {
                   mbps(static_cast<double>(bytes.read + bytes.written))});
   }
   table.Print();
+  bench::DumpMetrics("fig10 RJ payload=1", stats);
   std::printf("\ntotal measured phase time: %.1f ms (query %.1f ms)\n",
               total_seconds * 1e3, stats.seconds * 1e3);
   std::printf("partition tuple stride: 32 B (24 B padded — Section 5.2.3)\n");

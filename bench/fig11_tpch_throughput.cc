@@ -58,6 +58,11 @@ int main() {
             query, *db,
             bench::Options(config.strategy, threads, config.lm), reps, &pool);
         row.push_back(bench::Gts(stats.Throughput()));
+        bench::DumpMetrics("fig11 sf=" + std::to_string(sf) + " Q" +
+                               std::to_string(query.id) + " " +
+                               JoinStrategyName(config.strategy) +
+                               (config.lm ? " LM" : ""),
+                           stats);
       }
       row.push_back("");
       table.AddRow(row);

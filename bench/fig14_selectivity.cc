@@ -32,6 +32,9 @@ int main() {
                   bench::Gts(bhj.Throughput()), bench::Gts(rj.Throughput()),
                   bench::Gts(adaptive.Throughput()),
                   std::to_string(brj.bloom_dropped)});
+    const std::string tag = "fig14 partners=" + std::to_string(partners);
+    bench::DumpMetrics(tag + " BRJ", brj);
+    bench::DumpMetrics(tag + " BRJadaptive", adaptive);
   }
   table.Print();
   std::printf(

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "engine/executor.h"
+#include "engine/explain.h"
 #include "engine/plan.h"
 #include "util/rng.h"
 #include "util/table_printer.h"
@@ -49,6 +50,7 @@ int main() {
   TablePrinter table({"strategy", "time [ms]", "throughput", "rows",
                       "bloom-dropped probe tuples"});
   QueryResult reference;
+  std::string explain_analyze;
   for (JoinStrategy s : {JoinStrategy::kBHJ, JoinStrategy::kRJ,
                          JoinStrategy::kBRJ, JoinStrategy::kBRJAdaptive}) {
     auto plan = make_plan();
@@ -67,8 +69,17 @@ int main() {
                   TablePrinter::TuplesPerSec(stats.Throughput()),
                   std::to_string(result.num_rows()),
                   std::to_string(stats.bloom_dropped)});
+    if (s == JoinStrategy::kBRJ) {
+      explain_analyze = ExplainAnalyzePlan(*plan, options, stats);
+    }
   }
   table.Print();
+
+  // 4. EXPLAIN ANALYZE: the plan annotated with what one run actually did —
+  //    per-operator row counts, hash-table/partitioner shape, Bloom-filter
+  //    pass rate, and the per-pipeline morsel distribution.
+  std::printf("\nEXPLAIN ANALYZE (%s):\n%s",
+              JoinStrategyName(JoinStrategy::kBRJ), explain_analyze.c_str());
 
   std::printf("\nfirst rows of the (identical) result:\n%s",
               reference.ToString(5).c_str());

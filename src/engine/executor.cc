@@ -157,6 +157,9 @@ class Lowerer {
   std::vector<TableScanSource*> scans_;
   std::vector<RadixProbeSink*> radix_probe_sinks_;
   std::vector<std::function<JoinAudit()>> audit_fns_;
+  // Per-join observability collectors, invoked after the run (they read the
+  // operator registry, so rows_out is only final once the pipelines stop).
+  std::vector<std::function<JoinMetrics()>> metrics_fns_;
   HashAggOp* root_agg_ = nullptr;
 };
 
@@ -278,6 +281,7 @@ Lowerer::Stream Lowerer::LowerJoin(const PlanNode& node,
         node.join_kind, build.layout, build_keys, probe.layout, probe_keys,
         *projection));
     HashJoin* join = hash_joins_.back().get();
+    join->set_join_id(join_id);
     audit_fns_.push_back([join, join_id] { return join->Audit(join_id); });
     operators_.push_back(std::make_unique<HashJoinBuildSink>(join));
     build.pipeline->AddOperator(operators_.back().get());
@@ -288,13 +292,33 @@ Lowerer::Stream Lowerer::LowerJoin(const PlanNode& node,
     Operator* probe_op = operators_.back().get();
     probe.pipeline->AddOperator(probe_op);
     if (!EmitsBuildRows(node.join_kind)) {
+      metrics_fns_.push_back([join, probe_op] {
+        JoinMetrics m = join->CollectMetrics();
+        if (probe_op->metrics() != nullptr) {
+          m.rows_out = probe_op->metrics()->Totals().rows_out;
+        }
+        return m;
+      });
       return Stream{probe.pipeline, out};
     }
     // Build-preserving kinds: the probe pipeline only sets flags; a scan
     // over the hash table starts the next pipeline.
     CompletePipeline(probe.pipeline);
     sources_.push_back(std::make_unique<HashJoinBuildScanSource>(join));
-    Pipeline* next = NewPipeline(sources_.back().get(), JoinPhase::kJoin,
+    Source* scan_src = sources_.back().get();
+    metrics_fns_.push_back([join, probe_op, scan_src] {
+      JoinMetrics m = join->CollectMetrics();
+      // Right-outer pairs and build-only rows replay through the ht scan;
+      // probe-side emission (none for these kinds) would land on the probe.
+      if (probe_op->metrics() != nullptr) {
+        m.rows_out += probe_op->metrics()->Totals().rows_out;
+      }
+      if (scan_src->metrics() != nullptr) {
+        m.rows_out += scan_src->metrics()->Totals().rows_out;
+      }
+      return m;
+    });
+    Pipeline* next = NewPipeline(scan_src, JoinPhase::kJoin,
                                  "ht scan j" + std::to_string(join_id));
     return Stream{next, out};
   }
@@ -312,6 +336,7 @@ Lowerer::Stream Lowerer::LowerJoin(const PlanNode& node,
       node.join_kind, build.layout, build_keys, probe.layout, probe_keys,
       *projection, radix_options));
   RadixJoin* join = radix_joins_.back().get();
+  join->set_join_id(join_id);
   audit_fns_.push_back([join, join_id] { return join->Audit(join_id); });
 
   operators_.push_back(std::make_unique<RadixBuildSink>(join));
@@ -327,7 +352,15 @@ Lowerer::Stream Lowerer::LowerJoin(const PlanNode& node,
   CompletePipeline(probe.pipeline);
 
   sources_.push_back(std::make_unique<PartitionJoinSource>(join));
-  Pipeline* next = NewPipeline(sources_.back().get(), JoinPhase::kJoin,
+  Source* join_src = sources_.back().get();
+  metrics_fns_.push_back([join, join_src] {
+    JoinMetrics m = join->CollectMetrics();
+    if (join_src->metrics() != nullptr) {
+      m.rows_out = join_src->metrics()->Totals().rows_out;
+    }
+    return m;
+  });
+  Pipeline* next = NewPipeline(join_src, JoinPhase::kJoin,
                                "radix join j" + std::to_string(join_id));
   return Stream{next, out};
 }
@@ -456,7 +489,22 @@ QueryResult Lowerer::Run(ThreadPool& pool, QueryStats* stats) {
   }
   double seconds = watch.ElapsedSeconds();
 
+  // Final observability snapshot: scan actuals in lowering order (the
+  // traversal EXPLAIN ANALYZE replays), join records in post-order.
+  QueryMetrics& qm = exec.metrics();
+  for (TableScanSource* scan : scans_) {
+    ScanMetrics sm;
+    sm.table = scan->MetricsDetail();
+    sm.rows_scanned = scan->rows_scanned();
+    sm.rows_passed = scan->rows_passed();
+    qm.AddScan(std::move(sm));
+  }
+  for (const auto& fn : metrics_fns_) qm.AddJoin(fn());
+  qm.SetSummary(seconds, exec.source_tuples(), root_agg_->result().num_rows(),
+                exec.timer(), exec.MergedBytes());
+
   if (stats != nullptr) {
+    stats->metrics = qm;
     stats->seconds = seconds;
     stats->source_tuples = exec.source_tuples();
     stats->result_rows = root_agg_->result().num_rows();

@@ -46,6 +46,10 @@ struct QueryStats {
   uint64_t partition_bytes = 0;    // final partition storage of all RJs
   std::vector<JoinAudit> join_audits;  // per join, post-order
 
+  // Full observability snapshot: per-pipeline/operator/join actuals, the
+  // input to ExplainAnalyzePlan and QueryMetrics::ToJson.
+  QueryMetrics metrics;
+
   // The paper's TPC-H metric: processed tuples per second, tuples = sum of
   // pipeline-source counts (Section 5.3, footnote 5).
   double Throughput() const {

@@ -1,11 +1,28 @@
 #include "engine/explain.h"
 
+#include <cstdio>
 #include <map>
 #include <sstream>
 
 namespace pjoin {
 
 namespace {
+
+std::string Fixed(double v, int digits = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  if (bytes >= (uint64_t{1} << 20)) {
+    return Fixed(static_cast<double>(bytes) / (1 << 20), 1) + "MiB";
+  }
+  if (bytes >= (uint64_t{1} << 10)) {
+    return Fixed(static_cast<double>(bytes) / (1 << 10), 1) + "KiB";
+  }
+  return std::to_string(bytes) + "B";
+}
 
 const char* PredicateOpName(ScanPredicate::Op op) {
   switch (op) {
@@ -111,6 +128,168 @@ void Render(const PlanNode& node, const ExecOptions& options,
   }
 }
 
+// EXPLAIN ANALYZE rendering. Scans are matched positionally: the executor
+// records ScanMetrics in lowering order (build side before probe side),
+// which is exactly the traversal order below; joins are matched robustly by
+// their post-order id.
+struct AnalyzeState {
+  const QueryMetrics* metrics = nullptr;
+  size_t scan_cursor = 0;
+  // Occurrence cursor per (operator name, detail), for filter/map matching.
+  std::map<std::pair<std::string, std::string>, size_t> op_cursor;
+};
+
+// Nth registered operator with the given identity, or null.
+const OperatorMetrics* FindOperator(const QueryMetrics& metrics,
+                                    const std::string& name,
+                                    const std::string& detail, size_t nth) {
+  size_t seen = 0;
+  for (const OperatorMetrics& op : metrics.operators()) {
+    if (op.name() == name && op.detail() == detail) {
+      if (seen == nth) return &op;
+      ++seen;
+    }
+  }
+  return nullptr;
+}
+
+void RenderAnalyze(const PlanNode& node, const ExecOptions& options,
+                   const std::map<const PlanNode*, int>& ids,
+                   AnalyzeState* state, int depth, std::ostringstream* out) {
+  const QueryMetrics& qm = *state->metrics;
+  auto indent = [&](int extra = 0) {
+    for (int i = 0; i < depth + extra; ++i) *out << "  ";
+  };
+  switch (node.kind) {
+    case PlanNode::Kind::kAgg: {
+      indent();
+      *out << "aggregate [groups:" << node.group_by.size()
+           << " aggs:" << node.aggs.size() << "]";
+      OperatorTotals t = qm.TotalsFor("hash_agg");
+      *out << " (rows_in=" << t.rows_in << " rows_out=" << qm.result_rows()
+           << ")\n";
+      RenderAnalyze(*node.child, options, ids, state, depth + 1, out);
+      break;
+    }
+    case PlanNode::Kind::kJoin: {
+      const int id = ids.at(&node);
+      JoinStrategy strategy = options.join_strategy;
+      auto it = options.join_overrides.find(id);
+      if (it != options.join_overrides.end()) strategy = it->second;
+      indent();
+      *out << "join #" << id << " [" << JoinKindName(node.join_kind) << ", "
+           << JoinStrategyName(strategy) << "] on ";
+      for (size_t k = 0; k < node.keys.size(); ++k) {
+        if (k > 0) *out << ", ";
+        *out << node.keys[k].first << " = " << node.keys[k].second;
+      }
+      const JoinMetrics* jm = qm.FindJoin(id);
+      if (jm != nullptr) {
+        *out << " (build=" << jm->build_tuples
+             << " probe=" << jm->probe_tuples
+             << " matched=" << jm->probe_matched
+             << " rows_out=" << jm->rows_out << ")";
+      }
+      *out << "\n";
+      if (jm != nullptr && jm->has_hash_table) {
+        const HashTableMetrics& ht = jm->hash_table;
+        indent(1);
+        *out << "ht: entries=" << ht.build_tuples
+             << " dir_slots=" << ht.directory_slots
+             << " chained=" << ht.chained_entries
+             << " max_chain=" << ht.max_chain << " resizes=" << ht.resizes
+             << " mem=" << HumanBytes(ht.directory_bytes +
+                                      ht.materialized_bytes)
+             << "\n";
+      }
+      if (jm != nullptr && jm->has_partitions) {
+        const PartitionerMetrics& b = jm->build_side;
+        const PartitionerMetrics& p = jm->probe_side;
+        indent(1);
+        *out << "radix: " << b.num_partitions << " partitions (" << b.bits1
+             << "+" << b.bits2 << " bits)"
+             << " build_part=" << b.tuples << " probe_part=" << p.tuples
+             << " swwcb_flushes=" << (b.swwcb_flushes + p.swwcb_flushes)
+             << " streamed=" << HumanBytes(b.streamed_bytes + p.streamed_bytes)
+             << " mem=" << HumanBytes(b.output_bytes + p.output_bytes)
+             << " ht_grows=" << jm->partition_ht_grows
+             << " ht_peak=" << HumanBytes(jm->partition_ht_peak_bytes)
+             << "\n";
+      }
+      if (jm != nullptr && jm->bloom.probes > 0) {
+        const BloomMetrics& bl = jm->bloom;
+        indent(1);
+        *out << "bloom: size=" << HumanBytes(bl.size_bytes)
+             << " probes=" << bl.probes << " negatives=" << bl.negatives
+             << " pass_rate=" << Fixed(bl.pass_rate(), 3);
+        if (bl.adaptive) {
+          *out << " adaptive=" << (bl.enabled_at_end ? "kept" : "disabled")
+               << " samples=" << bl.adaptive_samples;
+        }
+        *out << "\n";
+      }
+      RenderAnalyze(*node.build, options, ids, state, depth + 1, out);
+      RenderAnalyze(*node.probe, options, ids, state, depth + 1, out);
+      break;
+    }
+    case PlanNode::Kind::kFilter: {
+      indent();
+      const std::string label =
+          node.filter.label.empty() ? "lambda" : node.filter.label;
+      *out << "filter [" << label << "]";
+      auto key = std::make_pair(std::string("filter"), node.filter.label);
+      const OperatorMetrics* op =
+          FindOperator(qm, key.first, key.second, state->op_cursor[key]++);
+      if (op != nullptr) {
+        OperatorTotals t = op->Totals();
+        *out << " (rows_in=" << t.rows_in << " rows_out=" << t.rows_out << ")";
+      }
+      *out << "\n";
+      RenderAnalyze(*node.child, options, ids, state, depth + 1, out);
+      break;
+    }
+    case PlanNode::Kind::kMap: {
+      indent();
+      *out << "map [";
+      for (size_t m = 0; m < node.maps.size(); ++m) {
+        if (m > 0) *out << ", ";
+        *out << node.maps[m].name;
+      }
+      *out << "]";
+      const std::string detail =
+          node.maps.empty() ? std::string() : node.maps.front().name;
+      auto key = std::make_pair(std::string("map"), detail);
+      const OperatorMetrics* op =
+          FindOperator(qm, key.first, key.second, state->op_cursor[key]++);
+      if (op != nullptr) {
+        OperatorTotals t = op->Totals();
+        *out << " (rows_in=" << t.rows_in << " rows_out=" << t.rows_out << ")";
+      }
+      *out << "\n";
+      RenderAnalyze(*node.child, options, ids, state, depth + 1, out);
+      break;
+    }
+    case PlanNode::Kind::kScan: {
+      indent();
+      *out << "scan " << node.table->name() << " [" << node.table->num_rows()
+           << " rows";
+      for (const auto& pred : node.predicates) {
+        *out << ", " << pred.column << " " << PredicateOpName(pred.op);
+      }
+      *out << "]";
+      if (state->scan_cursor < qm.scans().size() &&
+          qm.scans()[state->scan_cursor].table == node.table->name()) {
+        const ScanMetrics& sm = qm.scans()[state->scan_cursor];
+        *out << " (scanned=" << sm.rows_scanned
+             << " passed=" << sm.rows_passed << ")";
+      }
+      ++state->scan_cursor;
+      *out << "\n";
+      break;
+    }
+  }
+}
+
 }  // namespace
 
 std::string ExplainPlan(const PlanNode& root, const ExecOptions& options) {
@@ -119,6 +298,46 @@ std::string ExplainPlan(const PlanNode& root, const ExecOptions& options) {
   NumberJoins(root, &ids, &next);
   std::ostringstream out;
   Render(root, options, ids, 0, &out);
+  return out.str();
+}
+
+std::string ExplainAnalyzePlan(const PlanNode& root, const ExecOptions& options,
+                               const QueryStats& stats) {
+  std::map<const PlanNode*, int> ids;
+  int next = 0;
+  NumberJoins(root, &ids, &next);
+  std::ostringstream out;
+  AnalyzeState state;
+  state.metrics = &stats.metrics;
+  RenderAnalyze(root, options, ids, &state, 0, &out);
+
+  const QueryMetrics& qm = stats.metrics;
+  out << "\ntotal: " << Fixed(qm.seconds() * 1e3, 3) << "ms"
+      << " source_tuples=" << qm.source_tuples()
+      << " result_rows=" << qm.result_rows()
+      << " threads=" << qm.num_threads() << "\n";
+
+  out << "pipelines:\n";
+  for (size_t i = 0; i < qm.pipelines().size(); ++i) {
+    const PipelineMetrics& pm = qm.pipelines()[i];
+    out << "  #" << i << " " << pm.label << " [" << JoinPhaseName(pm.phase)
+        << "] wall=" << Fixed(pm.wall_seconds * 1e3, 3)
+        << "ms cpu=" << Fixed(pm.cpu_seconds() * 1e3, 3)
+        << "ms morsels=" << pm.total_morsels() << " per_worker=[";
+    for (size_t w = 0; w < pm.morsels_per_worker.size(); ++w) {
+      if (w > 0) out << ", ";
+      out << pm.morsels_per_worker[w];
+    }
+    out << "]\n";
+    for (const OperatorMetrics& op : qm.operators()) {
+      if (op.pipeline_index() != static_cast<int>(i)) continue;
+      OperatorTotals t = op.Totals();
+      out << "      " << op.name();
+      if (!op.detail().empty()) out << " " << op.detail();
+      out << ": rows_in=" << t.rows_in << " rows_out=" << t.rows_out
+          << " batches_out=" << t.batches_out << "\n";
+    }
+  }
   return out.str();
 }
 

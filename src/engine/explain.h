@@ -17,6 +17,15 @@ namespace pjoin {
 // and cardinality.
 std::string ExplainPlan(const PlanNode& root, const ExecOptions& options);
 
+// EXPLAIN ANALYZE: the same tree annotated with the actuals a completed run
+// recorded in `stats.metrics` — scan scanned/passed counts, per-join
+// build/probe/matched/output cardinalities plus strategy internals (chaining
+// hash-table shape, radix fan-out and SWWCB traffic, Bloom pass rate and the
+// adaptive decision), and a trailing per-pipeline section with wall/CPU time,
+// morsel distribution, and per-operator row counts.
+std::string ExplainAnalyzePlan(const PlanNode& root, const ExecOptions& options,
+                               const QueryStats& stats);
+
 }  // namespace pjoin
 
 #endif  // PJOIN_ENGINE_EXPLAIN_H_

@@ -56,6 +56,7 @@ void HashAggOp::Accumulate(Group& group, const std::byte* row) {
 }
 
 void HashAggOp::Consume(Batch& batch, ThreadContext& ctx) {
+  MetricsIn(batch, ctx);
   GroupMap& map = worker_maps_[ctx.thread_id];
   std::string key;
   for (uint32_t i = 0; i < batch.size; ++i) {
@@ -174,6 +175,9 @@ void HashAggOp::Finish(ExecContext& exec) {
     result_.rows.push_back(std::move(row));
   }
   std::sort(result_.rows.begin(), result_.rows.end());
+  if (metrics_ != nullptr) {
+    metrics_->AddOut(0, result_.rows.size(), result_.rows.empty() ? 0 : 1);
+  }
 }
 
 }  // namespace pjoin

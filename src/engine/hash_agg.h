@@ -51,6 +51,12 @@ class HashAggOp : public Operator {
   void Finish(ExecContext& exec) override;
   const RowLayout* OutputLayout() const override { return in_layout_; }
 
+  const char* MetricsName() const override { return "hash_agg"; }
+  std::string MetricsDetail() const override {
+    return "groups:" + std::to_string(group_by_.size()) +
+           " aggs:" + std::to_string(aggs_.size());
+  }
+
   // Valid after Finish; rows canonically sorted.
   const QueryResult& result() const { return result_; }
 

@@ -23,6 +23,7 @@ void FilterOp::Open(ThreadContext& ctx) {
 }
 
 void FilterOp::Consume(Batch& batch, ThreadContext& ctx) {
+  MetricsIn(batch, ctx);
   Worker& w = workers_[ctx.thread_id];
   const uint32_t stride = layout_->stride();
   const int* fields = input_fields_.data();
@@ -30,7 +31,7 @@ void FilterOp::Consume(Batch& batch, ThreadContext& ctx) {
     const std::byte* row = batch.Row(i);
     if (!def_->fn(*layout_, row, fields)) continue;
     if (w.scratch.Full(w.batch)) {
-      next_->Consume(w.batch, ctx);
+      PushNext(w.batch, ctx);
       w.batch = w.scratch.Start();
     }
     std::memcpy(w.scratch.AppendSlot(w.batch), row, stride);
@@ -40,7 +41,7 @@ void FilterOp::Consume(Batch& batch, ThreadContext& ctx) {
 void FilterOp::Close(ThreadContext& ctx) {
   Worker& w = workers_[ctx.thread_id];
   if (w.batch.size > 0) {
-    next_->Consume(w.batch, ctx);
+    PushNext(w.batch, ctx);
     w.batch = w.scratch.Start();
   }
 }
@@ -66,13 +67,14 @@ void MapOp::Open(ThreadContext& ctx) {
 }
 
 void MapOp::Consume(Batch& batch, ThreadContext& ctx) {
+  MetricsIn(batch, ctx);
   Worker& w = workers_[ctx.thread_id];
   const uint32_t in_stride = in_layout_->stride();
   const int first_new = in_layout_->num_fields();
   for (uint32_t i = 0; i < batch.size; ++i) {
     const std::byte* row = batch.Row(i);
     if (w.scratch.Full(w.batch)) {
-      next_->Consume(w.batch, ctx);
+      PushNext(w.batch, ctx);
       w.batch = w.scratch.Start();
     }
     std::byte* dst = w.scratch.AppendSlot(w.batch);
@@ -90,7 +92,7 @@ void MapOp::Consume(Batch& batch, ThreadContext& ctx) {
 void MapOp::Close(ThreadContext& ctx) {
   Worker& w = workers_[ctx.thread_id];
   if (w.batch.size > 0) {
-    next_->Consume(w.batch, ctx);
+    PushNext(w.batch, ctx);
     w.batch = w.scratch.Start();
   }
 }
@@ -108,13 +110,14 @@ void LateLoadOp::Open(ThreadContext& ctx) {
 }
 
 void LateLoadOp::Consume(Batch& batch, ThreadContext& ctx) {
+  MetricsIn(batch, ctx);
   Worker& w = workers_[ctx.thread_id];
   const uint32_t in_stride = in_layout_->stride();
   uint64_t fetched_bytes = 0;
   for (uint32_t i = 0; i < batch.size; ++i) {
     const std::byte* row = batch.Row(i);
     if (w.scratch.Full(w.batch)) {
-      next_->Consume(w.batch, ctx);
+      PushNext(w.batch, ctx);
       w.batch = w.scratch.Start();
     }
     std::byte* dst = w.scratch.AppendSlot(w.batch);
@@ -143,7 +146,7 @@ void LateLoadOp::Consume(Batch& batch, ThreadContext& ctx) {
 void LateLoadOp::Close(ThreadContext& ctx) {
   Worker& w = workers_[ctx.thread_id];
   if (w.batch.size > 0) {
-    next_->Consume(w.batch, ctx);
+    PushNext(w.batch, ctx);
     w.batch = w.scratch.Start();
   }
 }

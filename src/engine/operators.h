@@ -51,6 +51,9 @@ class FilterOp : public Operator {
   void Close(ThreadContext& ctx) override;
   const RowLayout* OutputLayout() const override { return layout_; }
 
+  const char* MetricsName() const override { return "filter"; }
+  std::string MetricsDetail() const override { return def_->label; }
+
  private:
   struct Worker {
     BatchScratch scratch;
@@ -75,6 +78,11 @@ class MapOp : public Operator {
   void Consume(Batch& batch, ThreadContext& ctx) override;
   void Close(ThreadContext& ctx) override;
   const RowLayout* OutputLayout() const override { return out_layout_; }
+
+  const char* MetricsName() const override { return "map"; }
+  std::string MetricsDetail() const override {
+    return defs_->empty() ? std::string() : defs_->front().name;
+  }
 
  private:
   struct Worker {
@@ -112,6 +120,8 @@ class LateLoadOp : public Operator {
   void Consume(Batch& batch, ThreadContext& ctx) override;
   void Close(ThreadContext& ctx) override;
   const RowLayout* OutputLayout() const override { return out_layout_; }
+
+  const char* MetricsName() const override { return "late_load"; }
 
  private:
   struct Worker {

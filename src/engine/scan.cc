@@ -90,11 +90,11 @@ bool TableScanSource::ProduceMorsel(Operator& consumer, ThreadContext& ctx) {
       }
     }
     if (scratch.Full(batch)) {
-      consumer.Consume(batch, ctx);
+      PushOut(consumer, batch, ctx);
       batch = scratch.Start();
     }
   }
-  if (batch.size > 0) consumer.Consume(batch, ctx);
+  if (batch.size > 0) PushOut(consumer, batch, ctx);
   return true;
 }
 

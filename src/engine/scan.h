@@ -29,6 +29,9 @@ class TableScanSource : public Source {
   bool ProduceMorsel(Operator& consumer, ThreadContext& ctx) override;
   const RowLayout* OutputLayout() const override { return layout_; }
 
+  const char* MetricsName() const override { return "scan"; }
+  std::string MetricsDetail() const override { return table_->name(); }
+
   uint64_t rows_scanned() const {
     return rows_scanned_.load(std::memory_order_relaxed);
   }

@@ -6,7 +6,10 @@
 namespace pjoin {
 
 ExecContext::ExecContext(ThreadPool* pool)
-    : pool_(pool), num_threads_(pool->num_threads()), bytes_(num_threads_) {}
+    : pool_(pool),
+      num_threads_(pool->num_threads()),
+      bytes_(num_threads_),
+      metrics_(num_threads_) {}
 
 ByteCounter ExecContext::MergedBytes() const {
   ByteCounter merged;
@@ -22,6 +25,19 @@ void Pipeline::Run(ExecContext& exec) {
   }
   ops_.back()->set_next(nullptr);
 
+  // Register this run with the observability layer. Registration happens
+  // before the workers start, so the hot path only bumps pre-allocated
+  // thread-local slots.
+  PipelineMetrics* pm = exec.metrics().StartPipeline(label, timing_phase);
+  source_->set_metrics(
+      exec.metrics().RegisterOperator(source_->MetricsName(),
+                                      source_->MetricsDetail()));
+  for (Operator* op : ops_) {
+    op->set_metrics(
+        exec.metrics().RegisterOperator(op->MetricsName(),
+                                        op->MetricsDetail()));
+  }
+
   source_->Prepare(exec);
   for (Operator* op : ops_) op->Prepare(exec);
 
@@ -31,15 +47,22 @@ void Pipeline::Run(ExecContext& exec) {
     ctx.thread_id = thread_id;
     ctx.bytes = &exec.bytes(thread_id);
     ctx.exec = &exec;
+    Stopwatch worker_watch;
     source_->Open(ctx);
     for (Operator* op : ops_) op->Open(ctx);
     Operator& head = *ops_.front();
+    uint64_t morsels = 0;
     while (source_->ProduceMorsel(head, ctx)) {
+      ++morsels;
     }
     source_->Close(ctx);
     for (Operator* op : ops_) op->Close(ctx);
+    pm->morsels_per_worker[thread_id] = morsels;
+    pm->worker_seconds[thread_id] = worker_watch.ElapsedSeconds();
   });
-  exec.timer().Add(timing_phase, watch.ElapsedSeconds());
+  double elapsed = watch.ElapsedSeconds();
+  pm->wall_seconds = elapsed;
+  exec.timer().Add(timing_phase, elapsed);
 
   source_->Finish(exec);
   for (Operator* op : ops_) op->Finish(exec);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "exec/batch.h"
+#include "exec/query_metrics.h"
 #include "exec/thread_pool.h"
 #include "util/byte_counter.h"
 
@@ -48,6 +49,11 @@ class ExecContext {
 
   PhaseTimer& timer() { return timer_; }
 
+  // Observability registry: pipelines register themselves and their
+  // operators here when they run; the executor snapshots it into QueryStats.
+  QueryMetrics& metrics() { return metrics_; }
+  const QueryMetrics& metrics() const { return metrics_; }
+
   // Tuples read by all table-scan sources; the TPC-H throughput metric
   // divides this by wall time (Section 5.3 of the paper).
   void AddSourceTuples(uint64_t n) {
@@ -62,6 +68,7 @@ class ExecContext {
   int num_threads_;
   std::vector<ByteCounter> bytes_;
   PhaseTimer timer_;
+  QueryMetrics metrics_;
   std::atomic<uint64_t> source_tuples_{0};
 };
 
@@ -90,11 +97,34 @@ class Operator {
   // Layout of the batches this operator emits.
   virtual const RowLayout* OutputLayout() const = 0;
 
+  // Identity under which the pipeline driver registers this operator in
+  // QueryMetrics (e.g. "filter"); `MetricsDetail` adds instance context
+  // (a filter label, a join id).
+  virtual const char* MetricsName() const { return "operator"; }
+  virtual std::string MetricsDetail() const { return ""; }
+
+  OperatorMetrics* metrics() const { return metrics_; }
+  void set_metrics(OperatorMetrics* metrics) { metrics_ = metrics; }
+
   Operator* next() const { return next_; }
   void set_next(Operator* next) { next_ = next; }
 
  protected:
+  // Counts one incoming batch (call at the top of Consume).
+  void MetricsIn(const Batch& batch, const ThreadContext& ctx) {
+    if (metrics_ != nullptr) metrics_->AddIn(ctx.thread_id, batch.size);
+  }
+
+  // Counts and forwards one outgoing batch to the next operator.
+  void PushNext(Batch& batch, ThreadContext& ctx) {
+    if (metrics_ != nullptr) {
+      metrics_->AddOut(ctx.thread_id, batch.size, 1);
+    }
+    next_->Consume(batch, ctx);
+  }
+
   Operator* next_ = nullptr;
+  OperatorMetrics* metrics_ = nullptr;
 };
 
 // A pipeline source. ProduceMorsel is called repeatedly by each worker; it
@@ -109,6 +139,23 @@ class Source {
   virtual void Close(ThreadContext& ctx) { (void)ctx; }
   virtual void Finish(ExecContext& exec) { (void)exec; }
   virtual const RowLayout* OutputLayout() const = 0;
+
+  virtual const char* MetricsName() const { return "source"; }
+  virtual std::string MetricsDetail() const { return ""; }
+
+  OperatorMetrics* metrics() const { return metrics_; }
+  void set_metrics(OperatorMetrics* metrics) { metrics_ = metrics; }
+
+ protected:
+  // Counts and forwards one produced batch into the pipeline head.
+  void PushOut(Operator& consumer, Batch& batch, ThreadContext& ctx) {
+    if (metrics_ != nullptr) {
+      metrics_->AddOut(ctx.thread_id, batch.size, 1);
+    }
+    consumer.Consume(batch, ctx);
+  }
+
+  OperatorMetrics* metrics_ = nullptr;
 };
 
 // One pipeline: source plus operator chain (non-owning pointers; the plan

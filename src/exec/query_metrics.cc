@@ -1,0 +1,231 @@
+#include "exec/query_metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace pjoin {
+
+namespace {
+
+// Phase identifiers for JSON output: lower_snake, stable across releases
+// (JoinPhaseName returns human-oriented labels with spaces).
+const char* PhaseKey(JoinPhase phase) {
+  switch (phase) {
+    case JoinPhase::kBuildPipeline: return "build_pipeline";
+    case JoinPhase::kPartitionPass1: return "partition_pass1";
+    case JoinPhase::kHistogramScan: return "histogram_scan";
+    case JoinPhase::kPartitionPass2: return "partition_pass2";
+    case JoinPhase::kJoin: return "join";
+    case JoinPhase::kProbePipeline: return "probe_pipeline";
+    case JoinPhase::kNumPhases: break;
+  }
+  return "unknown";
+}
+
+void AppendDouble(std::ostringstream& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  out << buf;
+}
+
+void AppendString(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+void AppendBloom(std::ostringstream& out, const BloomMetrics& bloom) {
+  out << "{\"applicable\":" << (bloom.applicable ? "true" : "false")
+      << ",\"size_bytes\":" << bloom.size_bytes
+      << ",\"num_blocks\":" << bloom.num_blocks
+      << ",\"build_keys\":" << bloom.build_keys
+      << ",\"probes\":" << bloom.probes
+      << ",\"negatives\":" << bloom.negatives << ",\"pass_rate\":";
+  AppendDouble(out, bloom.pass_rate());
+  out << ",\"adaptive\":" << (bloom.adaptive ? "true" : "false")
+      << ",\"enabled_at_end\":" << (bloom.enabled_at_end ? "true" : "false")
+      << ",\"adaptive_samples\":" << bloom.adaptive_samples << "}";
+}
+
+void AppendPartitioner(std::ostringstream& out, const PartitionerMetrics& p) {
+  out << "{\"bits1\":" << p.bits1 << ",\"bits2\":" << p.bits2
+      << ",\"num_partitions\":" << p.num_partitions
+      << ",\"tuples\":" << p.tuples
+      << ",\"output_bytes\":" << p.output_bytes
+      << ",\"swwcb_flushes\":" << p.swwcb_flushes
+      << ",\"streamed_bytes\":" << p.streamed_bytes
+      << ",\"max_partition_tuples\":" << p.max_partition_tuples
+      << ",\"min_partition_tuples\":" << p.min_partition_tuples << "}";
+}
+
+}  // namespace
+
+PipelineMetrics* QueryMetrics::StartPipeline(const std::string& label,
+                                             JoinPhase phase) {
+  pipelines_.emplace_back();
+  PipelineMetrics& p = pipelines_.back();
+  p.label = label;
+  p.phase = phase;
+  p.morsels_per_worker.assign(num_threads_, 0);
+  p.worker_seconds.assign(num_threads_, 0);
+  return &p;
+}
+
+OperatorMetrics* QueryMetrics::RegisterOperator(const std::string& name,
+                                                const std::string& detail) {
+  int pipeline_index =
+      pipelines_.empty() ? -1 : static_cast<int>(pipelines_.size()) - 1;
+  operators_.emplace_back(name, detail, pipeline_index, num_threads_);
+  return &operators_.back();
+}
+
+void QueryMetrics::SetSummary(double seconds, uint64_t source_tuples,
+                              uint64_t result_rows, const PhaseTimer& timer,
+                              const ByteCounter& bytes) {
+  seconds_ = seconds;
+  source_tuples_ = source_tuples;
+  result_rows_ = result_rows;
+  timer_ = timer;
+  bytes_ = bytes;
+}
+
+const JoinMetrics* QueryMetrics::FindJoin(int join_id) const {
+  for (const JoinMetrics& j : joins_) {
+    if (j.join_id == join_id) return &j;
+  }
+  return nullptr;
+}
+
+OperatorTotals QueryMetrics::TotalsFor(const std::string& name) const {
+  OperatorTotals sum;
+  for (const OperatorMetrics& op : operators_) {
+    if (op.name() != name) continue;
+    OperatorTotals t = op.Totals();
+    sum.rows_in += t.rows_in;
+    sum.rows_out += t.rows_out;
+    sum.batches_in += t.batches_in;
+    sum.batches_out += t.batches_out;
+  }
+  return sum;
+}
+
+std::string QueryMetrics::ToJson(bool include_timings) const {
+  std::ostringstream out;
+  out << "{\"num_threads\":" << num_threads_;
+  if (include_timings) {
+    out << ",\"seconds\":";
+    AppendDouble(out, seconds_);
+  }
+  out << ",\"source_tuples\":" << source_tuples_
+      << ",\"result_rows\":" << result_rows_;
+
+  out << ",\"phases\":[";
+  for (int i = 0; i < static_cast<int>(JoinPhase::kNumPhases); ++i) {
+    JoinPhase phase = static_cast<JoinPhase>(i);
+    if (i > 0) out << ",";
+    out << "{\"name\":\"" << PhaseKey(phase) << "\"";
+    if (include_timings) {
+      out << ",\"seconds\":";
+      AppendDouble(out, timer_.seconds(phase));
+    }
+    const PhaseBytes& b = bytes_.phase(phase);
+    out << ",\"read_bytes\":" << b.read << ",\"written_bytes\":" << b.written
+        << "}";
+  }
+  out << "]";
+
+  out << ",\"pipelines\":[";
+  for (size_t i = 0; i < pipelines_.size(); ++i) {
+    const PipelineMetrics& p = pipelines_[i];
+    if (i > 0) out << ",";
+    out << "{\"label\":";
+    AppendString(out, p.label);
+    out << ",\"phase\":\"" << PhaseKey(p.phase) << "\"";
+    if (include_timings) {
+      out << ",\"wall_seconds\":";
+      AppendDouble(out, p.wall_seconds);
+      out << ",\"cpu_seconds\":";
+      AppendDouble(out, p.cpu_seconds());
+    }
+    out << ",\"total_morsels\":" << p.total_morsels()
+        << ",\"morsels_per_worker\":[";
+    for (size_t w = 0; w < p.morsels_per_worker.size(); ++w) {
+      if (w > 0) out << ",";
+      out << p.morsels_per_worker[w];
+    }
+    out << "]}";
+  }
+  out << "]";
+
+  out << ",\"operators\":[";
+  for (size_t i = 0; i < operators_.size(); ++i) {
+    const OperatorMetrics& op = operators_[i];
+    OperatorTotals t = op.Totals();
+    if (i > 0) out << ",";
+    out << "{\"pipeline\":" << op.pipeline_index() << ",\"name\":";
+    AppendString(out, op.name());
+    out << ",\"detail\":";
+    AppendString(out, op.detail());
+    out << ",\"rows_in\":" << t.rows_in << ",\"rows_out\":" << t.rows_out
+        << ",\"batches_in\":" << t.batches_in
+        << ",\"batches_out\":" << t.batches_out << "}";
+  }
+  out << "]";
+
+  out << ",\"scans\":[";
+  for (size_t i = 0; i < scans_.size(); ++i) {
+    const ScanMetrics& s = scans_[i];
+    if (i > 0) out << ",";
+    out << "{\"table\":";
+    AppendString(out, s.table);
+    out << ",\"rows_scanned\":" << s.rows_scanned
+        << ",\"rows_passed\":" << s.rows_passed << "}";
+  }
+  out << "]";
+
+  out << ",\"joins\":[";
+  for (size_t i = 0; i < joins_.size(); ++i) {
+    const JoinMetrics& j = joins_[i];
+    if (i > 0) out << ",";
+    out << "{\"join_id\":" << j.join_id << ",\"kind\":\""
+        << JoinKindName(j.kind) << "\",\"strategy\":\""
+        << JoinStrategyName(j.strategy)
+        << "\",\"build_tuples\":" << j.build_tuples
+        << ",\"probe_tuples\":" << j.probe_tuples
+        << ",\"probe_matched\":" << j.probe_matched
+        << ",\"rows_out\":" << j.rows_out;
+    if (j.has_hash_table) {
+      const HashTableMetrics& h = j.hash_table;
+      out << ",\"hash_table\":{\"build_tuples\":" << h.build_tuples
+          << ",\"directory_slots\":" << h.directory_slots
+          << ",\"directory_bytes\":" << h.directory_bytes
+          << ",\"materialized_bytes\":" << h.materialized_bytes
+          << ",\"chained_entries\":" << h.chained_entries
+          << ",\"max_chain\":" << h.max_chain << ",\"resizes\":" << h.resizes
+          << "}";
+    }
+    if (j.has_partitions) {
+      out << ",\"build_partitions\":";
+      AppendPartitioner(out, j.build_side);
+      out << ",\"probe_partitions\":";
+      AppendPartitioner(out, j.probe_side);
+      out << ",\"partition_ht_grows\":" << j.partition_ht_grows
+          << ",\"partition_ht_peak_bytes\":" << j.partition_ht_peak_bytes;
+    }
+    out << ",\"bloom\":";
+    AppendBloom(out, j.bloom);
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace pjoin

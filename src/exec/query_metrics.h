@@ -1,0 +1,260 @@
+// Query-wide observability: per-pipeline and per-operator statistics.
+//
+// The paper's entire argument rests on inside-the-system measurement — which
+// join phase pays for partitioning, how many probe tuples the Bloom filter
+// prunes, where the morsels go. QueryMetrics is the registry every execution
+// component reports into:
+//   * operator counters (rows/batches in and out) live in thread-local,
+//     cache-line-padded slots so the hot paths stay contention-free; they are
+//     merged on demand after the pipelines finish,
+//   * pipeline records carry wall time, per-worker busy time, and the morsel
+//     count each worker claimed (the skew-robustness signal of Section 4.5),
+//   * join records aggregate the strategy-specific internals: chaining-hash-
+//     table shape for the BHJ, radix-partitioner fan-out/SWWCB traffic for
+//     the RJ, and Bloom-filter pass rates plus the adaptive on/off decision
+//     for the BRJ.
+// The registry renders to a stable JSON document (ToJson) consumed by the
+// benches and to the EXPLAIN ANALYZE annotations in engine/explain.
+#ifndef PJOIN_EXEC_QUERY_METRICS_H_
+#define PJOIN_EXEC_QUERY_METRICS_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "join/join_types.h"
+#include "util/byte_counter.h"
+
+namespace pjoin {
+
+// One worker's counters for one operator. Padded to a cache line so two
+// workers bumping their own slots never share a line (false sharing would
+// show up directly in the bandwidth profiles this layer exists to produce).
+struct alignas(64) OperatorSlot {
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  uint64_t batches_in = 0;
+  uint64_t batches_out = 0;
+};
+static_assert(sizeof(OperatorSlot) == 64);
+
+// Merged view of an operator's slots.
+struct OperatorTotals {
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  uint64_t batches_in = 0;
+  uint64_t batches_out = 0;
+};
+
+// Per-operator record: identity plus one padded slot per worker. Instances
+// are owned by QueryMetrics (deque: registration never invalidates the
+// pointers operators hold).
+class OperatorMetrics {
+ public:
+  OperatorMetrics(std::string name, std::string detail, int pipeline_index,
+                  int num_threads)
+      : name_(std::move(name)),
+        detail_(std::move(detail)),
+        pipeline_index_(pipeline_index),
+        slots_(num_threads) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& detail() const { return detail_; }
+  int pipeline_index() const { return pipeline_index_; }
+
+  // Hot-path increments; `thread_id` indexes the worker's private slot.
+  void AddIn(int thread_id, uint64_t rows) {
+    OperatorSlot& s = slots_[thread_id];
+    s.rows_in += rows;
+    s.batches_in += 1;
+  }
+  void AddOut(int thread_id, uint64_t rows, uint64_t batches) {
+    OperatorSlot& s = slots_[thread_id];
+    s.rows_out += rows;
+    s.batches_out += batches;
+  }
+
+  const std::vector<OperatorSlot>& slots() const { return slots_; }
+
+  OperatorTotals Totals() const {
+    OperatorTotals t;
+    for (const OperatorSlot& s : slots_) {
+      t.rows_in += s.rows_in;
+      t.rows_out += s.rows_out;
+      t.batches_in += s.batches_in;
+      t.batches_out += s.batches_out;
+    }
+    return t;
+  }
+
+ private:
+  std::string name_;
+  std::string detail_;
+  int pipeline_index_;
+  std::vector<OperatorSlot> slots_;
+};
+
+// Per-pipeline record. Worker-indexed vectors are sized at registration;
+// each worker writes only its own element during the parallel region.
+struct PipelineMetrics {
+  std::string label;
+  JoinPhase phase = JoinPhase::kProbePipeline;
+  double wall_seconds = 0;
+  std::vector<uint64_t> morsels_per_worker;
+  std::vector<double> worker_seconds;  // per-worker busy time
+
+  uint64_t total_morsels() const {
+    uint64_t n = 0;
+    for (uint64_t m : morsels_per_worker) n += m;
+    return n;
+  }
+  double cpu_seconds() const {
+    double s = 0;
+    for (double w : worker_seconds) s += w;
+    return s;
+  }
+};
+
+// Table-scan actuals, recorded in lowering order (build side before probe
+// side), which is the traversal order EXPLAIN ANALYZE replays.
+struct ScanMetrics {
+  std::string table;
+  uint64_t rows_scanned = 0;
+  uint64_t rows_passed = 0;
+};
+
+// BHJ chaining-hash-table shape after Build().
+struct HashTableMetrics {
+  uint64_t build_tuples = 0;
+  uint64_t directory_slots = 0;
+  uint64_t directory_bytes = 0;
+  uint64_t materialized_bytes = 0;
+  uint64_t chained_entries = 0;  // entries placed behind another (collisions)
+  uint64_t max_chain = 0;
+  uint64_t resizes = 0;  // the directory is sized exactly once: always 0
+};
+
+// One side of a radix join after Finalize().
+struct PartitionerMetrics {
+  int bits1 = 0;
+  int bits2 = 0;
+  int num_partitions = 0;
+  uint64_t tuples = 0;
+  uint64_t output_bytes = 0;
+  uint64_t swwcb_flushes = 0;   // write-combine block flushes (both passes)
+  uint64_t streamed_bytes = 0;  // bytes moved with non-temporal stores
+  uint64_t max_partition_tuples = 0;
+  uint64_t min_partition_tuples = 0;
+};
+
+// Bloom semi-join-reducer behavior during the probe pipeline.
+struct BloomMetrics {
+  bool applicable = false;  // strategy + join kind allow a filter at all
+  uint64_t size_bytes = 0;
+  uint64_t num_blocks = 0;
+  uint64_t build_keys = 0;
+  uint64_t probes = 0;    // filter membership checks
+  uint64_t negatives = 0; // probe tuples dropped before partitioning
+  bool adaptive = false;
+  bool enabled_at_end = false;    // the adaptive controller's final decision
+  uint64_t adaptive_samples = 0;  // checks seen by the controller
+
+  double pass_rate() const {
+    return probes > 0
+               ? static_cast<double>(probes - negatives) / probes
+               : 0.0;
+  }
+};
+
+// Everything one join reports, keyed by the executor's post-order join id
+// (the numbering of Figure 12 and ExecOptions::join_overrides).
+struct JoinMetrics {
+  int join_id = 0;
+  JoinKind kind = JoinKind::kInner;
+  JoinStrategy strategy = JoinStrategy::kBHJ;
+  uint64_t build_tuples = 0;
+  uint64_t probe_tuples = 0;   // tuples entering the probe side (pre-filter)
+  uint64_t probe_matched = 0;  // probe tuples with at least one partner
+  uint64_t rows_out = 0;       // tuples the join emitted downstream
+  bool has_hash_table = false;
+  HashTableMetrics hash_table;
+  bool has_partitions = false;
+  PartitionerMetrics build_side;
+  PartitionerMetrics probe_side;
+  BloomMetrics bloom;
+  uint64_t partition_ht_grows = 0;      // robin-hood segment regrowths
+  uint64_t partition_ht_peak_bytes = 0; // largest per-partition table
+};
+
+// The query-wide registry. One instance lives in ExecContext; the executor
+// copies it into QueryStats after the pipelines finish, so benches and tests
+// can inspect a completed run without holding the execution alive.
+class QueryMetrics {
+ public:
+  explicit QueryMetrics(int num_threads = 1) : num_threads_(num_threads) {}
+
+  int num_threads() const { return num_threads_; }
+
+  // --- registration (single-threaded, before the workers start) -----------
+
+  // Starts a pipeline record and returns it; the pointer stays valid for the
+  // lifetime of this QueryMetrics (deque storage).
+  PipelineMetrics* StartPipeline(const std::string& label, JoinPhase phase);
+
+  // Registers an operator (or source) under the most recent pipeline.
+  OperatorMetrics* RegisterOperator(const std::string& name,
+                                    const std::string& detail);
+
+  void AddScan(ScanMetrics scan) { scans_.push_back(std::move(scan)); }
+  void AddJoin(JoinMetrics join) { joins_.push_back(std::move(join)); }
+
+  // Query-level summary filled by the executor after the run.
+  void SetSummary(double seconds, uint64_t source_tuples, uint64_t result_rows,
+                  const PhaseTimer& timer, const ByteCounter& bytes);
+
+  // --- accessors -----------------------------------------------------------
+
+  const std::deque<PipelineMetrics>& pipelines() const { return pipelines_; }
+  const std::deque<OperatorMetrics>& operators() const { return operators_; }
+  const std::vector<ScanMetrics>& scans() const { return scans_; }
+  const std::vector<JoinMetrics>& joins() const { return joins_; }
+
+  // Join record by executor join id; null when the id was never collected.
+  const JoinMetrics* FindJoin(int join_id) const;
+
+  // Sum of rows_out over operators named `name` (e.g. "hash_join_probe").
+  OperatorTotals TotalsFor(const std::string& name) const;
+
+  double seconds() const { return seconds_; }
+  uint64_t source_tuples() const { return source_tuples_; }
+  uint64_t result_rows() const { return result_rows_; }
+  const PhaseTimer& phase_timer() const { return timer_; }
+  const ByteCounter& phase_bytes() const { return bytes_; }
+
+  // --- export --------------------------------------------------------------
+
+  // Stable JSON document: object keys in fixed order, doubles printed with
+  // %.6f. With include_timings=false all wall/cpu-time fields are omitted;
+  // the remaining counters depend only on plan, data, and morsel scheduling
+  // (morsels_per_worker is a race between workers), so single-threaded
+  // output is byte-deterministic — that form is what tests snapshot.
+  std::string ToJson(bool include_timings = true) const;
+
+ private:
+  int num_threads_;
+  std::deque<PipelineMetrics> pipelines_;
+  std::deque<OperatorMetrics> operators_;
+  std::vector<ScanMetrics> scans_;
+  std::vector<JoinMetrics> joins_;
+
+  double seconds_ = 0;
+  uint64_t source_tuples_ = 0;
+  uint64_t result_rows_ = 0;
+  PhaseTimer timer_;
+  ByteCounter bytes_;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_EXEC_QUERY_METRICS_H_

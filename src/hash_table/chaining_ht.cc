@@ -19,7 +19,10 @@ ChainingHashTable::ChainingHashTable(uint32_t row_stride, bool track_matches)
     : row_stride_(row_stride),
       track_matches_(track_matches),
       header_size_(track_matches ? 24 : 16),
-      entry_stride_(header_size_ + row_stride) {
+      // Rounded up to 8 so the header words (next/hash/matched) stay
+      // naturally aligned in every packed entry; MarkMatched's atomic_ref
+      // requires it, and pages are cache-line aligned.
+      entry_stride_((header_size_ + row_stride + 7u) & ~7u) {
   build_buffers_.reserve(kMaxThreads);
   for (int i = 0; i < kMaxThreads; ++i) {
     build_buffers_.emplace_back(entry_stride_);

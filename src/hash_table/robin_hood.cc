@@ -12,6 +12,10 @@ void RobinHoodTable::Reset(uint64_t count) {
   capacity_ = want;
   mask_ = capacity_ - 1;
   shift_ = 64 - Log2Pow2(capacity_);
+  if (capacity_ * sizeof(Slot) > peak_bytes_) {
+    peak_bytes_ = capacity_ * sizeof(Slot);
+    ++grow_count_;
+  }
   storage_.EnsureCapacity(capacity_ * sizeof(Slot));
   slots_ = reinterpret_cast<Slot*>(storage_.data());
   std::memset(slots_, 0, capacity_ * sizeof(Slot));

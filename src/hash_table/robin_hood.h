@@ -62,6 +62,13 @@ class RobinHoodTable {
   // Bytes of the live slot region (reported as hash-table footprint).
   uint64_t FootprintBytes() const { return capacity_ * sizeof(Slot); }
 
+  // Times Reset had to grow the reused memory segment (the "resize count"
+  // of the per-partition join phase: ideally ~1 per worker, since segment
+  // reuse across partitions is the whole point of Section 4.6).
+  uint64_t grow_count() const { return grow_count_; }
+  // Largest slot region ever allocated by this table.
+  uint64_t peak_bytes() const { return peak_bytes_; }
+
  private:
   uint64_t HomeSlot(uint64_t hash) const {
     // High bits: the low bits are constant within one radix partition.
@@ -74,6 +81,8 @@ class RobinHoodTable {
   uint64_t mask_ = 0;
   int shift_ = 64;
   uint64_t size_ = 0;
+  uint64_t grow_count_ = 0;
+  uint64_t peak_bytes_ = 0;
 };
 
 }  // namespace pjoin

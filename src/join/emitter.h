@@ -31,9 +31,13 @@ struct JoinProjection {
 // Per-worker emitter; not thread-safe.
 class JoinEmitter {
  public:
-  void Bind(const JoinProjection* projection, Operator* consumer) {
+  // `metrics` (optional): the emitting operator's registry entry; every
+  // pushed batch is counted as that operator's output.
+  void Bind(const JoinProjection* projection, Operator* consumer,
+            OperatorMetrics* metrics = nullptr) {
     projection_ = projection;
     consumer_ = consumer;
+    metrics_ = metrics;
     scratch_.Bind(projection->output);
     batch_ = scratch_.Start();
   }
@@ -71,18 +75,24 @@ class JoinEmitter {
   // Flushes the pending partial batch (call from Close).
   void Flush(ThreadContext& ctx) {
     if (batch_.size > 0) {
-      consumer_->Consume(batch_, ctx);
-      batch_ = scratch_.Start();
+      Push(ctx);
     }
   }
 
   uint64_t rows_emitted() const { return rows_emitted_; }
 
  private:
+  void Push(ThreadContext& ctx) {
+    if (metrics_ != nullptr) {
+      metrics_->AddOut(ctx.thread_id, batch_.size, 1);
+    }
+    consumer_->Consume(batch_, ctx);
+    batch_ = scratch_.Start();
+  }
+
   std::byte* Slot(ThreadContext& ctx) {
     if (scratch_.Full(batch_)) {
-      consumer_->Consume(batch_, ctx);
-      batch_ = scratch_.Start();
+      Push(ctx);
     }
     ++rows_emitted_;
     return scratch_.AppendSlot(batch_);
@@ -111,6 +121,7 @@ class JoinEmitter {
 
   const JoinProjection* projection_ = nullptr;
   Operator* consumer_ = nullptr;
+  OperatorMetrics* metrics_ = nullptr;
   BatchScratch scratch_;
   Batch batch_;
   uint64_t rows_emitted_ = 0;

@@ -28,7 +28,40 @@ RowBuffer& HashJoin::pair_buffer(int thread_id) {
   return pair_buffers_[thread_id];
 }
 
+JoinMetrics HashJoin::CollectMetrics() const {
+  JoinMetrics m;
+  m.join_id = join_id_;
+  m.kind = kind_;
+  m.strategy = JoinStrategy::kBHJ;
+  m.build_tuples = table_->num_entries();
+  m.probe_tuples = probe_seen_.load(std::memory_order_relaxed);
+  m.probe_matched = probe_matched_.load(std::memory_order_relaxed);
+  m.has_hash_table = true;
+  HashTableMetrics& ht = m.hash_table;
+  ht.build_tuples = table_->num_entries();
+  ht.directory_slots = table_->directory_size();
+  ht.directory_bytes = table_->DirectoryBytes();
+  ht.materialized_bytes = table_->MaterializedBytes();
+  ht.resizes = 0;  // the directory is sized exactly once (Section 4.3)
+  // Chain statistics from a directory walk: entries past the chain head are
+  // the CAS-push "collisions" a probe must traverse.
+  for (uint64_t s = 0; s < table_->directory_size(); ++s) {
+    uint64_t slot = table_->LoadSlot(s);
+    const std::byte* entry =
+        reinterpret_cast<const std::byte*>(slot & ChainingHashTable::kPointerMask);
+    uint64_t len = 0;
+    while (entry != nullptr) {
+      ++len;
+      entry = ChainingHashTable::EntryNext(entry);
+    }
+    if (len > 1) ht.chained_entries += len - 1;
+    if (len > ht.max_chain) ht.max_chain = len;
+  }
+  return m;
+}
+
 void HashJoinBuildSink::Consume(Batch& batch, ThreadContext& ctx) {
+  MetricsIn(batch, ctx);
   ChainingHashTable& ht = join_->table();
   const KeySpec& key = join_->build_key();
   const uint32_t stride = batch.layout->stride();
@@ -51,10 +84,11 @@ void HashJoinProbe::Prepare(ExecContext& exec) {
 }
 
 void HashJoinProbe::Open(ThreadContext& ctx) {
-  emitters_[ctx.thread_id].Bind(&join_->projection(), next_);
+  emitters_[ctx.thread_id].Bind(&join_->projection(), next_, metrics_);
 }
 
 void HashJoinProbe::Consume(Batch& batch, ThreadContext& ctx) {
+  MetricsIn(batch, ctx);
   ChainingHashTable& ht = join_->table();
   const KeySpec& probe_key = join_->probe_key();
   const KeySpec& build_key = join_->build_key();
@@ -162,7 +196,7 @@ bool HashJoinBuildScanSource::ProduceMorsel(Operator& consumer,
         batch.rows = const_cast<std::byte*>(rows) +
                      static_cast<size_t>(off) * out->stride();
         batch.size = std::min<uint32_t>(kBatchCapacity, count - off);
-        consumer.Consume(batch, ctx);
+        PushOut(consumer, batch, ctx);
       }
     });
     return true;
@@ -171,7 +205,7 @@ bool HashJoinBuildScanSource::ProduceMorsel(Operator& consumer,
   if (buffer.size() == 0) return true;
 
   JoinEmitter emitter;
-  emitter.Bind(&join_->projection(), &consumer);
+  emitter.Bind(&join_->projection(), &consumer, metrics_);
   const JoinKind kind = join_->kind();
   buffer.ForEachPage([&](const std::byte* rows, uint32_t count) {
     for (uint32_t i = 0; i < count; ++i) {

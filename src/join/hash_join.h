@@ -34,6 +34,16 @@ class HashJoin {
   JoinKind kind() const { return kind_; }
   ChainingHashTable& table() { return *table_; }
 
+  // Plan-wide join number (post-order, assigned by the executor); -1 when
+  // the join runs outside a lowered plan (unit tests).
+  int join_id() const { return join_id_; }
+  void set_join_id(int id) { join_id_ = id; }
+
+  // Observability snapshot (call after the probe pipeline finished). Fills
+  // kind/strategy/cardinalities plus hash-table internals; rows_out is the
+  // executor's job (it owns the operator registry).
+  JoinMetrics CollectMetrics() const;
+
   // kRightOuter only: matched pairs cannot flow down the probe pipeline
   // (the downstream operators hang off the post-probe build scan), so the
   // probe phase materializes them here — in output-row format — and the
@@ -65,6 +75,7 @@ class HashJoin {
 
  private:
   JoinKind kind_;
+  int join_id_ = -1;
   const RowLayout* build_layout_;
   KeySpec build_key_;
   KeySpec probe_key_;
@@ -86,6 +97,11 @@ class HashJoinBuildSink : public Operator {
     return join_->build_layout();
   }
 
+  const char* MetricsName() const override { return "hash_join_build"; }
+  std::string MetricsDetail() const override {
+    return "j" + std::to_string(join_->join_id());
+  }
+
  private:
   HashJoin* join_;
 };
@@ -105,6 +121,11 @@ class HashJoinProbe : public Operator {
     return join_->projection().output;
   }
 
+  const char* MetricsName() const override { return "hash_join_probe"; }
+  std::string MetricsDetail() const override {
+    return "j" + std::to_string(join_->join_id());
+  }
+
  private:
   HashJoin* join_;
   std::vector<JoinEmitter> emitters_;  // per worker
@@ -121,6 +142,11 @@ class HashJoinBuildScanSource : public Source {
   bool ProduceMorsel(Operator& consumer, ThreadContext& ctx) override;
   const RowLayout* OutputLayout() const override {
     return join_->projection().output;
+  }
+
+  const char* MetricsName() const override { return "ht_scan"; }
+  std::string MetricsDetail() const override {
+    return "j" + std::to_string(join_->join_id());
   }
 
  private:

@@ -41,7 +41,36 @@ RadixJoin::RadixJoin(JoinKind kind, const RowLayout* build_layout,
   PJOIN_CHECK(build_part_->num_partitions() == probe_part_->num_partitions());
 }
 
+JoinMetrics RadixJoin::CollectMetrics() const {
+  JoinMetrics m;
+  m.join_id = join_id_;
+  m.kind = kind_;
+  m.strategy = options_.strategy;
+  m.build_tuples = build_part_->total_tuples();
+  m.probe_tuples = probe_seen_.load(std::memory_order_relaxed);
+  m.probe_matched = probe_matched_.load(std::memory_order_relaxed);
+  m.has_partitions = true;
+  m.build_side = build_part_->Metrics();
+  m.probe_side = probe_part_->Metrics();
+  m.partition_ht_grows = ht_grows_.load(std::memory_order_relaxed);
+  m.partition_ht_peak_bytes = ht_peak_bytes_.load(std::memory_order_relaxed);
+  BloomMetrics& b = m.bloom;
+  b.applicable = BloomApplicable(kind_);
+  if (bloom_enabled()) {
+    b.size_bytes = bloom_.SizeBytes();
+    b.num_blocks = bloom_.num_blocks();
+    b.build_keys = build_part_->total_tuples();
+    b.probes = bloom_checks_.load(std::memory_order_relaxed);
+    b.negatives = bloom_dropped_.load(std::memory_order_relaxed);
+    b.adaptive = adaptive();
+    b.enabled_at_end = !adaptive() || adaptive_.enabled();
+    b.adaptive_samples = adaptive() ? adaptive_.sampled_checks() : 0;
+  }
+  return m;
+}
+
 void RadixBuildSink::Consume(Batch& batch, ThreadContext& ctx) {
+  MetricsIn(batch, ctx);
   RadixPartitioner& part = join_->build_partitioner();
   const KeySpec& key = join_->build_key();
   for (uint32_t i = 0; i < batch.size; ++i) {
@@ -69,6 +98,7 @@ void RadixBuildSink::Finish(ExecContext& exec) {
 }
 
 void RadixProbeSink::Consume(Batch& batch, ThreadContext& ctx) {
+  MetricsIn(batch, ctx);
   RadixPartitioner& part = join_->probe_partitioner();
   const KeySpec& key = join_->probe_key();
   const bool use_bloom =
@@ -93,7 +123,7 @@ void RadixProbeSink::Consume(Batch& batch, ThreadContext& ctx) {
     part.Add(ctx.thread_id, hash, row, ctx.bytes);
   }
   join_->AddProbeSeen(batch.size);
-  if (dropped > 0) dropped_.fetch_add(dropped, std::memory_order_relaxed);
+  if (checks > 0) join_->AddBloomWindow(checks, dropped);
   if (join_->adaptive() && checks > 0) {
     join_->adaptive_controller().ReportWindow(checks, passes);
   }
@@ -139,7 +169,7 @@ bool PartitionJoinSource::ProduceMorsel(Operator& consumer,
   const KeySpec& pkey = join_->probe_key();
 
   if (!ws.emitter_bound) {
-    ws.emitter.Bind(&join_->projection(), &consumer);
+    ws.emitter.Bind(&join_->projection(), &consumer, metrics_);
     ws.emitter_bound = true;
   }
 
@@ -221,7 +251,9 @@ bool PartitionJoinSource::ProduceMorsel(Operator& consumer,
 }
 
 void PartitionJoinSource::Close(ThreadContext& ctx) {
-  workers_[ctx.thread_id].emitter.Flush(ctx);
+  WorkerState& ws = workers_[ctx.thread_id];
+  ws.emitter.Flush(ctx);
+  join_->ReportWorkerTable(ws.table.grow_count(), ws.table.peak_bytes());
 }
 
 }  // namespace pjoin

@@ -48,6 +48,11 @@ class RadixJoin {
 
   JoinKind kind() const { return kind_; }
   const Options& options() const { return options_; }
+
+  // Plan-wide join number (post-order, assigned by the executor); -1 when
+  // the join runs outside a lowered plan (unit tests).
+  int join_id() const { return join_id_; }
+  void set_join_id(int id) { join_id_ = id; }
   // The semi-join reducer may only drop probe tuples when an unmatched probe
   // tuple contributes nothing to the result: inner and semi joins, and
   // build-preserving kinds (a dropped tuple could not have marked anything).
@@ -91,6 +96,31 @@ class RadixJoin {
   void AddProbeMatched(uint64_t n) {
     probe_matched_.fetch_add(n, std::memory_order_relaxed);
   }
+
+  // Bloom accounting: `checks` filter lookups of which `dropped` proved
+  // absence (batch-wise from the probe sink).
+  void AddBloomWindow(uint64_t checks, uint64_t dropped) {
+    bloom_checks_.fetch_add(checks, std::memory_order_relaxed);
+    bloom_dropped_.fetch_add(dropped, std::memory_order_relaxed);
+  }
+  uint64_t bloom_dropped() const {
+    return bloom_dropped_.load(std::memory_order_relaxed);
+  }
+
+  // Per-partition hash-table accounting, reported once per worker at Close.
+  void ReportWorkerTable(uint64_t grows, uint64_t peak_bytes) {
+    ht_grows_.fetch_add(grows, std::memory_order_relaxed);
+    uint64_t cur = ht_peak_bytes_.load(std::memory_order_relaxed);
+    while (peak_bytes > cur &&
+           !ht_peak_bytes_.compare_exchange_weak(cur, peak_bytes,
+                                                 std::memory_order_relaxed)) {
+    }
+  }
+
+  // Observability snapshot (call after the join pipeline finished). Fills
+  // kind/strategy/cardinalities plus partitioner and Bloom internals;
+  // rows_out is the executor's job (it owns the operator registry).
+  JoinMetrics CollectMetrics() const;
   JoinAudit Audit(int join_id) const {
     JoinAudit audit;
     audit.join_id = join_id;
@@ -106,6 +136,7 @@ class RadixJoin {
 
  private:
   JoinKind kind_;
+  int join_id_ = -1;
   Options options_;
   const RowLayout* build_layout_;
   const RowLayout* probe_layout_;
@@ -118,6 +149,10 @@ class RadixJoin {
   AdaptiveFilterController adaptive_;
   std::atomic<uint64_t> probe_seen_{0};
   std::atomic<uint64_t> probe_matched_{0};
+  std::atomic<uint64_t> bloom_checks_{0};
+  std::atomic<uint64_t> bloom_dropped_{0};
+  std::atomic<uint64_t> ht_grows_{0};
+  std::atomic<uint64_t> ht_peak_bytes_{0};
 };
 
 // Terminates the build pipeline: partitions the build side and (for BRJ)
@@ -131,6 +166,11 @@ class RadixBuildSink : public Operator {
   void Finish(ExecContext& exec) override;
   const RowLayout* OutputLayout() const override {
     return join_->build_layout();
+  }
+
+  const char* MetricsName() const override { return "radix_build"; }
+  std::string MetricsDetail() const override {
+    return "j" + std::to_string(join_->join_id());
   }
 
  private:
@@ -150,13 +190,15 @@ class RadixProbeSink : public Operator {
     return join_->probe_layout();
   }
 
-  uint64_t tuples_dropped_by_filter() const {
-    return dropped_.load(std::memory_order_relaxed);
+  uint64_t tuples_dropped_by_filter() const { return join_->bloom_dropped(); }
+
+  const char* MetricsName() const override { return "radix_probe"; }
+  std::string MetricsDetail() const override {
+    return "j" + std::to_string(join_->join_id());
   }
 
  private:
   RadixJoin* join_;
-  std::atomic<uint64_t> dropped_{0};
 };
 
 // Starts the join pipeline: partition pairs are morsels; each builds its
@@ -171,6 +213,11 @@ class PartitionJoinSource : public Source {
   void Close(ThreadContext& ctx) override;
   const RowLayout* OutputLayout() const override {
     return join_->projection().output;
+  }
+
+  const char* MetricsName() const override { return "partition_join"; }
+  std::string MetricsDetail() const override {
+    return "j" + std::to_string(join_->join_id());
   }
 
  private:

@@ -63,6 +63,7 @@ RadixPartitioner::RadixPartitioner(const RadixConfig& config)
   swwcb_mem_.resize(config.num_threads);
   swwcb_fill_.resize(config.num_threads);
   hist_.resize(config.num_threads);
+  pass1_stats_.resize(config.num_threads);
   for (int t = 0; t < config.num_threads; ++t) {
     chunks_[t].resize(fanout1_);
     for (auto& buf : chunks_[t]) buf.Init(tuple_stride_);
@@ -87,9 +88,11 @@ void RadixPartitioner::Add(int thread_id, uint64_t hash, const std::byte* row,
       std::byte* dst = chunks_[thread_id][p1].AllocBytes(kSwwcbBytes);
       if (config_.use_streaming) {
         StreamCopyAligned(dst, block, kSwwcbBytes);
+        pass1_stats_[thread_id].streamed_bytes += kSwwcbBytes;
       } else {
         std::memcpy(dst, block, kSwwcbBytes);
       }
+      pass1_stats_[thread_id].flushes += 1;
       fill = 0;
     }
   } else {
@@ -208,12 +211,20 @@ void RadixPartitioner::Finalize(ThreadPool& pool, PhaseTimer* timer,
       fill.assign(fanout2_, 0);
     }
     std::vector<uint64_t> cursor_bytes(fanout2_);
+    Pass1Stats local_stats;
     while (true) {
       int p1 = pass2_cursor_.fetch_add(1, std::memory_order_relaxed);
       if (p1 >= fanout1_) break;
-      ScatterPrePartition(p1, cursor_bytes, swwcb.data(), fill, bytes);
+      ScatterPrePartition(p1, cursor_bytes, swwcb.data(), fill, bytes,
+                          &local_stats);
     }
     if (config_.use_streaming) StreamFence();
+    if (local_stats.flushes > 0) {
+      pass2_flushes_.fetch_add(local_stats.flushes,
+                               std::memory_order_relaxed);
+      pass2_streamed_bytes_.fetch_add(local_stats.streamed_bytes,
+                                      std::memory_order_relaxed);
+    }
   });
   if (timer != nullptr) {
     timer->Add(JoinPhase::kPartitionPass2, watch.ElapsedSeconds());
@@ -231,7 +242,8 @@ void RadixPartitioner::ScatterPrePartition(int p1,
                                            std::vector<uint64_t>& cursor_bytes,
                                            std::byte* swwcb_mem,
                                            std::vector<uint32_t>& fill,
-                                           ByteCounter* bytes) {
+                                           ByteCounter* bytes,
+                                           Pass1Stats* local_stats) {
   // Initialize output cursors of this pre-partition's final partitions.
   for (int p2 = 0; p2 < fanout2_; ++p2) {
     int f = p1 | (p2 << config_.bits1);
@@ -266,9 +278,11 @@ void RadixPartitioner::ScatterPrePartition(int p1,
             std::byte* dst = output_.data() + cursor_bytes[p2];
             if (config_.use_streaming) {
               StreamCopyAligned(dst, block, kSwwcbBytes);
+              local_stats->streamed_bytes += kSwwcbBytes;
             } else {
               std::memcpy(dst, block, kSwwcbBytes);
             }
+            local_stats->flushes += 1;
             cursor_bytes[p2] += kSwwcbBytes;
             fill[p2] = 0;
             written_bytes += kSwwcbBytes;
@@ -305,6 +319,30 @@ void RadixPartitioner::ScatterPrePartition(int p1,
     bytes->AddRead(JoinPhase::kPartitionPass2, read_bytes);
     bytes->AddWrite(JoinPhase::kPartitionPass2, written_bytes);
   }
+}
+
+PartitionerMetrics RadixPartitioner::Metrics() const {
+  PartitionerMetrics m;
+  m.bits1 = config_.bits1;
+  m.bits2 = config_.bits2;
+  m.num_partitions = num_partitions();
+  m.tuples = total_tuples_;
+  m.output_bytes = OutputBytes();
+  m.swwcb_flushes = pass2_flushes_.load(std::memory_order_relaxed);
+  m.streamed_bytes = pass2_streamed_bytes_.load(std::memory_order_relaxed);
+  for (const Pass1Stats& s : pass1_stats_) {
+    m.swwcb_flushes += s.flushes;
+    m.streamed_bytes += s.streamed_bytes;
+  }
+  if (!partition_count_.empty()) {
+    m.max_partition_tuples = partition_count_[0];
+    m.min_partition_tuples = partition_count_[0];
+    for (uint64_t count : partition_count_) {
+      if (count > m.max_partition_tuples) m.max_partition_tuples = count;
+      if (count < m.min_partition_tuples) m.min_partition_tuples = count;
+    }
+  }
+  return m;
 }
 
 uint64_t RadixPartitioner::TemporaryBytes() const {

@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "exec/query_metrics.h"
 #include "filter/blocked_bloom.h"
 #include "partition/chunked_buffer.h"
 #include "util/aligned_buffer.h"
@@ -116,12 +117,23 @@ class RadixPartitioner {
 
   const RadixConfig& config() const { return config_; }
 
+  // Snapshot for the observability layer (partition sizes are only
+  // meaningful after Finalize; SWWCB counters accumulate from pass 1 on).
+  PartitionerMetrics Metrics() const;
+
  private:
   struct WriteCombineBuffer;
 
+  // Per-worker pass-1 write-combine accounting (padded: bumped on the
+  // tuple-staging hot path).
+  struct alignas(64) Pass1Stats {
+    uint64_t flushes = 0;
+    uint64_t streamed_bytes = 0;
+  };
+
   void ScatterPrePartition(int p1, std::vector<uint64_t>& cursor_bytes,
                            std::byte* swwcb_mem, std::vector<uint32_t>& fill,
-                           ByteCounter* bytes);
+                           ByteCounter* bytes, Pass1Stats* local_stats);
 
   RadixConfig config_;
   uint32_t tuple_stride_;       // padded on-disk stride incl. hash
@@ -146,6 +158,12 @@ class RadixPartitioner {
 
   std::atomic<int> pass2_cursor_{0};
   bool finalized_ = false;
+
+  // Observability counters: pass 1 is worker-indexed (contention-free);
+  // pass 2 workers accumulate locally and add once at region end.
+  std::vector<Pass1Stats> pass1_stats_;
+  std::atomic<uint64_t> pass2_flushes_{0};
+  std::atomic<uint64_t> pass2_streamed_bytes_{0};
 };
 
 }  // namespace pjoin
