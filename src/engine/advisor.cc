@@ -1,0 +1,487 @@
+#include "engine/advisor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "util/check.h"
+#include "util/cpu_info.h"
+#include "util/stopwatch.h"
+
+namespace pjoin {
+
+namespace {
+
+// --- Cost-model calibration ------------------------------------------------
+// All costs are modeled bytes of memory traffic per join. The constants
+// encode the paper's Section 5 surfaces qualitatively: a non-partitioned
+// probe pays at most two cache lines per tuple (directory slot + entry, with
+// software prefetching hiding most of the latency), while partitioning pays
+// a fixed number of full passes over padded tuples on both sides.
+
+// Per-probe-tuple penalty (bytes) when the BHJ table lives in the LLC.
+constexpr double kLlcMissBytes = 24.0;
+// Per-probe-tuple penalty (bytes) when the BHJ table spills to DRAM:
+// directory line plus entry line, discounted for prefetch overlap.
+constexpr double kDramMissBytes = 96.0;
+// Material passes over each side's padded partition tuples: pass-1 write,
+// histogram re-scan, pass-2 read + write, join-phase read.
+constexpr double kPassFactor = 5.0;
+// Per-partition robin-hood insert cost per build tuple (bytes).
+constexpr double kPartitionInsertBytes = 16.0;
+// Pipeline-depth penalty per join below the probe side: partitioning breaks
+// the probe pipeline, re-materializing work the joins below already paid for.
+constexpr double kDepthPenalty = 0.05;
+// Bloom filter: bytes touched per key on build and per tuple on probe.
+constexpr double kBloomBytesPerKey = 8.0;
+// False-positive allowance added to the modeled pass rate.
+constexpr double kBloomFpAllowance = 0.05;
+// Above this modeled pass rate a winning BRJ is demoted to the adaptive
+// variant: the filter is likely useless and should be able to switch off.
+constexpr double kAdaptivePassRate = 0.8;
+
+// Stride of a [hash:8B][row] partition tuple as the radix partitioner pads
+// it (power of two up to 64 bytes for write-combine buffers).
+double PaddedPartitionStride(uint32_t row_width) {
+  uint32_t s = 8 + row_width;
+  if (s > 64) return (s + 7u) & ~7u;
+  uint32_t p = 1;
+  while (p < s) p <<= 1;
+  return p;
+}
+
+// --- Plan walk -------------------------------------------------------------
+// Mirrors the executor's lowering: the same required-column propagation and
+// the same post-order join numbering, so decisions line up with
+// ExecOptions::join_overrides and QueryMetrics join ids by construction.
+// (Late materialization is not modeled; its narrower widths only make the
+// non-partitioned side cheaper, which the margin rule already favors.)
+
+struct WalkContext {
+  const AdvisorOptions* options = nullptr;
+  std::map<std::string, uint32_t> width;  // column name -> byte width
+  std::map<int, JoinDecision>* out = nullptr;
+  int next_join_id = 0;
+};
+
+struct SubtreeInfo {
+  uint64_t est_rows = 0;   // estimated output cardinality
+  uint64_t base_rows = 0;  // unfiltered base-table cardinality (probe chain)
+  int joins = 0;           // joins inside the subtree
+};
+
+void CollectProvidedNames(const PlanNode& node, std::set<std::string>* out) {
+  switch (node.kind) {
+    case PlanNode::Kind::kScan:
+      for (const auto& def : node.table->schema().columns()) {
+        out->insert(def.name);
+      }
+      break;
+    case PlanNode::Kind::kFilter:
+    case PlanNode::Kind::kAgg:
+      CollectProvidedNames(*node.child, out);
+      break;
+    case PlanNode::Kind::kMap:
+      CollectProvidedNames(*node.child, out);
+      for (const auto& map : node.maps) out->insert(map.name);
+      break;
+    case PlanNode::Kind::kJoin:
+      CollectProvidedNames(*node.build, out);
+      CollectProvidedNames(*node.probe, out);
+      if (node.join_kind == JoinKind::kMark) out->insert(node.mark_name);
+      break;
+  }
+}
+
+void CollectWidths(const PlanNode& node, std::map<std::string, uint32_t>* out) {
+  switch (node.kind) {
+    case PlanNode::Kind::kScan:
+      for (const auto& def : node.table->schema().columns()) {
+        (*out)[def.name] = def.width();
+      }
+      break;
+    case PlanNode::Kind::kFilter:
+    case PlanNode::Kind::kAgg:
+      CollectWidths(*node.child, out);
+      break;
+    case PlanNode::Kind::kMap:
+      CollectWidths(*node.child, out);
+      for (const auto& map : node.maps) {
+        (*out)[map.name] = TypeWidth(map.type, map.char_len);
+      }
+      break;
+    case PlanNode::Kind::kJoin:
+      CollectWidths(*node.build, out);
+      CollectWidths(*node.probe, out);
+      if (node.join_kind == JoinKind::kMark) (*out)[node.mark_name] = 8;
+      break;
+  }
+}
+
+uint32_t SumWidths(const WalkContext& ctx, const std::set<std::string>& names) {
+  uint32_t w = 0;
+  for (const auto& name : names) {
+    auto it = ctx.width.find(name);
+    if (it != ctx.width.end()) w += it->second;
+  }
+  return w;
+}
+
+SubtreeInfo Walk(const PlanNode& node, const std::set<std::string>& required,
+                 WalkContext& ctx) {
+  switch (node.kind) {
+    case PlanNode::Kind::kScan:
+      return SubtreeInfo{node.EstimateRows(), node.table->num_rows(), 0};
+    case PlanNode::Kind::kFilter: {
+      std::set<std::string> child_required = required;
+      for (const auto& name : node.filter.inputs) child_required.insert(name);
+      return Walk(*node.child, child_required, ctx);
+    }
+    case PlanNode::Kind::kMap: {
+      std::set<std::string> child_required;
+      std::set<std::string> produced;
+      for (const auto& map : node.maps) produced.insert(map.name);
+      for (const auto& name : required) {
+        if (!produced.count(name)) child_required.insert(name);
+      }
+      for (const auto& map : node.maps) {
+        for (const auto& name : map.inputs) child_required.insert(name);
+      }
+      return Walk(*node.child, child_required, ctx);
+    }
+    case PlanNode::Kind::kJoin: {
+      std::set<std::string> build_names, probe_names;
+      CollectProvidedNames(*node.build, &build_names);
+      CollectProvidedNames(*node.probe, &probe_names);
+      std::set<std::string> build_required, probe_required;
+      for (const auto& name : required) {
+        if (node.join_kind == JoinKind::kMark && name == node.mark_name) {
+          continue;
+        }
+        if (build_names.count(name)) {
+          build_required.insert(name);
+        } else if (probe_names.count(name)) {
+          probe_required.insert(name);
+        }
+      }
+      for (const auto& [b, p] : node.keys) {
+        build_required.insert(b);
+        probe_required.insert(p);
+      }
+      SubtreeInfo build = Walk(*node.build, build_required, ctx);
+      SubtreeInfo probe = Walk(*node.probe, probe_required, ctx);
+      const int join_id = ctx.next_join_id++;
+      (*ctx.out)[join_id] = JoinAdvisor::Decide(
+          node.join_kind, build.est_rows, build.base_rows, probe.est_rows,
+          SumWidths(ctx, build_required), SumWidths(ctx, probe_required),
+          probe.joins, *ctx.options);
+      return SubtreeInfo{probe.est_rows, probe.base_rows,
+                         build.joins + probe.joins + 1};
+    }
+    case PlanNode::Kind::kAgg:
+      PJOIN_CHECK_MSG(false, "aggregate must be the root");
+  }
+  return {};
+}
+
+}  // namespace
+
+std::map<int, JoinDecision> JoinAdvisor::AdvisePlan(
+    const PlanNode& root, const AdvisorOptions& options) {
+  PJOIN_CHECK(root.kind == PlanNode::Kind::kAgg);
+  std::map<int, JoinDecision> decisions;
+  WalkContext ctx;
+  ctx.options = &options;
+  ctx.out = &decisions;
+  CollectWidths(root, &ctx.width);
+
+  std::set<std::string> root_required;
+  for (const auto& name : root.group_by) root_required.insert(name);
+  for (const auto& agg : root.aggs) {
+    if (agg.op != AggDef::Op::kCountStar) root_required.insert(agg.input);
+  }
+  Walk(*root.child, root_required, ctx);
+  return decisions;
+}
+
+JoinDecision JoinAdvisor::Decide(JoinKind kind, uint64_t est_build_rows,
+                                 uint64_t build_base_rows,
+                                 uint64_t est_probe_rows, uint32_t build_width,
+                                 uint32_t probe_width, int probe_depth,
+                                 const AdvisorOptions& options) {
+  const CpuInfo& cpu = GetCpuInfo();
+  const uint64_t l2 = options.l2_bytes > 0 ? options.l2_bytes : cpu.l2_bytes;
+  const uint64_t llc =
+      options.llc_bytes > 0 ? options.llc_bytes : cpu.llc_bytes;
+
+  JoinDecision d;
+  d.est_build_rows = est_build_rows;
+  d.est_probe_rows = est_probe_rows;
+  d.build_width = build_width;
+  d.probe_width = probe_width;
+  d.probe_depth = probe_depth;
+
+  const double build = static_cast<double>(std::max<uint64_t>(1, est_build_rows));
+  const double probe = static_cast<double>(std::max<uint64_t>(1, est_probe_rows));
+
+  // BHJ: the chaining table holds [next][hash][matched?][row] entries plus a
+  // 2x directory of 8-byte tagged slots.
+  const uint32_t header = TracksBuildMatches(kind) ? 24 : 16;
+  const double entry = (header + build_width + 7u) & ~7u;
+  d.est_ht_bytes = static_cast<uint64_t>(build * (entry + 16.0));
+
+  double miss = kDramMissBytes;
+  if (d.est_ht_bytes <= l2) {
+    miss = 0.0;
+  } else if (d.est_ht_bytes <= llc) {
+    miss = kLlcMissBytes;
+  }
+  d.cost_bhj = 2.0 * build * entry + probe * (probe_width + miss);
+
+  // RJ: kPassFactor passes over padded [hash][row] tuples on both sides plus
+  // per-partition table inserts; partitioning the probe side also breaks the
+  // pipeline below it (depth penalty).
+  const double sb = PaddedPartitionStride(build_width);
+  const double sp = PaddedPartitionStride(probe_width);
+  const double depth_penalty = 1.0 + kDepthPenalty * probe_depth;
+  const double build_part_cost =
+      kPassFactor * build * sb + kPartitionInsertBytes * build;
+  d.cost_rj = build_part_cost + kPassFactor * probe * sp * depth_penalty;
+
+  // BRJ: the filter prunes the probe side before it is partitioned. Under
+  // FK containment the pass rate is bounded by the surviving fraction of the
+  // build side's base table, plus a false-positive allowance.
+  const bool bloomable = RadixJoin::BloomApplicable(kind);
+  const double sigma =
+      build_base_rows > 0
+          ? std::min(1.0, build / static_cast<double>(build_base_rows))
+          : 1.0;
+  d.est_pass_rate = std::min(1.0, sigma + kBloomFpAllowance);
+  d.cost_brj =
+      bloomable
+          ? build_part_cost + kBloomBytesPerKey * (build + probe) +
+                kPassFactor * probe * d.est_pass_rate * sp * depth_penalty
+          : d.cost_rj;
+
+  // Decision. Hard rule first: a build side that fits L2 never partitions
+  // (the paper's headline case — 58 of 59 TPC-H joins).
+  if (d.est_ht_bytes <= l2) {
+    d.choice = JoinStrategy::kBHJ;
+    d.reason = "build fits L2";
+    return d;
+  }
+  const double best_partitioned =
+      bloomable ? std::min(d.cost_rj, d.cost_brj) : d.cost_rj;
+  if (best_partitioned < options.partition_margin * d.cost_bhj) {
+    if (bloomable && d.cost_brj <= d.cost_rj) {
+      if (d.est_pass_rate >= kAdaptivePassRate) {
+        d.choice = JoinStrategy::kBRJAdaptive;
+        d.reason = "partitioning cheaper; filter benefit uncertain";
+      } else {
+        d.choice = JoinStrategy::kBRJ;
+        d.reason = "filter prunes probe before partitioning";
+      }
+    } else {
+      d.choice = JoinStrategy::kRJ;
+      d.reason = "partitioning cheaper than cache misses";
+    }
+  } else {
+    d.choice = JoinStrategy::kBHJ;
+    d.reason = "partitioning not worth the bandwidth";
+  }
+  return d;
+}
+
+// --- Guarded runtime -------------------------------------------------------
+
+AutoJoinRuntime::AutoJoinRuntime(JoinKind kind, const RowLayout* build_layout,
+                                 std::vector<int> build_keys,
+                                 const RowLayout* probe_layout,
+                                 std::vector<int> probe_keys,
+                                 JoinProjection projection,
+                                 const RadixJoin::Options& radix_options,
+                                 const JoinDecision& decision,
+                                 double overflow_factor)
+    : kind_(kind), decision_(decision) {
+  const double estimate =
+      static_cast<double>(std::max<uint64_t>(1, decision.est_build_rows));
+  build_limit_ = static_cast<uint64_t>(
+      std::max(1.0, std::ceil(estimate * overflow_factor)));
+  radix_ = std::make_unique<RadixJoin>(kind, build_layout, build_keys,
+                                       probe_layout, probe_keys, projection,
+                                       radix_options);
+  hash_ = std::make_unique<HashJoin>(kind, build_layout, std::move(build_keys),
+                                     probe_layout, std::move(probe_keys),
+                                     std::move(projection));
+}
+
+void AutoJoinRuntime::set_join_id(int id) {
+  radix_->set_join_id(id);
+  hash_->set_join_id(id);
+}
+
+JoinMetrics AutoJoinRuntime::CollectMetrics() const {
+  JoinMetrics m =
+      fell_back_ ? hash_->CollectMetrics() : radix_->CollectMetrics();
+  m.advisor.present = true;
+  m.advisor.choice = decision_.choice;
+  m.advisor.est_build_tuples = decision_.est_build_rows;
+  m.advisor.est_probe_tuples = decision_.est_probe_rows;
+  m.advisor.cost_bhj = decision_.cost_bhj;
+  m.advisor.cost_rj = decision_.cost_rj;
+  m.advisor.cost_brj = decision_.cost_brj;
+  m.advisor.fell_back = fell_back_;
+  m.advisor.reason = decision_.reason;
+  return m;
+}
+
+JoinAudit AutoJoinRuntime::Audit(int join_id) const {
+  JoinAudit audit =
+      fell_back_ ? hash_->Audit(join_id) : radix_->Audit(join_id);
+  if (fell_back_) audit.strategy = JoinStrategy::kBHJ;
+  return audit;
+}
+
+void AutoJoinRuntime::PrepareSpill(int num_threads, uint32_t out_stride) {
+  if (!spill_.empty()) return;
+  spill_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) spill_.emplace_back(out_stride);
+}
+
+void AutoBuildSink::Prepare(ExecContext& exec) {
+  radix_sink_.set_metrics(metrics_);
+  radix_sink_.Prepare(exec);
+}
+
+void AutoBuildSink::Consume(Batch& batch, ThreadContext& ctx) {
+  radix_sink_.Consume(batch, ctx);
+}
+
+void AutoBuildSink::Close(ThreadContext& ctx) { radix_sink_.Close(ctx); }
+
+void AutoBuildSink::Finish(ExecContext& exec) {
+  RadixPartitioner& part = rt_->radix().build_partitioner();
+  const uint64_t staged = part.PendingTuples();
+  if (staged <= rt_->build_limit()) {
+    radix_sink_.Finish(exec);  // Bloom sizing + Finalize: the radix path
+    return;
+  }
+  // Guardrail tripped: the estimate undersold the build side badly enough
+  // that the partition fan-out is mis-sized. Re-route the staged tuples into
+  // the non-partitioned join — the staged hashes are exactly what the
+  // chaining table keys on, so no input re-read is needed.
+  rt_->set_fell_back();
+  Stopwatch watch;
+  ChainingHashTable& ht = rt_->hash().table();
+  const uint32_t row_stride = rt_->radix().build_layout()->stride();
+  part.ForEachStagedTuple([&](uint64_t hash, const std::byte* row) {
+    ht.MaterializeEntry(0, hash, row, row_stride);
+  });
+  ht.Build(*exec.pool());
+  exec.timer().Add(JoinPhase::kBuildPipeline, watch.ElapsedSeconds());
+}
+
+AutoProbeSink::AutoProbeSink(AutoJoinRuntime* rt)
+    : rt_(rt),
+      radix_sink_(&rt->radix()),
+      hash_probe_(&rt->hash()),
+      spill_(rt) {}
+
+void AutoProbeSink::Prepare(ExecContext& exec) {
+  if (rt_->fell_back()) {
+    rt_->PrepareSpill(exec.num_threads(),
+                      rt_->hash().projection().output->stride());
+    hash_probe_.set_metrics(metrics_);
+    hash_probe_.set_next(&spill_);
+    hash_probe_.Prepare(exec);
+    spill_.Prepare(exec);
+  } else {
+    radix_sink_.set_metrics(metrics_);
+    radix_sink_.Prepare(exec);
+  }
+}
+
+void AutoProbeSink::Open(ThreadContext& ctx) {
+  if (rt_->fell_back()) {
+    hash_probe_.Open(ctx);
+  } else {
+    radix_sink_.Open(ctx);
+  }
+}
+
+void AutoProbeSink::Consume(Batch& batch, ThreadContext& ctx) {
+  if (rt_->fell_back()) {
+    hash_probe_.Consume(batch, ctx);
+  } else {
+    radix_sink_.Consume(batch, ctx);
+  }
+}
+
+void AutoProbeSink::Close(ThreadContext& ctx) {
+  if (rt_->fell_back()) {
+    hash_probe_.Close(ctx);
+  } else {
+    radix_sink_.Close(ctx);
+  }
+}
+
+void AutoProbeSink::Finish(ExecContext& exec) {
+  if (!rt_->fell_back()) radix_sink_.Finish(exec);
+}
+
+void AutoProbeSink::SpillSink::Consume(Batch& batch, ThreadContext& ctx) {
+  RowBuffer& buf = rt_->spill(ctx.thread_id);
+  for (uint32_t i = 0; i < batch.size; ++i) buf.Append(batch.Row(i));
+}
+
+AutoJoinSource::AutoJoinSource(AutoJoinRuntime* rt)
+    : rt_(rt), partition_src_(&rt->radix()), ht_scan_(&rt->hash()) {}
+
+void AutoJoinSource::Prepare(ExecContext& exec) {
+  if (rt_->fell_back()) {
+    spill_cursor_.store(0, std::memory_order_relaxed);
+    if (EmitsBuildRows(rt_->kind())) {
+      ht_scan_.set_metrics(metrics_);
+      ht_scan_.Prepare(exec);
+    }
+  } else {
+    partition_src_.set_metrics(metrics_);
+    partition_src_.Prepare(exec);
+  }
+}
+
+void AutoJoinSource::Open(ThreadContext& ctx) {
+  if (!rt_->fell_back()) partition_src_.Open(ctx);
+}
+
+bool AutoJoinSource::ProduceMorsel(Operator& consumer, ThreadContext& ctx) {
+  if (!rt_->fell_back()) return partition_src_.ProduceMorsel(consumer, ctx);
+  const int idx = spill_cursor_.fetch_add(1, std::memory_order_relaxed);
+  if (idx < rt_->num_spill_buffers()) {
+    RowBuffer& buf = rt_->spill(idx);
+    if (buf.size() == 0) return true;
+    const RowLayout* out = rt_->radix().projection().output;
+    buf.ForEachPage([&](const std::byte* rows, uint32_t count) {
+      for (uint32_t off = 0; off < count; off += kBatchCapacity) {
+        Batch batch;
+        batch.layout = out;
+        batch.rows = const_cast<std::byte*>(rows) +
+                     static_cast<size_t>(off) * out->stride();
+        batch.size = std::min<uint32_t>(kBatchCapacity, count - off);
+        PushOut(consumer, batch, ctx);
+      }
+    });
+    return true;
+  }
+  if (EmitsBuildRows(rt_->kind())) {
+    return ht_scan_.ProduceMorsel(consumer, ctx);
+  }
+  return false;
+}
+
+void AutoJoinSource::Close(ThreadContext& ctx) {
+  if (!rt_->fell_back()) partition_src_.Close(ctx);
+}
+
+}  // namespace pjoin

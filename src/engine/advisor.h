@@ -1,0 +1,238 @@
+// Cost-based join-strategy advisor: "to partition, or not to partition",
+// answered per join at plan-lowering time (the paper's Section 5 decision,
+// turned into an analytic model instead of a manual knob).
+//
+// For every join node the advisor scores
+//   * BHJ  — materialize the build side once, probe fully pipelined; pays
+//            one cache/DRAM miss per probe tuple when the table outgrows the
+//            cache hierarchy,
+//   * RJ   — partition both sides (bandwidth-bound multi-pass scatter) so
+//            every per-partition table fits L2; pays the full partitioning
+//            traffic on the probe side and breaks the probe pipeline,
+//   * BRJ  — RJ plus a Bloom filter built from the build keys that prunes
+//            non-joining probe tuples *before* they are partitioned,
+// in a common currency (modeled bytes of memory traffic) and picks the
+// cheapest, with the paper's asymmetry built in: partitioning must win by a
+// clear margin before it is chosen, because the BHJ's downside is bounded
+// while the RJ's is not (Section 5.2, "when in doubt, do not partition").
+//
+// Because estimates lie, advisor-chosen radix joins run under a runtime
+// guardrail (AutoJoinRuntime): the build side is staged through the radix
+// partitioner's pass 1 as usual, but if the staged tuple count overflows the
+// estimate by a configurable factor, the join falls back to BHJ on the spot —
+// the staged [hash][row] tuples are re-routed into the chaining hash table
+// without re-reading the input, and the probe and join pipelines execute the
+// non-partitioned plan. The fallback is recorded in QueryMetrics.
+#ifndef PJOIN_ENGINE_ADVISOR_H_
+#define PJOIN_ENGINE_ADVISOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "engine/plan.h"
+#include "exec/pipeline.h"
+#include "join/hash_join.h"
+#include "join/radix_join.h"
+#include "storage/row_buffer.h"
+
+namespace pjoin {
+
+struct AdvisorOptions {
+  // Cache-size overrides for the cost model; 0 = use the host's values from
+  // GetCpuInfo(). Tests pin these to make decisions machine-independent.
+  uint64_t l2_bytes = 0;
+  uint64_t llc_bytes = 0;
+
+  // Runtime guardrail: an advisor-chosen radix join falls back to BHJ when
+  // the staged build side exceeds estimate * build_overflow_factor.
+  double build_overflow_factor = 4.0;
+
+  // A partitioned strategy is chosen only when its modeled cost is below
+  // margin * cost(BHJ) — the "when in doubt, do not partition" asymmetry.
+  double partition_margin = 0.9;
+};
+
+// One join's scored decision. Costs are modeled bytes of memory traffic.
+struct JoinDecision {
+  JoinStrategy choice = JoinStrategy::kBHJ;
+  uint64_t est_build_rows = 0;
+  uint64_t est_probe_rows = 0;
+  uint32_t build_width = 0;  // materialized build row bytes
+  uint32_t probe_width = 0;  // probe row bytes entering the join
+  int probe_depth = 0;       // joins below the probe side (pipeline depth)
+  uint64_t est_ht_bytes = 0; // BHJ hash table: entries + directory
+  double est_pass_rate = 1.0;  // modeled Bloom pass rate (BRJ)
+  double cost_bhj = 0;
+  double cost_rj = 0;
+  double cost_brj = 0;
+  const char* reason = "";  // static string, stable across runs
+};
+
+class JoinAdvisor {
+ public:
+  // Walks the plan exactly like the executor's lowering (required-column
+  // propagation, build side before probe side) and scores every join.
+  // Returned decisions are keyed by the executor's post-order join id, so
+  // the executor and EXPLAIN resolve kAuto identically by construction.
+  static std::map<int, JoinDecision> AdvisePlan(const PlanNode& root,
+                                                const AdvisorOptions& options);
+
+  // The cost model proper, exposed for decision-surface tests.
+  // `build_base_rows` is the unfiltered cardinality of the build subtree's
+  // base table; est_build / base bounds the Bloom filter's pass rate under
+  // the FK-containment assumption.
+  static JoinDecision Decide(JoinKind kind, uint64_t est_build_rows,
+                             uint64_t build_base_rows,
+                             uint64_t est_probe_rows, uint32_t build_width,
+                             uint32_t probe_width, int probe_depth,
+                             const AdvisorOptions& options);
+};
+
+// Shared state of one advisor-chosen radix join running under the build
+// guardrail. Owns both physical joins; only one of them executes the probe:
+// the radix join on the happy path, the hash join after a fallback.
+class AutoJoinRuntime {
+ public:
+  AutoJoinRuntime(JoinKind kind, const RowLayout* build_layout,
+                  std::vector<int> build_keys, const RowLayout* probe_layout,
+                  std::vector<int> probe_keys, JoinProjection projection,
+                  const RadixJoin::Options& radix_options,
+                  const JoinDecision& decision, double overflow_factor);
+
+  JoinKind kind() const { return kind_; }
+  RadixJoin& radix() { return *radix_; }
+  HashJoin& hash() { return *hash_; }
+  const JoinDecision& decision() const { return decision_; }
+
+  bool fell_back() const { return fell_back_; }
+  void set_fell_back() { fell_back_ = true; }
+  uint64_t build_limit() const { return build_limit_; }
+
+  void set_join_id(int id);
+  int join_id() const { return radix_->join_id(); }
+
+  // Executor accounting, routed to whichever engine actually ran.
+  uint64_t PartitionBytes() const {
+    return fell_back_ ? 0 : radix_->PartitionBytes();
+  }
+  uint64_t BloomDropped() const {
+    return fell_back_ ? 0 : radix_->bloom_dropped();
+  }
+  JoinMetrics CollectMetrics() const;
+  JoinAudit Audit(int join_id) const;
+
+  // Fallback probe output: the BHJ probe emits output-format rows into
+  // per-worker buffers here; the join source replays them downstream.
+  void PrepareSpill(int num_threads, uint32_t out_stride);
+  RowBuffer& spill(int thread_id) { return spill_[thread_id]; }
+  int num_spill_buffers() const { return static_cast<int>(spill_.size()); }
+
+ private:
+  JoinKind kind_;
+  JoinDecision decision_;
+  uint64_t build_limit_;
+  std::unique_ptr<RadixJoin> radix_;
+  std::unique_ptr<HashJoin> hash_;
+  bool fell_back_ = false;
+  std::vector<RowBuffer> spill_;
+};
+
+// Terminates the build pipeline of an advisor-chosen radix join. Stages
+// tuples through the radix partitioner's pass 1; Finish applies the
+// guardrail — within budget it finalizes the partitioner (normal radix
+// path), on overflow it re-routes the staged tuples into the BHJ table.
+class AutoBuildSink : public Operator {
+ public:
+  explicit AutoBuildSink(AutoJoinRuntime* rt) : rt_(rt), radix_sink_(&rt->radix()) {}
+
+  void Prepare(ExecContext& exec) override;
+  void Consume(Batch& batch, ThreadContext& ctx) override;
+  void Close(ThreadContext& ctx) override;
+  void Finish(ExecContext& exec) override;
+  const RowLayout* OutputLayout() const override {
+    return rt_->radix().build_layout();
+  }
+
+  const char* MetricsName() const override { return "auto_build"; }
+  std::string MetricsDetail() const override {
+    return "j" + std::to_string(rt_->join_id());
+  }
+
+ private:
+  AutoJoinRuntime* rt_;
+  RadixBuildSink radix_sink_;
+};
+
+// Terminates the probe pipeline: radix probe sink on the happy path, BHJ
+// probe (spilling its output) after a fallback. The mode is fixed by the
+// time Prepare runs, because the build pipeline finished first.
+class AutoProbeSink : public Operator {
+ public:
+  explicit AutoProbeSink(AutoJoinRuntime* rt);
+
+  void Prepare(ExecContext& exec) override;
+  void Open(ThreadContext& ctx) override;
+  void Consume(Batch& batch, ThreadContext& ctx) override;
+  void Close(ThreadContext& ctx) override;
+  void Finish(ExecContext& exec) override;
+  const RowLayout* OutputLayout() const override {
+    return rt_->radix().probe_layout();
+  }
+
+  const char* MetricsName() const override { return "auto_probe"; }
+  std::string MetricsDetail() const override {
+    return "j" + std::to_string(rt_->join_id());
+  }
+
+ private:
+  // Fallback only: copies probe output batches into the runtime's spill.
+  class SpillSink : public Operator {
+   public:
+    explicit SpillSink(AutoJoinRuntime* rt) : rt_(rt) {}
+    void Consume(Batch& batch, ThreadContext& ctx) override;
+    const RowLayout* OutputLayout() const override {
+      return rt_->hash().projection().output;
+    }
+
+   private:
+    AutoJoinRuntime* rt_;
+  };
+
+  AutoJoinRuntime* rt_;
+  RadixProbeSink radix_sink_;
+  HashJoinProbe hash_probe_;
+  SpillSink spill_;
+};
+
+// Starts the join pipeline: partition-pair joining on the happy path; after
+// a fallback it replays the spilled probe output and (for build-preserving
+// kinds) the BHJ's post-probe hash-table scan.
+class AutoJoinSource : public Source {
+ public:
+  explicit AutoJoinSource(AutoJoinRuntime* rt);
+
+  void Prepare(ExecContext& exec) override;
+  void Open(ThreadContext& ctx) override;
+  bool ProduceMorsel(Operator& consumer, ThreadContext& ctx) override;
+  void Close(ThreadContext& ctx) override;
+  const RowLayout* OutputLayout() const override {
+    return rt_->radix().projection().output;
+  }
+
+  const char* MetricsName() const override { return "auto_join"; }
+  std::string MetricsDetail() const override {
+    return "j" + std::to_string(rt_->join_id());
+  }
+
+ private:
+  AutoJoinRuntime* rt_;
+  PartitionJoinSource partition_src_;
+  HashJoinBuildScanSource ht_scan_;
+  std::atomic<int> spill_cursor_{0};
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_ENGINE_ADVISOR_H_

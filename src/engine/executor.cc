@@ -106,6 +106,19 @@ void CollectEarlyUses(const PlanNode& node, std::set<std::string>* out) {
   }
 }
 
+// Copies the advisor's decision record into a join's metrics so EXPLAIN
+// ANALYZE and the JSON export can show estimated vs actual.
+void AttachAdvisorMetrics(JoinMetrics& m, const JoinDecision& d) {
+  m.advisor.present = true;
+  m.advisor.choice = d.choice;
+  m.advisor.est_build_tuples = d.est_build_rows;
+  m.advisor.est_probe_tuples = d.est_probe_rows;
+  m.advisor.cost_bhj = d.cost_bhj;
+  m.advisor.cost_rj = d.cost_rj;
+  m.advisor.cost_brj = d.cost_brj;
+  m.advisor.reason = d.reason;
+}
+
 class Lowerer {
  public:
   Lowerer(const ExecOptions& options, int num_threads)
@@ -144,6 +157,7 @@ class Lowerer {
   std::map<std::string, ColumnRef> refs_;
   std::set<std::string> late_columns_;
   int next_join_id_ = 0;
+  std::map<int, JoinDecision> advice_;  // kAuto decisions, by join id
 
   // Owned plan machinery; layouts/projections must be address-stable.
   std::vector<std::unique_ptr<RowLayout>> layouts_;
@@ -152,6 +166,7 @@ class Lowerer {
   std::vector<std::unique_ptr<Operator>> operators_;
   std::vector<std::unique_ptr<HashJoin>> hash_joins_;
   std::vector<std::unique_ptr<RadixJoin>> radix_joins_;
+  std::vector<std::unique_ptr<AutoJoinRuntime>> auto_joins_;
   std::vector<std::unique_ptr<Pipeline>> pipelines_;
   std::vector<Pipeline*> run_order_;
   std::vector<TableScanSource*> scans_;
@@ -248,6 +263,17 @@ Lowerer::Stream Lowerer::LowerJoin(const PlanNode& node,
   auto it = options_.join_overrides.find(join_id);
   if (it != options_.join_overrides.end()) strategy = it->second;
 
+  // kAuto resolves to the advisor's per-join pick (computed in LowerQuery
+  // with the same post-order numbering). Advisor-chosen radix joins run
+  // guarded; advisor-chosen BHJ joins only carry the decision record.
+  const JoinDecision* decision = nullptr;
+  if (strategy == JoinStrategy::kAuto) {
+    auto ad = advice_.find(join_id);
+    PJOIN_CHECK_MSG(ad != advice_.end(), "advisor decision missing");
+    decision = &ad->second;
+    strategy = decision->choice;
+  }
+
   // Output layout and projection.
   std::vector<std::string> out_names = Sorted(required);
   const RowLayout* out = MakeLayout(out_names);
@@ -276,6 +302,9 @@ Lowerer::Stream Lowerer::LowerJoin(const PlanNode& node,
     probe_keys.push_back(probe.layout->IndexOf(p));
   }
 
+  const bool advised = decision != nullptr;
+  const JoinDecision adv = advised ? *decision : JoinDecision{};
+
   if (strategy == JoinStrategy::kBHJ) {
     hash_joins_.push_back(std::make_unique<HashJoin>(
         node.join_kind, build.layout, build_keys, probe.layout, probe_keys,
@@ -292,11 +321,12 @@ Lowerer::Stream Lowerer::LowerJoin(const PlanNode& node,
     Operator* probe_op = operators_.back().get();
     probe.pipeline->AddOperator(probe_op);
     if (!EmitsBuildRows(node.join_kind)) {
-      metrics_fns_.push_back([join, probe_op] {
+      metrics_fns_.push_back([join, probe_op, advised, adv] {
         JoinMetrics m = join->CollectMetrics();
         if (probe_op->metrics() != nullptr) {
           m.rows_out = probe_op->metrics()->Totals().rows_out;
         }
+        if (advised) AttachAdvisorMetrics(m, adv);
         return m;
       });
       return Stream{probe.pipeline, out};
@@ -306,7 +336,7 @@ Lowerer::Stream Lowerer::LowerJoin(const PlanNode& node,
     CompletePipeline(probe.pipeline);
     sources_.push_back(std::make_unique<HashJoinBuildScanSource>(join));
     Source* scan_src = sources_.back().get();
-    metrics_fns_.push_back([join, probe_op, scan_src] {
+    metrics_fns_.push_back([join, probe_op, scan_src, advised, adv] {
       JoinMetrics m = join->CollectMetrics();
       // Right-outer pairs and build-only rows replay through the ht scan;
       // probe-side emission (none for these kinds) would land on the probe.
@@ -316,6 +346,7 @@ Lowerer::Stream Lowerer::LowerJoin(const PlanNode& node,
       if (scan_src->metrics() != nullptr) {
         m.rows_out += scan_src->metrics()->Totals().rows_out;
       }
+      if (advised) AttachAdvisorMetrics(m, adv);
       return m;
     });
     Pipeline* next = NewPipeline(scan_src, JoinPhase::kJoin,
@@ -332,6 +363,43 @@ Lowerer::Stream Lowerer::LowerJoin(const PlanNode& node,
   radix_options.bits2 = options_.radix_bits2;
   radix_options.use_swwcb = options_.use_swwcb;
   radix_options.use_streaming = options_.use_streaming;
+
+  if (advised) {
+    // Advisor-chosen radix joins run under the build-overflow guardrail:
+    // same pipeline shape, but the sinks/source can switch the join to the
+    // BHJ engine at Finish time if the estimate undersold the build side.
+    auto_joins_.push_back(std::make_unique<AutoJoinRuntime>(
+        node.join_kind, build.layout, build_keys, probe.layout, probe_keys,
+        *projection, radix_options, adv,
+        options_.advisor.build_overflow_factor));
+    AutoJoinRuntime* rt = auto_joins_.back().get();
+    rt->set_join_id(join_id);
+    audit_fns_.push_back([rt, join_id] { return rt->Audit(join_id); });
+
+    operators_.push_back(std::make_unique<AutoBuildSink>(rt));
+    build.pipeline->AddOperator(operators_.back().get());
+    build.pipeline->timing_phase = JoinPhase::kBuildPipeline;
+    CompletePipeline(build.pipeline);
+
+    operators_.push_back(std::make_unique<AutoProbeSink>(rt));
+    probe.pipeline->AddOperator(operators_.back().get());
+    probe.pipeline->timing_phase = JoinPhase::kPartitionPass1;
+    CompletePipeline(probe.pipeline);
+
+    sources_.push_back(std::make_unique<AutoJoinSource>(rt));
+    Source* join_src = sources_.back().get();
+    metrics_fns_.push_back([rt, join_src] {
+      JoinMetrics m = rt->CollectMetrics();
+      if (join_src->metrics() != nullptr) {
+        m.rows_out = join_src->metrics()->Totals().rows_out;
+      }
+      return m;
+    });
+    Pipeline* next = NewPipeline(join_src, JoinPhase::kJoin,
+                                 "auto join j" + std::to_string(join_id));
+    return Stream{next, out};
+  }
+
   radix_joins_.push_back(std::make_unique<RadixJoin>(
       node.join_kind, build.layout, build_keys, probe.layout, probe_keys,
       *projection, radix_options));
@@ -411,6 +479,14 @@ Lowerer::Stream Lowerer::Lower(const PlanNode& node,
 void Lowerer::LowerQuery(const PlanNode& root) {
   PJOIN_CHECK(root.kind == PlanNode::Kind::kAgg);
   CollectRefs(root, &refs_);
+
+  bool needs_advisor = options_.join_strategy == JoinStrategy::kAuto;
+  for (const auto& [id, s] : options_.join_overrides) {
+    needs_advisor = needs_advisor || s == JoinStrategy::kAuto;
+  }
+  if (needs_advisor) {
+    advice_ = JoinAdvisor::AdvisePlan(root, options_.advisor);
+  }
 
   std::set<std::string> root_required;
   for (const auto& name : root.group_by) root_required.insert(name);
@@ -517,6 +593,10 @@ QueryResult Lowerer::Run(ThreadPool& pool, QueryStats* stats) {
     stats->partition_bytes = 0;
     for (const auto& join : radix_joins_) {
       stats->partition_bytes += join->PartitionBytes();
+    }
+    for (const auto& rt : auto_joins_) {
+      stats->bloom_dropped += rt->BloomDropped();
+      stats->partition_bytes += rt->PartitionBytes();
     }
     stats->join_audits.clear();
     for (const auto& fn : audit_fns_) stats->join_audits.push_back(fn());

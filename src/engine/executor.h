@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/advisor.h"
 #include "engine/plan.h"
 #include "engine/scan.h"
 #include "engine/value.h"
@@ -34,6 +35,9 @@ struct ExecOptions {
   // Per-join strategy override: joins are numbered in post-order (the
   // numbering of Figure 12); entries override the global strategy.
   std::map<int, JoinStrategy> join_overrides;
+
+  // Cost-model knobs for JoinStrategy::kAuto (cache sizes, fallback factor).
+  AdvisorOptions advisor;
 };
 
 struct QueryStats {

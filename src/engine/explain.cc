@@ -1,8 +1,11 @@
 #include "engine/explain.h"
 
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <sstream>
+
+#include "engine/advisor.h"
 
 namespace pjoin {
 
@@ -67,8 +70,41 @@ void NumberJoins(const PlanNode& node, std::map<const PlanNode*, int>* ids,
   }
 }
 
+// kAuto resolution for EXPLAIN: the advisor walks the plan in the same
+// post-order as NumberJoins and the executor, so looking decisions up by id
+// is exact — EXPLAIN shows precisely what the executor would run.
+bool UsesAuto(const ExecOptions& options) {
+  if (options.join_strategy == JoinStrategy::kAuto) return true;
+  for (const auto& entry : options.join_overrides) {
+    if (entry.second == JoinStrategy::kAuto) return true;
+  }
+  return false;
+}
+
+std::string AutoLabel(const JoinDecision& d) {
+  return std::string("auto:") + JoinStrategyName(d.choice);
+}
+
+// The advisor sub-line: estimates, layout widths, modeled costs (rounded to
+// whole bytes so the line is stable across runs), and the decision reason.
+void RenderAdvisorLine(const JoinDecision& d, int depth, bool fell_back,
+                       std::ostringstream* out) {
+  for (int i = 0; i < depth + 1; ++i) *out << "  ";
+  *out << "advisor: est_build=" << d.est_build_rows
+       << " est_probe=" << d.est_probe_rows << " widths=" << d.build_width
+       << "B/" << d.probe_width << "B depth=" << d.probe_depth
+       << " ht=" << HumanBytes(d.est_ht_bytes)
+       << " cost[bhj=" << static_cast<uint64_t>(std::llround(d.cost_bhj))
+       << " rj=" << static_cast<uint64_t>(std::llround(d.cost_rj))
+       << " brj=" << static_cast<uint64_t>(std::llround(d.cost_brj))
+       << "] -- " << d.reason;
+  if (fell_back) *out << " [fell back to BHJ: build overflowed estimate]";
+  *out << "\n";
+}
+
 void Render(const PlanNode& node, const ExecOptions& options,
-            const std::map<const PlanNode*, int>& ids, int depth,
+            const std::map<const PlanNode*, int>& ids,
+            const std::map<int, JoinDecision>& advice, int depth,
             std::ostringstream* out) {
   auto indent = [&] {
     for (int i = 0; i < depth; ++i) *out << "  ";
@@ -78,23 +114,33 @@ void Render(const PlanNode& node, const ExecOptions& options,
       indent();
       *out << "aggregate [groups:" << node.group_by.size()
            << " aggs:" << node.aggs.size() << "]\n";
-      Render(*node.child, options, ids, depth + 1, out);
+      Render(*node.child, options, ids, advice, depth + 1, out);
       break;
     case PlanNode::Kind::kJoin: {
       const int id = ids.at(&node);
       JoinStrategy strategy = options.join_strategy;
       auto it = options.join_overrides.find(id);
       if (it != options.join_overrides.end()) strategy = it->second;
+      const JoinDecision* adv = nullptr;
+      if (strategy == JoinStrategy::kAuto) {
+        auto ad = advice.find(id);
+        if (ad != advice.end()) adv = &ad->second;
+      }
       indent();
       *out << "join #" << id << " [" << JoinKindName(node.join_kind) << ", "
-           << JoinStrategyName(strategy) << "] on ";
+           << (adv != nullptr ? AutoLabel(*adv)
+                              : std::string(JoinStrategyName(strategy)))
+           << "] on ";
       for (size_t k = 0; k < node.keys.size(); ++k) {
         if (k > 0) *out << ", ";
         *out << node.keys[k].first << " = " << node.keys[k].second;
       }
       *out << "\n";
-      Render(*node.build, options, ids, depth + 1, out);
-      Render(*node.probe, options, ids, depth + 1, out);
+      if (adv != nullptr) {
+        RenderAdvisorLine(*adv, depth, /*fell_back=*/false, out);
+      }
+      Render(*node.build, options, ids, advice, depth + 1, out);
+      Render(*node.probe, options, ids, advice, depth + 1, out);
       break;
     }
     case PlanNode::Kind::kFilter:
@@ -102,7 +148,7 @@ void Render(const PlanNode& node, const ExecOptions& options,
       *out << "filter ["
            << (node.filter.label.empty() ? "lambda" : node.filter.label)
            << "]\n";
-      Render(*node.child, options, ids, depth + 1, out);
+      Render(*node.child, options, ids, advice, depth + 1, out);
       break;
     case PlanNode::Kind::kMap: {
       indent();
@@ -112,7 +158,7 @@ void Render(const PlanNode& node, const ExecOptions& options,
         *out << node.maps[m].name;
       }
       *out << "]\n";
-      Render(*node.child, options, ids, depth + 1, out);
+      Render(*node.child, options, ids, advice, depth + 1, out);
       break;
     }
     case PlanNode::Kind::kScan: {
@@ -155,6 +201,7 @@ const OperatorMetrics* FindOperator(const QueryMetrics& metrics,
 
 void RenderAnalyze(const PlanNode& node, const ExecOptions& options,
                    const std::map<const PlanNode*, int>& ids,
+                   const std::map<int, JoinDecision>& advice,
                    AnalyzeState* state, int depth, std::ostringstream* out) {
   const QueryMetrics& qm = *state->metrics;
   auto indent = [&](int extra = 0) {
@@ -168,7 +215,7 @@ void RenderAnalyze(const PlanNode& node, const ExecOptions& options,
       OperatorTotals t = qm.TotalsFor("hash_agg");
       *out << " (rows_in=" << t.rows_in << " rows_out=" << qm.result_rows()
            << ")\n";
-      RenderAnalyze(*node.child, options, ids, state, depth + 1, out);
+      RenderAnalyze(*node.child, options, ids, advice, state, depth + 1, out);
       break;
     }
     case PlanNode::Kind::kJoin: {
@@ -176,9 +223,16 @@ void RenderAnalyze(const PlanNode& node, const ExecOptions& options,
       JoinStrategy strategy = options.join_strategy;
       auto it = options.join_overrides.find(id);
       if (it != options.join_overrides.end()) strategy = it->second;
+      const JoinDecision* adv = nullptr;
+      if (strategy == JoinStrategy::kAuto) {
+        auto ad = advice.find(id);
+        if (ad != advice.end()) adv = &ad->second;
+      }
       indent();
       *out << "join #" << id << " [" << JoinKindName(node.join_kind) << ", "
-           << JoinStrategyName(strategy) << "] on ";
+           << (adv != nullptr ? AutoLabel(*adv)
+                              : std::string(JoinStrategyName(strategy)))
+           << "] on ";
       for (size_t k = 0; k < node.keys.size(); ++k) {
         if (k > 0) *out << ", ";
         *out << node.keys[k].first << " = " << node.keys[k].second;
@@ -191,6 +245,13 @@ void RenderAnalyze(const PlanNode& node, const ExecOptions& options,
              << " rows_out=" << jm->rows_out << ")";
       }
       *out << "\n";
+      if (adv != nullptr) {
+        // Estimated vs actual rows sit on adjacent lines so mispredictions
+        // are visible; a triggered guardrail is flagged inline.
+        const bool fell_back =
+            jm != nullptr && jm->advisor.present && jm->advisor.fell_back;
+        RenderAdvisorLine(*adv, depth, fell_back, out);
+      }
       if (jm != nullptr && jm->has_hash_table) {
         const HashTableMetrics& ht = jm->hash_table;
         indent(1);
@@ -228,8 +289,8 @@ void RenderAnalyze(const PlanNode& node, const ExecOptions& options,
         }
         *out << "\n";
       }
-      RenderAnalyze(*node.build, options, ids, state, depth + 1, out);
-      RenderAnalyze(*node.probe, options, ids, state, depth + 1, out);
+      RenderAnalyze(*node.build, options, ids, advice, state, depth + 1, out);
+      RenderAnalyze(*node.probe, options, ids, advice, state, depth + 1, out);
       break;
     }
     case PlanNode::Kind::kFilter: {
@@ -245,7 +306,7 @@ void RenderAnalyze(const PlanNode& node, const ExecOptions& options,
         *out << " (rows_in=" << t.rows_in << " rows_out=" << t.rows_out << ")";
       }
       *out << "\n";
-      RenderAnalyze(*node.child, options, ids, state, depth + 1, out);
+      RenderAnalyze(*node.child, options, ids, advice, state, depth + 1, out);
       break;
     }
     case PlanNode::Kind::kMap: {
@@ -266,7 +327,7 @@ void RenderAnalyze(const PlanNode& node, const ExecOptions& options,
         *out << " (rows_in=" << t.rows_in << " rows_out=" << t.rows_out << ")";
       }
       *out << "\n";
-      RenderAnalyze(*node.child, options, ids, state, depth + 1, out);
+      RenderAnalyze(*node.child, options, ids, advice, state, depth + 1, out);
       break;
     }
     case PlanNode::Kind::kScan: {
@@ -296,8 +357,12 @@ std::string ExplainPlan(const PlanNode& root, const ExecOptions& options) {
   std::map<const PlanNode*, int> ids;
   int next = 0;
   NumberJoins(root, &ids, &next);
+  std::map<int, JoinDecision> advice;
+  if (UsesAuto(options)) {
+    advice = JoinAdvisor::AdvisePlan(root, options.advisor);
+  }
   std::ostringstream out;
-  Render(root, options, ids, 0, &out);
+  Render(root, options, ids, advice, 0, &out);
   return out.str();
 }
 
@@ -306,10 +371,14 @@ std::string ExplainAnalyzePlan(const PlanNode& root, const ExecOptions& options,
   std::map<const PlanNode*, int> ids;
   int next = 0;
   NumberJoins(root, &ids, &next);
+  std::map<int, JoinDecision> advice;
+  if (UsesAuto(options)) {
+    advice = JoinAdvisor::AdvisePlan(root, options.advisor);
+  }
   std::ostringstream out;
   AnalyzeState state;
   state.metrics = &stats.metrics;
-  RenderAnalyze(root, options, ids, &state, 0, &out);
+  RenderAnalyze(root, options, ids, advice, &state, 0, &out);
 
   const QueryMetrics& qm = stats.metrics;
   out << "\ntotal: " << Fixed(qm.seconds() * 1e3, 3) << "ms"

@@ -40,8 +40,17 @@ std::vector<PlanNode::ColumnRef> PlanNode::OutputColumns() const {
 
 uint64_t PlanNode::EstimateRows() const {
   switch (kind) {
-    case Kind::kScan:
-      return table->num_rows();
+    case Kind::kScan: {
+      // Conjunctive predicates combine multiplicatively (independence
+      // assumption); predicate-free scans stay exact.
+      double selectivity = 1.0;
+      for (const ScanPredicate& pred : predicates) {
+        selectivity *= EstimateSelectivity(pred, *table);
+      }
+      const double rows =
+          static_cast<double>(table->num_rows()) * selectivity;
+      return rows < 1.0 ? 1 : static_cast<uint64_t>(rows);
+    }
     case Kind::kFilter:
     case Kind::kMap:
     case Kind::kAgg:

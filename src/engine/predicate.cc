@@ -23,6 +23,44 @@ int64_t NumericCell(const Column& col, uint64_t row) {
                           : static_cast<int64_t>(col.GetInt32(row));
 }
 
+// Sampled [min, max] of a column. Strided so estimation stays O(1)-ish even
+// on large base tables; deterministic (no RNG) so repeated plans agree.
+constexpr uint64_t kStatsSampleCap = 65536;
+
+struct NumericRange {
+  double min = 0;
+  double max = 0;
+  bool valid = false;
+};
+
+NumericRange SampleRange(const Column& col) {
+  NumericRange r;
+  const uint64_t n = col.size();
+  if (n == 0) return r;
+  const bool is_double = col.type() == DataType::kFloat64;
+  if (!is_double && col.type() != DataType::kInt64 &&
+      col.type() != DataType::kInt32 && col.type() != DataType::kDate) {
+    return r;
+  }
+  const uint64_t step = n <= kStatsSampleCap ? 1 : n / kStatsSampleCap;
+  r.valid = true;
+  bool first = true;
+  for (uint64_t i = 0; i < n; i += step) {
+    double v = is_double ? col.GetFloat64(i)
+                         : static_cast<double>(NumericCell(col, i));
+    if (first) {
+      r.min = r.max = v;
+      first = false;
+    } else {
+      r.min = std::min(r.min, v);
+      r.max = std::max(r.max, v);
+    }
+  }
+  return r;
+}
+
+double Clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
 }  // namespace
 
 ScanPredicate ScanPredicate::EqI(std::string col, int64_t v) {
@@ -222,6 +260,73 @@ bool EvalPredicate(const ScanPredicate& pred, const Table& table,
              NumericCell(table.column(pred.column2), row);
   }
   return false;
+}
+
+double EstimateSelectivity(const ScanPredicate& pred, const Table& table) {
+  const Column& col = table.column(pred.column);
+  switch (pred.op) {
+    case ScanPredicate::Op::kEq:
+    case ScanPredicate::Op::kNe:
+    case ScanPredicate::Op::kLt:
+    case ScanPredicate::Op::kLe:
+    case ScanPredicate::Op::kGt:
+    case ScanPredicate::Op::kGe:
+    case ScanPredicate::Op::kBetween:
+    case ScanPredicate::Op::kInSet: {
+      NumericRange r = SampleRange(col);
+      if (!r.valid) return 0.5;
+      // `domain` treats integer columns as dense (TPC-H keys/dates are);
+      // the +1 keeps point predicates meaningful on one-value domains.
+      const double domain = r.max - r.min + 1.0;
+      const double eq = Clamp01(1.0 / domain);
+      const double ref = pred.is_double ? pred.d0 : static_cast<double>(pred.i0);
+      switch (pred.op) {
+        case ScanPredicate::Op::kEq:
+          return eq;
+        case ScanPredicate::Op::kNe:
+          return 1.0 - eq;
+        case ScanPredicate::Op::kLt:
+          return Clamp01((ref - r.min) / domain);
+        case ScanPredicate::Op::kLe:
+          return Clamp01((ref - r.min + 1.0) / domain);
+        case ScanPredicate::Op::kGt:
+          return Clamp01((r.max - ref) / domain);
+        case ScanPredicate::Op::kGe:
+          return Clamp01((r.max - ref + 1.0) / domain);
+        case ScanPredicate::Op::kBetween: {
+          const double lo = pred.is_double ? pred.d0
+                                           : static_cast<double>(pred.i0);
+          const double hi = pred.is_double ? pred.d1
+                                           : static_cast<double>(pred.i1);
+          if (hi < lo) return 0.0;
+          const double clo = std::max(lo, r.min);
+          const double chi = std::min(hi, r.max);
+          if (chi < clo) return 0.0;
+          return Clamp01((chi - clo + 1.0) / domain);
+        }
+        default:  // kInSet
+          return Clamp01(static_cast<double>(pred.iset.size()) * eq);
+      }
+    }
+    case ScanPredicate::Op::kStrEq:
+      return 0.05;
+    case ScanPredicate::Op::kStrNe:
+      return 0.95;
+    case ScanPredicate::Op::kStrPrefix:
+    case ScanPredicate::Op::kStrSuffix:
+    case ScanPredicate::Op::kStrContains:
+      return 0.1;
+    case ScanPredicate::Op::kStrNotContains:
+      return 0.9;
+    case ScanPredicate::Op::kStrIn:
+      return Clamp01(0.05 * static_cast<double>(pred.sset.size()));
+    case ScanPredicate::Op::kColLt:
+      // SQL folklore: an open comparison of two columns keeps about a third.
+      return 1.0 / 3.0;
+    case ScanPredicate::Op::kColNe:
+      return 0.9;
+  }
+  return 0.5;
 }
 
 }  // namespace pjoin

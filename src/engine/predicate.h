@@ -78,6 +78,13 @@ struct ScanPredicate {
 bool EvalPredicate(const ScanPredicate& pred, const Table& table,
                    uint64_t row);
 
+// Estimated fraction of rows passing `pred`, in [0, 1]. Numeric comparisons
+// interpolate against a sampled column [min, max] range (uniformity
+// assumption); string and column-column predicates fall back to fixed
+// heuristics. Deterministic for a given table, so plan estimates — and the
+// join-advisor decisions built on them — are stable across runs.
+double EstimateSelectivity(const ScanPredicate& pred, const Table& table);
+
 }  // namespace pjoin
 
 #endif  // PJOIN_ENGINE_PREDICATE_H_

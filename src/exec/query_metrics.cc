@@ -222,6 +222,22 @@ std::string QueryMetrics::ToJson(bool include_timings) const {
     }
     out << ",\"bloom\":";
     AppendBloom(out, j.bloom);
+    if (j.advisor.present) {
+      out << ",\"advisor\":{\"choice\":\""
+          << JoinStrategyName(j.advisor.choice)
+          << "\",\"est_build_tuples\":" << j.advisor.est_build_tuples
+          << ",\"est_probe_tuples\":" << j.advisor.est_probe_tuples
+          << ",\"cost_bhj\":";
+      AppendDouble(out, j.advisor.cost_bhj);
+      out << ",\"cost_rj\":";
+      AppendDouble(out, j.advisor.cost_rj);
+      out << ",\"cost_brj\":";
+      AppendDouble(out, j.advisor.cost_brj);
+      out << ",\"fell_back\":" << (j.advisor.fell_back ? "true" : "false")
+          << ",\"reason\":";
+      AppendString(out, j.advisor.reason);
+      out << "}";
+    }
     out << "}";
   }
   out << "]}";

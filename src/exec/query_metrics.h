@@ -167,6 +167,21 @@ struct BloomMetrics {
   }
 };
 
+// Decision record of the cost-based join advisor (JoinStrategy::kAuto).
+// `present` stays false for manually chosen strategies so pre-advisor JSON
+// and EXPLAIN output are unchanged.
+struct AdvisorMetrics {
+  bool present = false;
+  JoinStrategy choice = JoinStrategy::kBHJ;  // what the advisor picked
+  uint64_t est_build_tuples = 0;
+  uint64_t est_probe_tuples = 0;
+  double cost_bhj = 0;  // modeled memory traffic, bytes
+  double cost_rj = 0;
+  double cost_brj = 0;
+  bool fell_back = false;  // runtime guardrail demoted a radix pick to BHJ
+  const char* reason = "";  // static string from the advisor
+};
+
 // Everything one join reports, keyed by the executor's post-order join id
 // (the numbering of Figure 12 and ExecOptions::join_overrides).
 struct JoinMetrics {
@@ -185,6 +200,7 @@ struct JoinMetrics {
   BloomMetrics bloom;
   uint64_t partition_ht_grows = 0;      // robin-hood segment regrowths
   uint64_t partition_ht_peak_bytes = 0; // largest per-partition table
+  AdvisorMetrics advisor;               // only meaningful under kAuto
 };
 
 // The query-wide registry. One instance lives in ExecContext; the executor

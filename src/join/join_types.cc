@@ -34,6 +34,8 @@ const char* JoinStrategyName(JoinStrategy strategy) {
       return "BRJ";
     case JoinStrategy::kBRJAdaptive:
       return "BRJ (adaptive)";
+    case JoinStrategy::kAuto:
+      return "auto";
   }
   return "?";
 }

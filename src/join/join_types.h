@@ -44,6 +44,7 @@ enum class JoinStrategy {
   kRJ,           // radix-partitioned join
   kBRJ,          // Bloom-filtered radix join
   kBRJAdaptive,  // BRJ with sampled filter switch-off
+  kAuto,         // resolved per join by the JoinAdvisor (Section 5 cost model)
 };
 
 const char* JoinStrategyName(JoinStrategy strategy);

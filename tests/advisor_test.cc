@@ -1,0 +1,536 @@
+// Tests for the cost-based join-strategy advisor (JoinStrategy::kAuto).
+//
+// Three layers, matching the paper's claim structure:
+//   * Decision surfaces: JoinAdvisor::Decide reproduces the Section 5 rules
+//     (never partition a build that fits L2, the "when in doubt, do not
+//     partition" margin, Bloom filters only where applicable).
+//   * Property testing: ~100 seeded workloads (the differential-test sweep
+//     of selectivity, duplicates, payload width, skew, ratio) where kAuto —
+//     under default and adversarially tiny cost-model caches — must produce
+//     results identical to every manual strategy.
+//   * Runtime guardrail: when the cardinality estimate is badly wrong, an
+//     advisor-chosen radix join must fall back to BHJ mid-build and still
+//     return correct results, recording the fallback in the metrics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/advisor.h"
+#include "engine/executor.h"
+#include "engine/plan.h"
+#include "exec/thread_pool.h"
+#include "tests/test_util.h"
+#include "tpch/gen.h"
+#include "tpch/queries.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace pjoin {
+namespace {
+
+// ---- Seeded workload sweep (mirrors join_differential_test.cc) -----------
+
+struct DataConfig {
+  const char* name;
+  uint64_t build_rows;
+  uint64_t probe_rows;
+  uint64_t dup_factor;
+  uint64_t universe_mult;
+  double theta;
+  int build_cols;
+  int probe_cols;
+};
+
+const DataConfig kConfigs[] = {
+    {"base", 1000, 4000, 2, 2, 0.0, 2, 2},
+    {"sel_all", 1000, 4000, 2, 1, 0.0, 2, 2},
+    {"sel_quarter", 1000, 4000, 2, 4, 0.0, 2, 2},
+    {"sel_tenth", 1000, 4000, 2, 10, 0.0, 2, 2},
+    {"sel_rare", 1000, 4000, 2, 50, 0.0, 2, 2},
+    {"dup_unique", 1000, 4000, 1, 2, 0.0, 2, 2},
+    {"dup_4", 1000, 4000, 4, 2, 0.0, 2, 2},
+    {"dup_16", 1000, 4000, 16, 2, 0.0, 2, 2},
+    {"pay_narrow", 1000, 4000, 2, 2, 0.0, 1, 1},
+    {"pay_build_wide", 1000, 4000, 2, 2, 0.0, 3, 2},
+    {"pay_probe_wide", 1000, 4000, 2, 2, 0.0, 2, 4},
+    {"zipf_mild", 1000, 4000, 2, 2, 0.5, 2, 2},
+    {"zipf_medium", 1000, 4000, 2, 2, 0.8, 2, 2},
+    {"zipf_heavy", 1000, 4000, 2, 2, 1.2, 2, 2},
+    {"ratio_1_1", 2000, 2000, 2, 2, 0.0, 2, 2},
+    {"ratio_1_8", 500, 4000, 2, 2, 0.0, 2, 2},
+    {"ratio_1_32", 250, 8000, 2, 2, 0.0, 2, 2},
+};
+
+const JoinKind kKinds[] = {
+    JoinKind::kInner,      JoinKind::kProbeSemi, JoinKind::kProbeAnti,
+    JoinKind::kBuildSemi,  JoinKind::kBuildAnti, JoinKind::kLeftOuter,
+    JoinKind::kRightOuter, JoinKind::kMark,
+};
+
+// The issue's floor: at least 100 distinct seeded workloads.
+static_assert(sizeof(kConfigs) / sizeof(kConfigs[0]) *
+                      sizeof(kKinds) / sizeof(kKinds[0]) >=
+                  100,
+              "advisor property sweep must cover at least 100 workloads");
+
+IntRows MakeBuildRows(const DataConfig& cfg, uint64_t seed) {
+  const uint64_t universe =
+      std::max<uint64_t>(1, cfg.build_rows / cfg.dup_factor);
+  Rng rng(seed);
+  IntRows out;
+  out.reserve(cfg.build_rows);
+  for (uint64_t i = 0; i < cfg.build_rows; ++i) {
+    std::vector<int64_t> row(cfg.build_cols);
+    row[0] = static_cast<int64_t>(rng.Below(universe));
+    for (int c = 1; c < cfg.build_cols; ++c) {
+      row[c] = static_cast<int64_t>(rng.Next() & 0xFFFF);
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+IntRows MakeProbeRows(const DataConfig& cfg, uint64_t seed) {
+  const uint64_t build_universe =
+      std::max<uint64_t>(1, cfg.build_rows / cfg.dup_factor);
+  const uint64_t universe = build_universe * cfg.universe_mult;
+  Rng rng(seed);
+  ZipfGenerator zipf(universe, cfg.theta);
+  IntRows out;
+  out.reserve(cfg.probe_rows);
+  for (uint64_t i = 0; i < cfg.probe_rows; ++i) {
+    std::vector<int64_t> row(cfg.probe_cols);
+    row[0] = cfg.theta > 0 ? static_cast<int64_t>(zipf.Next(rng) - 1)
+                           : static_cast<int64_t>(rng.Below(universe));
+    for (int c = 1; c < cfg.probe_cols; ++c) {
+      row[c] = static_cast<int64_t>(rng.Next() & 0xFFFF);
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Table MakeTable(const std::string& name, const std::string& prefix,
+                const IntRows& rows, int cols) {
+  std::vector<ColumnDef> defs;
+  for (int c = 0; c < cols; ++c) {
+    defs.push_back({prefix + std::to_string(c), DataType::kInt64, 0});
+  }
+  Table t(name, Schema(std::move(defs)));
+  t.Reserve(rows.size());
+  for (const auto& row : rows) {
+    for (int c = 0; c < cols; ++c) t.column(c).AppendInt64(row[c]);
+    t.FinishRow();
+  }
+  return t;
+}
+
+// Count-per-distinct-output-row plan: grouping by every join output column
+// with COUNT(*) preserves the full output multiset, so two strategies
+// producing equal results here produce byte-identical join output.
+std::unique_ptr<PlanNode> CountPlan(const Table* build, const Table* probe,
+                                    JoinKind kind,
+                                    std::vector<ScanPredicate> build_preds = {},
+                                    const std::string& build_key = "b0",
+                                    const std::string& probe_key = "p0") {
+  auto join = Join(ScanTable(build, std::move(build_preds)), ScanTable(probe),
+                   {{build_key, probe_key}}, kind,
+                   kind == JoinKind::kMark ? "mark" : "");
+  std::vector<std::string> group_by;
+  for (const auto& col : join->OutputColumns()) group_by.push_back(col.name);
+  return Aggregate(std::move(join), std::move(group_by),
+                   {AggDef::CountStar("n")});
+}
+
+// ---- Decision surfaces ---------------------------------------------------
+
+AdvisorOptions PinnedCaches() {
+  AdvisorOptions opt;
+  opt.l2_bytes = 1ull << 20;
+  opt.llc_bytes = 16ull << 20;
+  return opt;
+}
+
+TEST(AdvisorDecide, NeverPartitionsWhenBuildFitsL2) {
+  const AdvisorOptions opt = PinnedCaches();
+  for (uint64_t build : {100ull, 1000ull, 10000ull, 20000ull}) {
+    for (uint32_t width : {8u, 16u, 32u, 64u}) {
+      for (uint64_t probe : {1000ull, 100000ull, 10000000ull}) {
+        JoinDecision d = JoinAdvisor::Decide(JoinKind::kInner, build, build,
+                                             probe, width, 8, 0, opt);
+        if (d.est_ht_bytes <= opt.l2_bytes) {
+          EXPECT_EQ(d.choice, JoinStrategy::kBHJ)
+              << "build=" << build << " width=" << width << " probe=" << probe;
+        }
+      }
+    }
+  }
+  JoinDecision d = JoinAdvisor::Decide(JoinKind::kInner, 1000, 1000, 1000000,
+                                       8, 8, 0, opt);
+  EXPECT_EQ(d.choice, JoinStrategy::kBHJ);
+  EXPECT_STREQ(d.reason, "build fits L2");
+}
+
+TEST(AdvisorDecide, HugeNarrowBuildPartitions) {
+  const AdvisorOptions opt = PinnedCaches();
+  // 10M narrow build tuples against a 100M probe: the global table is
+  // DRAM-resident, partitioning traffic amortizes — the paper's RJ window.
+  JoinDecision d = JoinAdvisor::Decide(JoinKind::kInner, 10000000, 10000000,
+                                       100000000, 8, 8, 0, opt);
+  EXPECT_EQ(d.choice, JoinStrategy::kRJ);
+  EXPECT_GT(d.est_ht_bytes, opt.llc_bytes);
+  EXPECT_LT(d.cost_rj, d.cost_bhj);
+}
+
+TEST(AdvisorDecide, SelectiveBuildPrefersBloomRadix) {
+  const AdvisorOptions opt = PinnedCaches();
+  // The build scan keeps 1% of its base table: under FK containment most
+  // probe tuples cannot join, so the Bloom filter prunes them before the
+  // probe side is partitioned (the BRJ case of Section 4.4).
+  JoinDecision d = JoinAdvisor::Decide(JoinKind::kInner, 100000, 10000000,
+                                       100000000, 8, 8, 0, opt);
+  EXPECT_EQ(d.choice, JoinStrategy::kBRJ);
+  EXPECT_LT(d.est_pass_rate, 0.8);
+  EXPECT_LT(d.cost_brj, d.cost_rj);
+}
+
+TEST(AdvisorDecide, UncertainFilterBenefitGoesAdaptive) {
+  const AdvisorOptions opt = PinnedCaches();
+  // Nearly-unfiltered build: the modeled pass rate is high, so the filter
+  // may not pay for itself — the adaptive BRJ hedges by sampling at runtime.
+  JoinDecision d = JoinAdvisor::Decide(JoinKind::kInner, 8000000, 10000000,
+                                       100000000, 8, 8, 0, opt);
+  EXPECT_EQ(d.choice, JoinStrategy::kBRJAdaptive);
+  EXPECT_GE(d.est_pass_rate, 0.8);
+}
+
+TEST(AdvisorDecide, AntiJoinsNeverChooseBloom) {
+  const AdvisorOptions opt = PinnedCaches();
+  // kProbeAnti cannot use the filter (a false positive would drop a result
+  // row): with the BRJ off the table, the same shapes resolve to RJ or BHJ.
+  JoinDecision selective = JoinAdvisor::Decide(
+      JoinKind::kProbeAnti, 100000, 10000000, 100000000, 8, 8, 0, opt);
+  EXPECT_NE(selective.choice, JoinStrategy::kBRJ);
+  EXPECT_NE(selective.choice, JoinStrategy::kBRJAdaptive);
+  EXPECT_EQ(selective.cost_brj, selective.cost_rj);
+  JoinDecision huge = JoinAdvisor::Decide(JoinKind::kProbeAnti, 10000000,
+                                          10000000, 100000000, 8, 8, 0, opt);
+  EXPECT_EQ(huge.choice, JoinStrategy::kRJ);
+}
+
+TEST(AdvisorDecide, MarginKeepsBHJWhenPartitioningWinsNarrowly) {
+  const AdvisorOptions opt = PinnedCaches();
+  // At this shape RJ is modeled slightly cheaper than BHJ, but not by the
+  // required margin: "when in doubt, do not partition".
+  JoinDecision d = JoinAdvisor::Decide(JoinKind::kInner, 1000000, 1000000,
+                                       3500000, 8, 8, 0, opt);
+  EXPECT_LT(d.cost_rj, d.cost_bhj);
+  EXPECT_GE(d.cost_rj, opt.partition_margin * d.cost_bhj);
+  EXPECT_EQ(d.choice, JoinStrategy::kBHJ);
+  EXPECT_STREQ(d.reason, "partitioning not worth the bandwidth");
+}
+
+TEST(AdvisorDecide, PipelineDepthPenalizesPartitioning) {
+  const AdvisorOptions opt = PinnedCaches();
+  // Deeper probe pipelines re-materialize wider tuples per radix join
+  // (Section 5.2.3's pipeline-depth sweep): the same shape that partitions
+  // at depth 0 stays non-partitioned deep in a join tree.
+  JoinDecision shallow = JoinAdvisor::Decide(JoinKind::kInner, 10000000,
+                                             10000000, 100000000, 8, 8, 0, opt);
+  JoinDecision deep = JoinAdvisor::Decide(JoinKind::kInner, 10000000, 10000000,
+                                          100000000, 8, 8, 7, opt);
+  EXPECT_GT(deep.cost_rj, shallow.cost_rj);
+  EXPECT_EQ(shallow.choice, JoinStrategy::kRJ);
+}
+
+// ---- AdvisePlan: per-join decisions with executor numbering --------------
+
+TEST(AdvisorPlan, WalksPlanWithPostOrderIdsAndWidths) {
+  Table dim1 = MakeTable("ad_dim1", "d1_", MakeBuildRows({"", 100, 0, 1, 1, 0.0, 1, 0}, 3), 1);
+  Table dim2 = MakeTable("ad_dim2", "d2_", MakeBuildRows({"", 200, 0, 1, 1, 0.0, 1, 0}, 4), 1);
+  IntRows fact_rows;
+  Rng rng(7);
+  for (int64_t i = 0; i < 20000; ++i) {
+    fact_rows.push_back({static_cast<int64_t>(rng.Below(200)),
+                         static_cast<int64_t>(rng.Below(400))});
+  }
+  Table fact = MakeTable("ad_fact", "f_", fact_rows, 2);
+
+  auto inner = Join(ScanTable(&dim2), ScanTable(&fact), {{"d2_0", "f_1"}});
+  auto outer = Join(ScanTable(&dim1), std::move(inner), {{"d1_0", "f_0"}});
+  auto plan = Aggregate(std::move(outer), {}, {AggDef::CountStar("n")});
+
+  auto advice = JoinAdvisor::AdvisePlan(*plan, PinnedCaches());
+  ASSERT_EQ(advice.size(), 2u);
+  // Post-order: the inner join (build = dim2) is #0, the outer #1.
+  EXPECT_EQ(advice.at(0).est_build_rows, 200u);
+  EXPECT_EQ(advice.at(0).est_probe_rows, 20000u);
+  EXPECT_EQ(advice.at(0).build_width, 8u);   // d2_0
+  EXPECT_EQ(advice.at(0).probe_width, 16u);  // f_0 (outer key) + f_1
+  EXPECT_EQ(advice.at(0).probe_depth, 0);
+  EXPECT_EQ(advice.at(1).est_build_rows, 100u);
+  EXPECT_EQ(advice.at(1).est_probe_rows, 20000u);
+  EXPECT_EQ(advice.at(1).probe_depth, 1);  // the inner join feeds its probe
+  // Everything fits L2 here.
+  EXPECT_EQ(advice.at(0).choice, JoinStrategy::kBHJ);
+  EXPECT_EQ(advice.at(1).choice, JoinStrategy::kBHJ);
+}
+
+// ---- Property tests: kAuto result-equivalent to every manual strategy ----
+
+class AdvisorPropertyTest : public ::testing::TestWithParam<JoinKind> {};
+
+TEST_P(AdvisorPropertyTest, AutoMatchesEveryManualStrategy) {
+  const JoinKind kind = GetParam();
+  const uint64_t seed = 9000 + static_cast<uint64_t>(kind) * 131;
+  std::vector<std::unique_ptr<ThreadPool>> pools;
+  for (int t = 1; t <= 3; ++t) pools.push_back(std::make_unique<ThreadPool>(t));
+
+  size_t idx = 0;
+  for (const DataConfig& cfg : kConfigs) {
+    SCOPED_TRACE(std::string("config=") + cfg.name);
+    Table build = MakeTable(std::string("apb_") + cfg.name, "b",
+                            MakeBuildRows(cfg, seed + idx * 2), cfg.build_cols);
+    Table probe = MakeTable(std::string("app_") + cfg.name, "p",
+                            MakeProbeRows(cfg, seed + idx * 2 + 1),
+                            cfg.probe_cols);
+    auto plan = CountPlan(&build, &probe, kind);
+    ThreadPool* pool = pools[idx % pools.size()].get();
+
+    auto run = [&](ExecOptions options, QueryStats* stats = nullptr) {
+      options.num_threads = pool->num_threads();
+      return ExecuteQuery(*plan, options, stats, pool);
+    };
+
+    ExecOptions manual;
+    manual.join_strategy = JoinStrategy::kBHJ;
+    QueryResult reference = run(manual);
+    for (JoinStrategy s :
+         {JoinStrategy::kRJ, JoinStrategy::kBRJ, JoinStrategy::kBRJAdaptive}) {
+      SCOPED_TRACE(JoinStrategyName(s));
+      manual.join_strategy = s;
+      EXPECT_TRUE(run(manual).ApproxEquals(reference));
+    }
+
+    // kAuto with the real cost model: whatever it picks must match.
+    ExecOptions auto_default;
+    auto_default.join_strategy = JoinStrategy::kAuto;
+    EXPECT_TRUE(run(auto_default).ApproxEquals(reference)) << "kAuto default";
+
+    // kAuto with absurdly small modeled caches and no margin: every join is
+    // forced onto the guarded radix path, exercising AutoJoinRuntime across
+    // the whole sweep (estimates are exact here, so no fallback triggers).
+    ExecOptions auto_forced;
+    auto_forced.join_strategy = JoinStrategy::kAuto;
+    auto_forced.advisor.l2_bytes = 64;
+    auto_forced.advisor.llc_bytes = 128;
+    auto_forced.advisor.partition_margin = 1000.0;
+    QueryStats forced_stats;
+    EXPECT_TRUE(run(auto_forced, &forced_stats).ApproxEquals(reference))
+        << "kAuto forced-partitioned";
+    const JoinMetrics* jm = forced_stats.metrics.FindJoin(0);
+    ASSERT_NE(jm, nullptr);
+    ASSERT_TRUE(jm->advisor.present);
+    EXPECT_NE(jm->advisor.choice, JoinStrategy::kBHJ);
+    EXPECT_FALSE(jm->advisor.fell_back);
+    ++idx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, AdvisorPropertyTest, ::testing::ValuesIn(kKinds),
+    [](const ::testing::TestParamInfo<JoinKind>& info) {
+      std::string name = JoinKindName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---- Runtime guardrail: estimate overflow falls back to BHJ --------------
+
+// Build-side payload column whose range makes the selectivity estimator
+// badly underestimate: all rows hold small values except one huge outlier,
+// so `pay <= 10000` passes everything but is estimated at ~1%.
+IntRows OutlierBuildRows(uint64_t rows, uint64_t key_universe) {
+  IntRows out;
+  for (uint64_t i = 0; i < rows; ++i) {
+    out.push_back({static_cast<int64_t>(i % key_universe),
+                   i == 0 ? int64_t{1000000} : int64_t{1}});
+  }
+  return out;
+}
+
+ExecOptions TinyCacheAutoOptions() {
+  ExecOptions options;
+  options.join_strategy = JoinStrategy::kAuto;
+  // Tiny modeled caches make the (underestimated) build look DRAM-resident
+  // enough that the advisor picks a partitioned strategy.
+  options.advisor.l2_bytes = 512;
+  options.advisor.llc_bytes = 2048;
+  options.num_threads = 2;
+  return options;
+}
+
+TEST(AdvisorGuardrail, FallsBackToBHJWhenBuildOverflowsEstimate) {
+  Table build = MakeTable("gb", "b", OutlierBuildRows(20000, 500), 2);
+  IntRows probe_rows;
+  for (int64_t i = 0; i < 40000; ++i) probe_rows.push_back({i % 1000});
+  Table probe = MakeTable("gp", "p", probe_rows, 1);
+
+  auto predicated = [&] {
+    return CountPlan(&build, &probe, JoinKind::kInner,
+                     {ScanPredicate::LeI("b1", 10000)});
+  };
+
+  // Reference: the same plan under manual BHJ.
+  ExecOptions bhj;
+  bhj.join_strategy = JoinStrategy::kBHJ;
+  bhj.num_threads = 2;
+  QueryResult reference = ExecuteQuery(*predicated(), bhj);
+
+  // kAuto sees est_build ≈ 200, picks a partitioned strategy, then stages
+  // 19999 tuples — past the 4x overflow limit — and must fall back.
+  QueryStats stats;
+  QueryResult result =
+      ExecuteQuery(*predicated(), TinyCacheAutoOptions(), &stats);
+  EXPECT_TRUE(result.ApproxEquals(reference));
+
+  const JoinMetrics* jm = stats.metrics.FindJoin(0);
+  ASSERT_NE(jm, nullptr);
+  ASSERT_TRUE(jm->advisor.present);
+  EXPECT_NE(jm->advisor.choice, JoinStrategy::kBHJ);  // what it planned
+  EXPECT_TRUE(jm->advisor.fell_back);                 // what happened
+  EXPECT_LT(jm->advisor.est_build_tuples, 1000u);
+  EXPECT_TRUE(jm->has_hash_table);     // the BHJ actually ran
+  EXPECT_FALSE(jm->has_partitions);    // the radix join never finalized
+  EXPECT_EQ(jm->build_tuples, 19999u);
+  // Audits and accounting follow the engine that ran.
+  ASSERT_EQ(stats.join_audits.size(), 1u);
+  EXPECT_EQ(stats.join_audits[0].strategy, JoinStrategy::kBHJ);
+  EXPECT_EQ(stats.partition_bytes, 0u);
+}
+
+TEST(AdvisorGuardrail, AccurateEstimateStaysOnRadixPath) {
+  // Control: same tables, no predicate — the estimate is exact, the staged
+  // build is within budget, and the guarded join finalizes as planned.
+  Table build = MakeTable("gb2", "b", OutlierBuildRows(20000, 500), 2);
+  IntRows probe_rows;
+  for (int64_t i = 0; i < 40000; ++i) probe_rows.push_back({i % 1000});
+  Table probe = MakeTable("gp2", "p", probe_rows, 1);
+  auto plan = CountPlan(&build, &probe, JoinKind::kInner);
+
+  ExecOptions bhj;
+  bhj.join_strategy = JoinStrategy::kBHJ;
+  bhj.num_threads = 2;
+  QueryResult reference = ExecuteQuery(*plan, bhj);
+
+  // Without the margin override the model (correctly) keeps BHJ for this
+  // 1:2 build:probe ratio; force the partitioned pick to test the guardrail
+  // arm that does NOT trigger.
+  ExecOptions auto_options = TinyCacheAutoOptions();
+  auto_options.advisor.partition_margin = 1000.0;
+  QueryStats stats;
+  QueryResult result = ExecuteQuery(*plan, auto_options, &stats);
+  EXPECT_TRUE(result.ApproxEquals(reference));
+
+  const JoinMetrics* jm = stats.metrics.FindJoin(0);
+  ASSERT_NE(jm, nullptr);
+  ASSERT_TRUE(jm->advisor.present);
+  EXPECT_NE(jm->advisor.choice, JoinStrategy::kBHJ);
+  EXPECT_FALSE(jm->advisor.fell_back);
+  EXPECT_TRUE(jm->has_partitions);
+  EXPECT_GT(stats.partition_bytes, 0u);
+}
+
+TEST(AdvisorGuardrail, FallbackCorrectForEveryJoinKind) {
+  // The fallback path re-routes staged tuples into the chaining table and
+  // replays spilled probe output (plus the hash-table scan for
+  // build-preserving kinds) — every join kind must survive it unchanged.
+  Table build = MakeTable("gk_b", "b", OutlierBuildRows(4000, 250), 2);
+  IntRows probe_rows;
+  Rng rng(23);
+  for (int64_t i = 0; i < 8000; ++i) {
+    probe_rows.push_back({static_cast<int64_t>(rng.Below(500))});
+  }
+  Table probe = MakeTable("gk_p", "p", probe_rows, 1);
+
+  for (JoinKind kind : kKinds) {
+    SCOPED_TRACE(JoinKindName(kind));
+    auto make_plan = [&] {
+      return CountPlan(&build, &probe, kind,
+                       {ScanPredicate::LeI("b1", 10000)});
+    };
+    ExecOptions bhj;
+    bhj.join_strategy = JoinStrategy::kBHJ;
+    bhj.num_threads = 2;
+    QueryResult reference = ExecuteQuery(*make_plan(), bhj);
+
+    // Kinds without Bloom support model a pricier radix join and would stay
+    // on BHJ here; drop the margin so every kind takes the guarded path.
+    ExecOptions auto_options = TinyCacheAutoOptions();
+    auto_options.advisor.partition_margin = 1000.0;
+    QueryStats stats;
+    QueryResult result = ExecuteQuery(*make_plan(), auto_options, &stats);
+    EXPECT_TRUE(result.ApproxEquals(reference));
+    const JoinMetrics* jm = stats.metrics.FindJoin(0);
+    ASSERT_NE(jm, nullptr);
+    ASSERT_TRUE(jm->advisor.present);
+    EXPECT_TRUE(jm->advisor.fell_back);
+  }
+}
+
+// ---- Oracle accuracy on the TPC-H join map -------------------------------
+
+TEST(AdvisorOracle, TpchOverwhelminglyNonPartitioned) {
+  // The paper's headline (Figure 1): across the TPC-H join map, partitioning
+  // wins in almost no join. The advisor must reach the same conclusion —
+  // with pinned cache sizes so the decision is machine-independent.
+  auto db = GenerateTpch(0.01);
+  ThreadPool pool(2);
+  ExecOptions options;
+  options.join_strategy = JoinStrategy::kAuto;
+  options.num_threads = 2;
+  options.advisor = PinnedCaches();
+
+  int total = 0;
+  int non_partitioned = 0;
+  for (const TpchQuery& q : TpchQueries()) {
+    SCOPED_TRACE(q.name);
+    QueryStats stats;
+    q.run(*db, options, &stats, &pool);
+    // Multi-step queries renumber audits into one post-order sequence; the
+    // audit's strategy is what actually ran (post-fallback).
+    ASSERT_EQ(static_cast<int>(stats.join_audits.size()), q.num_joins);
+    for (const JoinAudit& audit : stats.join_audits) {
+      ++total;
+      if (audit.strategy == JoinStrategy::kBHJ) ++non_partitioned;
+    }
+  }
+  EXPECT_EQ(total, TotalTpchJoins());
+  // "kAuto picks the non-partitioned join on >= 90% of the TPC-H joins."
+  EXPECT_GE(non_partitioned * 10, total * 9)
+      << non_partitioned << " of " << total << " joins chose BHJ";
+}
+
+TEST(AdvisorOracle, TpchAutoResultsMatchManualStrategies) {
+  // Result equivalence on real query shapes, not just synthetic sweeps:
+  // every TPC-H query must return identical rows under kAuto and manuals.
+  auto db = GenerateTpch(0.005);
+  ThreadPool pool(2);
+  for (const TpchQuery& q : TpchQueries()) {
+    SCOPED_TRACE(q.name);
+    ExecOptions options;
+    options.num_threads = 2;
+    options.join_strategy = JoinStrategy::kBHJ;
+    QueryResult reference = q.run(*db, options, nullptr, &pool);
+    options.join_strategy = JoinStrategy::kAuto;
+    EXPECT_TRUE(q.run(*db, options, nullptr, &pool).ApproxEquals(reference));
+  }
+}
+
+}  // namespace
+}  // namespace pjoin

@@ -38,6 +38,47 @@ TEST(Explain, RendersTreeWithJoinIdsAndStrategies) {
   EXPECT_NE(text.find("scan tc"), std::string::npos);
 }
 
+TEST(Explain, AutoStrategyShowsAdvisorDecision) {
+  // kAuto joins render as "auto:<pick>" plus an advisor sub-line with the
+  // cost breakdown. Cache sizes are pinned so the output is
+  // machine-independent, and two renders must be byte-identical (the costs
+  // are deterministic functions of the plan).
+  Table dim("xd", Schema({{"xd_k", DataType::kInt64, 0}}));
+  Table fact("xf", Schema({{"xf_k", DataType::kInt64, 0}}));
+  for (int64_t k = 0; k < 100; ++k) {
+    dim.column(0).AppendInt64(k);
+    dim.FinishRow();
+  }
+  for (int64_t i = 0; i < 5000; ++i) {
+    fact.column(0).AppendInt64(i % 200);
+    fact.FinishRow();
+  }
+  auto plan =
+      Aggregate(Join(ScanTable(&dim), ScanTable(&fact), {{"xd_k", "xf_k"}}),
+                {}, {AggDef::CountStar("n")});
+
+  ExecOptions options;
+  options.join_strategy = JoinStrategy::kAuto;
+  options.advisor.l2_bytes = 1 << 20;
+  options.advisor.llc_bytes = 16 << 20;
+  const std::string text = ExplainPlan(*plan, options);
+  EXPECT_EQ(text, ExplainPlan(*plan, options));
+
+  // A 100-row build fits any L2: the advisor picks BHJ and says why.
+  EXPECT_NE(text.find("join #0 [inner, auto:BHJ]"), std::string::npos);
+  EXPECT_NE(text.find("advisor: est_build=100 est_probe=5000"),
+            std::string::npos);
+  EXPECT_NE(text.find("cost[bhj="), std::string::npos);
+  EXPECT_NE(text.find("-- build fits L2"), std::string::npos);
+
+  // Manual strategies render without the advisor line.
+  ExecOptions manual;
+  manual.join_strategy = JoinStrategy::kBHJ;
+  const std::string plain = ExplainPlan(*plan, manual);
+  EXPECT_EQ(plain.find("advisor:"), std::string::npos);
+  EXPECT_NE(plain.find("join #0 [inner, BHJ]"), std::string::npos);
+}
+
 TEST(Explain, RendersFilterAndMapLabels) {
   Table t("tt", Schema({{"x", DataType::kInt64, 0}}));
   t.column(0).AppendInt64(1);

@@ -255,6 +255,69 @@ TEST_F(MetricsTest, ExplainAnalyzeGoldenTree) {
   EXPECT_EQ(tree, expected);
 }
 
+TEST_F(MetricsTest, ExplainAnalyzeShowsAdvisorDecisionAndActuals) {
+  auto plan = TwoJoinPlan();
+  ExecOptions options;
+  options.join_strategy = JoinStrategy::kAuto;
+  options.advisor.l2_bytes = 1 << 20;
+  options.advisor.llc_bytes = 16 << 20;
+  options.num_threads = 2;
+  QueryStats stats;
+  ExecuteQuery(*plan, options, &stats);
+  std::string text = ExplainAnalyzePlan(*plan, options, stats);
+
+  // The join line shows the resolved pick and its actuals; the advisor
+  // sub-line shows the estimates it was based on — both dims fit L2.
+  EXPECT_NE(text.find("join #1 [inner, auto:BHJ]"), std::string::npos);
+  EXPECT_NE(text.find("(build=100 probe="), std::string::npos);
+  EXPECT_NE(text.find("advisor: est_build=100 est_probe=20000"),
+            std::string::npos);
+  EXPECT_NE(text.find("advisor: est_build=200 est_probe=20000"),
+            std::string::npos);
+  EXPECT_NE(text.find("-- build fits L2"), std::string::npos);
+  // No guardrail trigger on this query.
+  EXPECT_EQ(text.find("fell back"), std::string::npos);
+
+  // The metrics record the decision for each join.
+  for (int join_id = 0; join_id < 2; ++join_id) {
+    const JoinMetrics* jm = stats.metrics.FindJoin(join_id);
+    ASSERT_NE(jm, nullptr);
+    EXPECT_TRUE(jm->advisor.present);
+    EXPECT_EQ(jm->advisor.choice, JoinStrategy::kBHJ);
+    EXPECT_FALSE(jm->advisor.fell_back);
+    EXPECT_GT(jm->advisor.cost_bhj, 0.0);
+    EXPECT_GT(jm->advisor.cost_rj, 0.0);
+  }
+}
+
+TEST_F(MetricsTest, ToJsonStableUnderAutoStrategy) {
+  auto plan = TwoJoinPlan();
+  ExecOptions options;
+  options.join_strategy = JoinStrategy::kAuto;
+  options.advisor.l2_bytes = 1 << 20;
+  options.advisor.llc_bytes = 16 << 20;
+  options.num_threads = 1;
+
+  QueryStats a, b;
+  ExecuteQuery(*plan, options, &a);
+  ExecuteQuery(*plan, options, &b);
+  const std::string ja = a.metrics.ToJson(/*include_timings=*/false);
+  EXPECT_EQ(ja, b.metrics.ToJson(false));
+
+  // The advisor object is present with its fixed key order.
+  EXPECT_NE(ja.find("\"advisor\":{\"choice\":\"BHJ\""), std::string::npos);
+  EXPECT_NE(ja.find("\"est_build_tuples\":"), std::string::npos);
+  EXPECT_NE(ja.find("\"cost_bhj\":"), std::string::npos);
+  EXPECT_NE(ja.find("\"fell_back\":false"), std::string::npos);
+
+  // Manual strategies serialize without it (pre-advisor schema unchanged).
+  ExecOptions manual = options;
+  manual.join_strategy = JoinStrategy::kBHJ;
+  QueryStats m;
+  ExecuteQuery(*plan, manual, &m);
+  EXPECT_EQ(m.metrics.ToJson(false).find("\"advisor\""), std::string::npos);
+}
+
 TEST_F(MetricsTest, ToJsonStableAcrossRuns) {
   auto plan = TwoJoinPlan();
   ExecOptions options;

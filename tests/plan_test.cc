@@ -52,6 +52,33 @@ TEST(Plan, EstimateFollowsProbeSide) {
   EXPECT_EQ(join->EstimateRows(), 100000u);
 }
 
+TEST(Plan, MultiPredicateScanEstimatesCombine) {
+  // Two uniform columns: "a" over [0, 99], "b" over [0, 9]. Selectivities of
+  // conjunctive predicates must multiply (independence assumption), not be
+  // ignored beyond the first predicate.
+  Table t("mp", Schema({{"mp_a", DataType::kInt64, 0},
+                        {"mp_b", DataType::kInt64, 0}}));
+  for (int64_t i = 0; i < 10000; ++i) {
+    t.column(0).AppendInt64(i % 100);
+    t.column(1).AppendInt64(i % 10);
+    t.FinishRow();
+  }
+  // No predicate: exact.
+  EXPECT_EQ(ScanTable(&t)->EstimateRows(), 10000u);
+  // One predicate: a >= 50 keeps half the domain.
+  auto one = ScanTable(&t, {ScanPredicate::GeI("mp_a", 50)});
+  EXPECT_EQ(one->EstimateRows(), 5000u);
+  // Both predicates: 0.5 * 0.1 of the table.
+  auto both = ScanTable(&t, {ScanPredicate::GeI("mp_a", 50),
+                             ScanPredicate::EqI("mp_b", 3)});
+  EXPECT_EQ(both->EstimateRows(), 500u);
+  // Estimates never drop below one row.
+  auto rare = ScanTable(&t, {ScanPredicate::EqI("mp_a", 3),
+                             ScanPredicate::EqI("mp_b", 3),
+                             ScanPredicate::LtI("mp_b", 1)});
+  EXPECT_GE(rare->EstimateRows(), 1u);
+}
+
 TEST(Executor, JoinAuditsMeasureSides) {
   Table dim = SmallTable("d", "d", 100);
   Table fact = SmallTable("f", "f", 50000);
