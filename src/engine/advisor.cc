@@ -5,6 +5,7 @@
 #include <set>
 #include <string>
 
+#include "spill/memory_governor.h"
 #include "util/check.h"
 #include "util/cpu_info.h"
 #include "util/stopwatch.h"
@@ -40,6 +41,10 @@ constexpr double kBloomFpAllowance = 0.05;
 // Above this modeled pass rate a winning BRJ is demoted to the adaptive
 // variant: the filter is likely useless and should be able to switch off.
 constexpr double kAdaptivePassRate = 0.8;
+// Cost (in modeled memory-traffic bytes) per byte of spill I/O. Buffered
+// sequential temp-file I/O is slower than a DRAM pass but not catastrophically
+// so; the factor applies to write + re-read of every spilled byte.
+constexpr double kSpillIoFactor = 4.0;
 
 // Stride of a [hash:8B][row] partition tuple as the radix partitioner pads
 // it (power of two up to 64 bytes for write-combine buffers).
@@ -264,9 +269,43 @@ JoinDecision JoinAdvisor::Decide(JoinKind kind, uint64_t est_build_rows,
                 kPassFactor * probe * d.est_pass_rate * sp * depth_penalty
           : d.cost_rj;
 
+  // Out-of-core term. With a memory budget below the modeled build state,
+  // every strategy spills the overflow to temp files (write + re-read). The
+  // I/O volume is the same order for all three, but the BHJ pays an extra
+  // re-pack pass over the build side — it discovers the overflow only after
+  // materializing the whole table — while the radix join's pass-1
+  // pre-partitions are the spill unit: eviction is one sequential write of
+  // chunks it had already formed. When spilling is inevitable, partitioning
+  // is the cheaper on-ramp (the NOCAP observation).
+  const uint64_t budget = options.memory_budget > 0
+                              ? options.memory_budget
+                              : MemoryGovernor::Global().budget();
+  if (budget > 0) {
+    if (d.est_ht_bytes > budget) {
+      const double f =
+          1.0 - static_cast<double>(budget) / static_cast<double>(d.est_ht_bytes);
+      d.cost_bhj += build * entry /* re-pack pass */ +
+                    kSpillIoFactor * 2.0 * f * (build * sb + probe * sp);
+      d.spill_expected = true;
+    }
+    const double part_bytes = build * sb;
+    if (part_bytes > budget) {
+      const double f = 1.0 - static_cast<double>(budget) / part_bytes;
+      d.cost_rj += kSpillIoFactor * 2.0 * f * (build * sb + probe * sp);
+      if (bloomable) {
+        d.cost_brj += kSpillIoFactor * 2.0 * f *
+                      (build * sb + probe * d.est_pass_rate * sp);
+      } else {
+        d.cost_brj = d.cost_rj;
+      }
+      d.spill_expected = true;
+    }
+  }
+
   // Decision. Hard rule first: a build side that fits L2 never partitions
-  // (the paper's headline case — 58 of 59 TPC-H joins).
-  if (d.est_ht_bytes <= l2) {
+  // (the paper's headline case — 58 of 59 TPC-H joins). Suspended when the
+  // budget is below even that table: the decision must weigh spill I/O.
+  if (d.est_ht_bytes <= l2 && (budget == 0 || d.est_ht_bytes <= budget)) {
     d.choice = JoinStrategy::kBHJ;
     d.reason = "build fits L2";
     return d;
@@ -277,18 +316,24 @@ JoinDecision JoinAdvisor::Decide(JoinKind kind, uint64_t est_build_rows,
     if (bloomable && d.cost_brj <= d.cost_rj) {
       if (d.est_pass_rate >= kAdaptivePassRate) {
         d.choice = JoinStrategy::kBRJAdaptive;
-        d.reason = "partitioning cheaper; filter benefit uncertain";
+        d.reason = d.spill_expected
+                       ? "spill inevitable; partition, filter uncertain"
+                       : "partitioning cheaper; filter benefit uncertain";
       } else {
         d.choice = JoinStrategy::kBRJ;
-        d.reason = "filter prunes probe before partitioning";
+        d.reason = d.spill_expected
+                       ? "spill inevitable; filter shrinks spilled probe"
+                       : "filter prunes probe before partitioning";
       }
     } else {
       d.choice = JoinStrategy::kRJ;
-      d.reason = "partitioning cheaper than cache misses";
+      d.reason = d.spill_expected ? "spill inevitable; partitioned spill cheaper"
+                                  : "partitioning cheaper than cache misses";
     }
   } else {
     d.choice = JoinStrategy::kBHJ;
-    d.reason = "partitioning not worth the bandwidth";
+    d.reason = d.spill_expected ? "spill inevitable; hybrid hash still cheaper"
+                                : "partitioning not worth the bandwidth";
   }
   return d;
 }
@@ -378,7 +423,9 @@ void AutoBuildSink::Finish(ExecContext& exec) {
   part.ForEachStagedTuple([&](uint64_t hash, const std::byte* row) {
     ht.MaterializeEntry(0, hash, row, row_stride);
   });
-  ht.Build(*exec.pool());
+  // FinishBuild, not a raw Build: under a memory budget the fallback BHJ
+  // must be able to go hybrid (spill partitions) like a planned BHJ would.
+  rt_->hash().FinishBuild(exec);
   exec.timer().Add(JoinPhase::kBuildPipeline, watch.ElapsedSeconds());
 }
 

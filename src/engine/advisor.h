@@ -52,6 +52,14 @@ struct AdvisorOptions {
   // A partitioned strategy is chosen only when its modeled cost is below
   // margin * cost(BHJ) — the "when in doubt, do not partition" asymmetry.
   double partition_margin = 0.9;
+
+  // Memory budget for the I/O-aware cost term; 0 = read the process-wide
+  // governor's budget (PJOIN_MEMORY_BUDGET). When the modeled build state
+  // exceeds the budget the advisor adds spill I/O to each strategy — the
+  // radix join spills its already-formed pass-1 partitions, while the BHJ
+  // pays an extra re-pack pass on top, so inevitable spilling tilts the
+  // decision toward partitioning (the NOCAP observation).
+  uint64_t memory_budget = 0;
 };
 
 // One join's scored decision. Costs are modeled bytes of memory traffic.
@@ -67,6 +75,7 @@ struct JoinDecision {
   double cost_bhj = 0;
   double cost_rj = 0;
   double cost_brj = 0;
+  bool spill_expected = false;  // budgeted run: some strategy must spill
   const char* reason = "";  // static string, stable across runs
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "spill/memory_governor.h"
 #include "util/check.h"
 #include "util/env.h"
 #include "util/stopwatch.h"
@@ -578,6 +579,10 @@ QueryResult Lowerer::Run(ThreadPool& pool, QueryStats* stats) {
   for (const auto& fn : metrics_fns_) qm.AddJoin(fn());
   qm.SetSummary(seconds, exec.source_tuples(), root_agg_->result().num_rows(),
                 exec.timer(), exec.MergedBytes());
+  {
+    const MemoryGovernor& gov = MemoryGovernor::Global();
+    qm.SetGovernor(gov.budget(), gov.high_water(), gov.denials());
+  }
 
   if (stats != nullptr) {
     stats->metrics = qm;

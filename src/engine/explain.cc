@@ -289,6 +289,17 @@ void RenderAnalyze(const PlanNode& node, const ExecOptions& options,
         }
         *out << "\n";
       }
+      if (jm != nullptr && jm->spill.spilled) {
+        const SpillMetrics& sp = jm->spill;
+        indent(1);
+        *out << "spill: partitions=" << sp.partitions_spilled << "/"
+             << sp.partitions_total
+             << " build_tuples=" << sp.build_tuples_spilled
+             << " probe_tuples=" << sp.probe_tuples_spilled
+             << " written=" << HumanBytes(sp.bytes_written)
+             << " read=" << HumanBytes(sp.bytes_read)
+             << " depth=" << sp.max_recursion_depth << "\n";
+      }
       RenderAnalyze(*node.build, options, ids, advice, state, depth + 1, out);
       RenderAnalyze(*node.probe, options, ids, advice, state, depth + 1, out);
       break;

@@ -222,6 +222,16 @@ std::string QueryMetrics::ToJson(bool include_timings) const {
     }
     out << ",\"bloom\":";
     AppendBloom(out, j.bloom);
+    if (j.spill.spilled) {
+      const SpillMetrics& s = j.spill;
+      out << ",\"spill\":{\"partitions_spilled\":" << s.partitions_spilled
+          << ",\"partitions_total\":" << s.partitions_total
+          << ",\"build_tuples_spilled\":" << s.build_tuples_spilled
+          << ",\"probe_tuples_spilled\":" << s.probe_tuples_spilled
+          << ",\"bytes_written\":" << s.bytes_written
+          << ",\"bytes_read\":" << s.bytes_read
+          << ",\"max_recursion_depth\":" << s.max_recursion_depth << "}";
+    }
     if (j.advisor.present) {
       out << ",\"advisor\":{\"choice\":\""
           << JoinStrategyName(j.advisor.choice)
@@ -240,7 +250,13 @@ std::string QueryMetrics::ToJson(bool include_timings) const {
     }
     out << "}";
   }
-  out << "]}";
+  out << "]";
+  if (governor_budget_ > 0) {
+    out << ",\"governor\":{\"budget\":" << governor_budget_
+        << ",\"high_water\":" << governor_high_water_
+        << ",\"denials\":" << governor_denials_ << "}";
+  }
+  out << "}";
   return out.str();
 }
 

@@ -167,6 +167,20 @@ struct BloomMetrics {
   }
 };
 
+// Out-of-core activity of one hybrid join. `spilled` stays false when the
+// join ran fully resident, and the JSON/EXPLAIN layers omit the record, so
+// unbudgeted runs are byte-identical to the pre-spill output.
+struct SpillMetrics {
+  bool spilled = false;
+  uint32_t partitions_spilled = 0;
+  uint32_t partitions_total = 0;  // fan-out the residency choice ranged over
+  uint64_t build_tuples_spilled = 0;
+  uint64_t probe_tuples_spilled = 0;
+  uint64_t bytes_written = 0;
+  uint64_t bytes_read = 0;
+  uint64_t max_recursion_depth = 0;  // 1 = joined on first re-read
+};
+
 // Decision record of the cost-based join advisor (JoinStrategy::kAuto).
 // `present` stays false for manually chosen strategies so pre-advisor JSON
 // and EXPLAIN output are unchanged.
@@ -200,6 +214,7 @@ struct JoinMetrics {
   BloomMetrics bloom;
   uint64_t partition_ht_grows = 0;      // robin-hood segment regrowths
   uint64_t partition_ht_peak_bytes = 0; // largest per-partition table
+  SpillMetrics spill;                   // only meaningful when spilled
   AdvisorMetrics advisor;               // only meaningful under kAuto
 };
 
@@ -228,6 +243,17 @@ class QueryMetrics {
   // Query-level summary filled by the executor after the run.
   void SetSummary(double seconds, uint64_t source_tuples, uint64_t result_rows,
                   const PhaseTimer& timer, const ByteCounter& bytes);
+
+  // Memory-governor snapshot (executor, after the run). The JSON section is
+  // emitted only when a budget was set, keeping unbudgeted output stable.
+  void SetGovernor(uint64_t budget, uint64_t high_water, uint64_t denials) {
+    governor_budget_ = budget;
+    governor_high_water_ = high_water;
+    governor_denials_ = denials;
+  }
+  uint64_t governor_budget() const { return governor_budget_; }
+  uint64_t governor_high_water() const { return governor_high_water_; }
+  uint64_t governor_denials() const { return governor_denials_; }
 
   // --- accessors -----------------------------------------------------------
 
@@ -267,6 +293,9 @@ class QueryMetrics {
   double seconds_ = 0;
   uint64_t source_tuples_ = 0;
   uint64_t result_rows_ = 0;
+  uint64_t governor_budget_ = 0;
+  uint64_t governor_high_water_ = 0;
+  uint64_t governor_denials_ = 0;
   PhaseTimer timer_;
   ByteCounter bytes_;
 };

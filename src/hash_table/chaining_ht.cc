@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "exec/thread_pool.h"
+#include "spill/memory_governor.h"
 #include "util/bitutil.h"
 #include "util/check.h"
 
@@ -29,6 +30,12 @@ ChainingHashTable::ChainingHashTable(uint32_t row_stride, bool track_matches)
   }
 }
 
+ChainingHashTable::~ChainingHashTable() {
+  if (accounted_dir_bytes_ > 0) {
+    MemoryGovernor::Global().Release(accounted_dir_bytes_);
+  }
+}
+
 void ChainingHashTable::MaterializeEntry(int thread_id, uint64_t hash,
                                          const std::byte* row,
                                          uint32_t row_bytes) {
@@ -51,6 +58,11 @@ void ChainingHashTable::Build(ThreadPool& pool) {
   dir_storage_.Allocate(dir_size_ * sizeof(std::atomic<uint64_t>));
   dir_ = reinterpret_cast<std::atomic<uint64_t>*>(dir_storage_.data());
   std::memset(dir_storage_.data(), 0, dir_size_ * 8);
+  if (accounted_dir_bytes_ > 0) {
+    MemoryGovernor::Global().Release(accounted_dir_bytes_);
+  }
+  accounted_dir_bytes_ = dir_size_ * 8;
+  MemoryGovernor::Global().Account(accounted_dir_bytes_);
 
   // Parallel bulk insert: each worker pushes the entries of its own
   // materialization buffer. CAS loop per entry; tags are folded into the

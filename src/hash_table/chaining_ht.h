@@ -35,6 +35,7 @@ class ChainingHashTable {
   // `row_stride`: width of the materialized build row; `track_matches`:
   // reserve the matched word in every entry.
   ChainingHashTable(uint32_t row_stride, bool track_matches);
+  ~ChainingHashTable();
 
   uint32_t entry_stride() const { return entry_stride_; }
   uint32_t header_size() const { return header_size_; }
@@ -148,6 +149,9 @@ class ChainingHashTable {
   std::atomic<uint64_t>* dir_ = nullptr;
   uint64_t dir_size_ = 0;
   int dir_shift_ = 0;
+  // Directory bytes reported to the memory governor (entry pages account
+  // themselves inside RowBuffer).
+  uint64_t accounted_dir_bytes_ = 0;
 };
 
 }  // namespace pjoin

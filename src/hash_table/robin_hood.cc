@@ -1,8 +1,55 @@
 #include "hash_table/robin_hood.h"
 
+#include <utility>
+
+#include "spill/memory_governor.h"
 #include "util/check.h"
 
 namespace pjoin {
+
+RobinHoodTable::~RobinHoodTable() {
+  if (accounted_bytes_ > 0) {
+    MemoryGovernor::Global().Release(accounted_bytes_);
+  }
+}
+
+RobinHoodTable::RobinHoodTable(RobinHoodTable&& other) noexcept
+    : storage_(std::move(other.storage_)),
+      slots_(other.slots_),
+      capacity_(other.capacity_),
+      mask_(other.mask_),
+      shift_(other.shift_),
+      size_(other.size_),
+      grow_count_(other.grow_count_),
+      peak_bytes_(other.peak_bytes_),
+      accounted_bytes_(other.accounted_bytes_) {
+  other.slots_ = nullptr;
+  other.capacity_ = 0;
+  other.size_ = 0;
+  other.accounted_bytes_ = 0;
+}
+
+RobinHoodTable& RobinHoodTable::operator=(RobinHoodTable&& other) noexcept {
+  if (this != &other) {
+    if (accounted_bytes_ > 0) {
+      MemoryGovernor::Global().Release(accounted_bytes_);
+    }
+    storage_ = std::move(other.storage_);
+    slots_ = other.slots_;
+    capacity_ = other.capacity_;
+    mask_ = other.mask_;
+    shift_ = other.shift_;
+    size_ = other.size_;
+    grow_count_ = other.grow_count_;
+    peak_bytes_ = other.peak_bytes_;
+    accounted_bytes_ = other.accounted_bytes_;
+    other.slots_ = nullptr;
+    other.capacity_ = 0;
+    other.size_ = 0;
+    other.accounted_bytes_ = 0;
+  }
+  return *this;
+}
 
 void RobinHoodTable::Reset(uint64_t count) {
   // Load factor <= 2/3 keeps probe sequences short even for adversarial
@@ -15,6 +62,12 @@ void RobinHoodTable::Reset(uint64_t count) {
   if (capacity_ * sizeof(Slot) > peak_bytes_) {
     peak_bytes_ = capacity_ * sizeof(Slot);
     ++grow_count_;
+  }
+  if (peak_bytes_ > accounted_bytes_) {
+    // Amortized: only segment growth is reported, Resets that reuse the
+    // segment cost nothing.
+    MemoryGovernor::Global().Account(peak_bytes_ - accounted_bytes_);
+    accounted_bytes_ = peak_bytes_;
   }
   storage_.EnsureCapacity(capacity_ * sizeof(Slot));
   slots_ = reinterpret_cast<Slot*>(storage_.data());

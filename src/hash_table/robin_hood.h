@@ -30,6 +30,11 @@ class RobinHoodTable {
   static_assert(sizeof(Slot) == 16);
 
   RobinHoodTable() = default;
+  ~RobinHoodTable();
+
+  // Moves transfer governor accounting along with the segment.
+  RobinHoodTable(RobinHoodTable&& other) noexcept;
+  RobinHoodTable& operator=(RobinHoodTable&& other) noexcept;
 
   // Prepares the table for `count` keys; reuses the memory segment when it
   // is already large enough, only clearing the live region.
@@ -83,6 +88,9 @@ class RobinHoodTable {
   uint64_t size_ = 0;
   uint64_t grow_count_ = 0;
   uint64_t peak_bytes_ = 0;
+  // Bytes reported to the memory governor (== peak_bytes_, the segment is
+  // kept across Resets).
+  uint64_t accounted_bytes_ = 0;
 };
 
 }  // namespace pjoin

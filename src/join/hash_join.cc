@@ -1,10 +1,51 @@
 #include "join/hash_join.h"
 
 #include <algorithm>
+#include <array>
+#include <numeric>
 
+#include "spill/memory_governor.h"
+#include "util/bitutil.h"
 #include "util/stopwatch.h"
 
 namespace pjoin {
+
+namespace {
+
+// Routes spill-core emissions into the BHJ's native outputs: the worker's
+// in-pipeline emitter for probe-preserving kinds, the right-outer pair
+// buffer, and the build-row holding buffers replayed by the build scan.
+class BhjSpillEmitter : public SpillEmitter {
+ public:
+  BhjSpillEmitter(HashJoin* join, JoinEmitter* emitter, ThreadContext* ctx)
+      : join_(join), emitter_(emitter), ctx_(ctx) {}
+
+  void Pair(const std::byte* build_row, const std::byte* probe_row) override {
+    if (join_->kind() == JoinKind::kRightOuter) {
+      MaterializeJoinRow(join_->projection(),
+                         join_->pair_buffer(ctx_->thread_id).AppendSlot(),
+                         build_row, probe_row);
+    } else {
+      emitter_->EmitPair(build_row, probe_row, *ctx_);
+    }
+  }
+  void ProbeOnly(const std::byte* probe_row) override {
+    emitter_->EmitProbeOnly(probe_row, *ctx_);
+  }
+  void BuildOnly(const std::byte* build_row) override {
+    join_->spill_build_out(ctx_->thread_id).Append(build_row);
+  }
+  void Mark(const std::byte* probe_row, bool matched) override {
+    emitter_->EmitMark(probe_row, matched, *ctx_);
+  }
+
+ private:
+  HashJoin* join_;
+  JoinEmitter* emitter_;
+  ThreadContext* ctx_;
+};
+
+}  // namespace
 
 HashJoin::HashJoin(JoinKind kind, const RowLayout* build_layout,
                    std::vector<int> build_keys, const RowLayout* probe_layout,
@@ -28,12 +69,116 @@ RowBuffer& HashJoin::pair_buffer(int thread_id) {
   return pair_buffers_[thread_id];
 }
 
+void HashJoin::FinishBuild(ExecContext& exec) {
+  MemoryGovernor& gov = MemoryGovernor::Global();
+  ChainingHashTable& ht = *table_;
+  const uint32_t entry_stride = ht.entry_stride();
+  const uint64_t staged_bytes = ht.MaterializedBytes();
+  const uint64_t entries = staged_bytes / entry_stride;
+  // Directory estimate mirrors ChainingHashTable::Build's sizing.
+  uint64_t dir_slots = NextPow2(entries | 1) * 2;
+  if (dir_slots < 64) dir_slots = 64;
+  if (gov.WouldFit(dir_slots * 8)) {
+    ht.Build(*exec.pool());
+    return;
+  }
+
+  // Hybrid hash: the budget cannot hold the full table. Partition the staged
+  // entries by the low fan-out bits, keep the largest partitions resident
+  // within half of the reclaimable headroom (the other half stays free for
+  // the directory, probe-side buffering and the spilled-pair join phase),
+  // and push the rest to disk.
+  std::array<uint64_t, kSpillFanout> part_entries{};
+  ht.ForEachEntry([&](const std::byte* entry) {
+    ++part_entries[ChainingHashTable::EntryHash(entry) & (kSpillFanout - 1)];
+  });
+  uint64_t avail = gov.Available();
+  if (avail == UINT64_MAX) avail = 0;
+  const uint64_t resident_budget = (avail + staged_bytes) / 2;
+
+  std::array<int, kSpillFanout> order;
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return part_entries[a] > part_entries[b];
+  });
+  std::array<uint8_t, kSpillFanout> resident{};
+  uint64_t resident_bytes = 0;
+  for (int p : order) {
+    const uint64_t bytes = part_entries[p] * entry_stride;
+    if (part_entries[p] == 0 || resident_bytes + bytes <= resident_budget) {
+      resident[p] = 1;
+      resident_bytes += bytes;
+    }
+  }
+
+  const uint32_t build_row_stride = build_layout_->stride();
+  const uint32_t probe_row_stride = probe_key_.layout()->stride();
+  auto spill = std::make_unique<SpillJoinState>(
+      kSpillFanout, AlignUp(8 + build_row_stride, 8),
+      AlignUp(8 + probe_row_stride, 8));
+  for (int p = 0; p < kSpillFanout; ++p) {
+    if (!resident[p]) spill->MarkSpilled(p);
+  }
+  if (spill->num_spilled() == 0) {
+    // Degenerate plan (everything fit after all): stay fully in memory.
+    ht.Build(*exec.pool());
+    return;
+  }
+  spill_ = std::move(spill);
+  if (EmitsBuildRows(kind_)) {
+    spill_build_out_.reserve(256);
+    for (int i = 0; i < 256; ++i) {
+      spill_build_out_.emplace_back(build_row_stride);
+    }
+  }
+
+  // Re-pack: resident entries move into a fresh table (so the old, too-large
+  // buffers are actually freed), spilled entries stream to their partition
+  // files. Worker-buffer granularity keeps destination buffers single-writer.
+  auto fresh = std::make_unique<ChainingHashTable>(build_row_stride,
+                                                   TracksBuildMatches(kind_));
+  std::unique_ptr<ChainingHashTable> old = std::move(table_);
+  std::atomic<uint64_t> spilled_tuples{0};
+  exec.pool()->ParallelRun([&](int tid) {
+    uint64_t local_spilled = 0;
+    for (int b = tid; b < 256; b += exec.pool()->num_threads()) {
+      old->build_buffer(b).ForEachPage(
+          [&](const std::byte* rows, uint32_t count) {
+            for (uint32_t i = 0; i < count; ++i) {
+              const std::byte* entry =
+                  rows + static_cast<size_t>(i) * entry_stride;
+              const uint64_t hash = ChainingHashTable::EntryHash(entry);
+              const int p = static_cast<int>(hash & (kSpillFanout - 1));
+              if (spill_->IsSpilled(p)) {
+                spill_->build(p).AppendHashRow(hash, old->EntryRow(entry),
+                                               build_row_stride);
+                ++local_spilled;
+              } else {
+                fresh->MaterializeEntry(b, hash, old->EntryRow(entry),
+                                        build_row_stride);
+              }
+            }
+          });
+    }
+    if (local_spilled > 0) {
+      spilled_tuples.fetch_add(local_spilled, std::memory_order_relaxed);
+    }
+  });
+  spill_->stats.build_tuples_spilled.store(
+      spilled_tuples.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  spill_->FinishBuildWrite();
+  old.reset();  // frees pages + releases their governor accounting
+  table_ = std::move(fresh);
+  table_->Build(*exec.pool());
+}
+
 JoinMetrics HashJoin::CollectMetrics() const {
   JoinMetrics m;
   m.join_id = join_id_;
   m.kind = kind_;
   m.strategy = JoinStrategy::kBHJ;
-  m.build_tuples = table_->num_entries();
+  m.build_tuples = table_->num_entries() + SpilledBuildTuples();
   m.probe_tuples = probe_seen_.load(std::memory_order_relaxed);
   m.probe_matched = probe_matched_.load(std::memory_order_relaxed);
   m.has_hash_table = true;
@@ -57,6 +202,7 @@ JoinMetrics HashJoin::CollectMetrics() const {
     if (len > 1) ht.chained_entries += len - 1;
     if (len > ht.max_chain) ht.max_chain = len;
   }
+  m.spill = SnapshotSpill(spill_.get());
   return m;
 }
 
@@ -75,12 +221,13 @@ void HashJoinBuildSink::Consume(Batch& batch, ThreadContext& ctx) {
 
 void HashJoinBuildSink::Finish(ExecContext& exec) {
   Stopwatch watch;
-  join_->table().Build(*exec.pool());
+  join_->FinishBuild(exec);
   exec.timer().Add(JoinPhase::kBuildPipeline, watch.ElapsedSeconds());
 }
 
 void HashJoinProbe::Prepare(ExecContext& exec) {
   emitters_.resize(exec.num_threads());
+  num_workers_ = exec.num_threads();
 }
 
 void HashJoinProbe::Open(ThreadContext& ctx) {
@@ -107,10 +254,22 @@ void HashJoinProbe::Consume(Batch& batch, ThreadContext& ctx) {
                      static_cast<uint64_t>(batch.size) *
                          batch.layout->stride());
 
+  SpillJoinState* spill = join_->spill();
+  const uint32_t probe_stride = batch.layout->stride();
   uint64_t matched_tuples = 0;
   for (uint32_t i = 0; i < batch.size; ++i) {
     const std::byte* probe_row = batch.Row(i);
     const uint64_t hash = hashes[i];
+    if (spill != nullptr &&
+        spill->IsSpilled(hash & (HashJoin::kSpillFanout - 1))) {
+      // The resident table holds no keys from spilled partitions, so this
+      // tuple's verdict is decided entirely during spilled-pair processing.
+      spill->probe(hash & (HashJoin::kSpillFanout - 1))
+          .AppendHashRow(hash, probe_row, probe_stride);
+      spill->stats.probe_tuples_spilled.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      continue;
+    }
     // Tagged-pointer reducer: a missing tag bit skips the chain walk.
     const std::byte* entry = ht.ChainHead(hash);
     bool matched = false;
@@ -165,6 +324,28 @@ void HashJoinProbe::Consume(Batch& batch, ThreadContext& ctx) {
 }
 
 void HashJoinProbe::Close(ThreadContext& ctx) {
+  if (SpillJoinState* spill = join_->spill()) {
+    // Pipeline::Run has every worker close operators in chain order, so no
+    // downstream Close can run before all workers passed this barrier --
+    // the emitters below still have a live consumer.
+    spill->AwaitProbeWorkers(num_workers_);
+    SpillJoinSpec spec;
+    spec.kind = join_->kind();
+    spec.build_key = &join_->build_key();
+    spec.probe_key = &join_->probe_key();
+    spec.build_stride = spill->build_stride();
+    spec.probe_stride = spill->probe_stride();
+    spec.hash_shift = HashJoin::kSpillFanoutBits;
+    spec.governor = &MemoryGovernor::Global();
+    spec.stats = &spill->stats;
+    BhjSpillEmitter emit(join_, &emitters_[ctx.thread_id], &ctx);
+    uint64_t matched = 0;
+    for (int p; (p = spill->ClaimPair()) >= 0;) {
+      matched +=
+          ProcessSpilledPair(spec, spill->build(p), spill->probe(p), emit);
+    }
+    if (matched > 0) join_->AddProbeStats(0, matched);
+  }
   emitters_[ctx.thread_id].Flush(ctx);
 }
 
@@ -178,10 +359,27 @@ bool HashJoinBuildScanSource::ProduceMorsel(Operator& consumer,
                                             ThreadContext& ctx) {
   // Morsels [0, num_buffers) replay the materialized right-outer pairs;
   // morsels [num_buffers, 2*num_buffers) scan entry buffers for the
-  // matched/unmatched build rows the kind asks for.
+  // matched/unmatched build rows the kind asks for; morsels
+  // [2*num_buffers, 3*num_buffers) replay build rows held back by the
+  // spilled-pair processing.
   int idx = cursor_.fetch_add(1, std::memory_order_relaxed);
-  if (idx >= 2 * num_buffers_) return false;
+  if (idx >= 3 * num_buffers_) return false;
   ChainingHashTable& ht = join_->table();
+  if (idx >= 2 * num_buffers_) {
+    if (!join_->HasSpillBuildOut()) return true;
+    RowBuffer& rows = join_->spill_build_out(idx - 2 * num_buffers_);
+    if (rows.size() == 0) return true;
+    JoinEmitter emitter;
+    emitter.Bind(&join_->projection(), &consumer, metrics_);
+    rows.ForEachPage([&](const std::byte* page, uint32_t count) {
+      for (uint32_t i = 0; i < count; ++i) {
+        emitter.EmitBuildOnly(page + static_cast<size_t>(i) * rows.stride(),
+                              ctx);
+      }
+    });
+    emitter.Flush(ctx);
+    return true;
+  }
   if (idx < num_buffers_) {
     if (!join_->HasPairBuffers()) return true;
     RowBuffer& pairs = join_->pair_buffer(idx);

@@ -17,6 +17,7 @@
 #include "join/emitter.h"
 #include "join/join_types.h"
 #include "join/key_spec.h"
+#include "spill/spill_join.h"
 
 namespace pjoin {
 
@@ -33,6 +34,28 @@ class HashJoin {
 
   JoinKind kind() const { return kind_; }
   ChainingHashTable& table() { return *table_; }
+
+  // Hybrid-hash spilling: the fan-out uses the LOW 6 hash bits, which the
+  // chaining table leaves unused (directory = high bits, tag = bits 16..20),
+  // so resident-table probes and spill routing never interfere.
+  static constexpr int kSpillFanoutBits = 6;
+  static constexpr int kSpillFanout = 1 << kSpillFanoutBits;
+
+  // Terminates the build phase: builds the table fully in memory when the
+  // governor admits it, otherwise evicts the coldest fan-out partitions to
+  // spill files and builds the table over the resident rest.
+  void FinishBuild(ExecContext& exec);
+
+  // Non-null iff FinishBuild decided to spill.
+  SpillJoinState* spill() { return spill_.get(); }
+
+  // Worker-local holding buffers (build-row layout) for build rows that the
+  // spilled-pair processing decides to emit; replayed by the build scan
+  // source. Only allocated for build-preserving kinds.
+  RowBuffer& spill_build_out(int thread_id) {
+    return spill_build_out_[thread_id];
+  }
+  bool HasSpillBuildOut() const { return !spill_build_out_.empty(); }
 
   // Plan-wide join number (post-order, assigned by the executor); -1 when
   // the join runs outside a lowered plan (unit tests).
@@ -61,7 +84,7 @@ class HashJoin {
     audit.join_id = join_id;
     audit.kind = kind_;
     audit.strategy = JoinStrategy::kBHJ;
-    audit.build_tuples = table_->num_entries();
+    audit.build_tuples = table_->num_entries() + SpilledBuildTuples();
     audit.probe_tuples = probe_seen_.load(std::memory_order_relaxed);
     audit.probe_matched = probe_matched_.load(std::memory_order_relaxed);
     audit.build_width = build_layout_->stride();
@@ -73,6 +96,12 @@ class HashJoin {
   const JoinProjection& projection() const { return projection_; }
   const RowLayout* build_layout() const { return build_layout_; }
 
+  uint64_t SpilledBuildTuples() const {
+    return spill_ == nullptr ? 0
+                             : spill_->stats.build_tuples_spilled.load(
+                                   std::memory_order_relaxed);
+  }
+
  private:
   JoinKind kind_;
   int join_id_ = -1;
@@ -81,7 +110,9 @@ class HashJoin {
   KeySpec probe_key_;
   JoinProjection projection_;
   std::unique_ptr<ChainingHashTable> table_;
-  std::vector<RowBuffer> pair_buffers_;  // kRightOuter matched pairs
+  std::unique_ptr<SpillJoinState> spill_;
+  std::vector<RowBuffer> spill_build_out_;  // build rows from spilled pairs
+  std::vector<RowBuffer> pair_buffers_;     // kRightOuter matched pairs
   std::atomic<uint64_t> probe_seen_{0};
   std::atomic<uint64_t> probe_matched_{0};
 };
@@ -129,6 +160,7 @@ class HashJoinProbe : public Operator {
  private:
   HashJoin* join_;
   std::vector<JoinEmitter> emitters_;  // per worker
+  int num_workers_ = 0;
 };
 
 // Post-probe source for build-preserving kinds: scans all hash-table entries

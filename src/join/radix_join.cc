@@ -1,11 +1,41 @@
 #include "join/radix_join.h"
 
+#include <algorithm>
+#include <numeric>
+
+#include "spill/memory_governor.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 
 namespace pjoin {
 
 namespace {
+
+// Routes spill-core emissions through the worker's in-pipeline emitter: the
+// radix join emits every kind in-place (per-partition verdicts are final),
+// so no holding buffers are needed.
+class RjSpillEmitter : public SpillEmitter {
+ public:
+  RjSpillEmitter(JoinEmitter* emitter, ThreadContext* ctx)
+      : emitter_(emitter), ctx_(ctx) {}
+
+  void Pair(const std::byte* build_row, const std::byte* probe_row) override {
+    emitter_->EmitPair(build_row, probe_row, *ctx_);
+  }
+  void ProbeOnly(const std::byte* probe_row) override {
+    emitter_->EmitProbeOnly(probe_row, *ctx_);
+  }
+  void BuildOnly(const std::byte* build_row) override {
+    emitter_->EmitBuildOnly(build_row, *ctx_);
+  }
+  void Mark(const std::byte* probe_row, bool matched) override {
+    emitter_->EmitMark(probe_row, matched, *ctx_);
+  }
+
+ private:
+  JoinEmitter* emitter_;
+  ThreadContext* ctx_;
+};
 RadixConfig MakePartitionerConfig(const RadixJoin::Options& options,
                                   uint32_t row_stride, RadixBits bits) {
   RadixConfig config;
@@ -46,7 +76,7 @@ JoinMetrics RadixJoin::CollectMetrics() const {
   m.join_id = join_id_;
   m.kind = kind_;
   m.strategy = options_.strategy;
-  m.build_tuples = build_part_->total_tuples();
+  m.build_tuples = build_part_->total_tuples() + SpilledBuildTuples();
   m.probe_tuples = probe_seen_.load(std::memory_order_relaxed);
   m.probe_matched = probe_matched_.load(std::memory_order_relaxed);
   m.has_partitions = true;
@@ -59,13 +89,14 @@ JoinMetrics RadixJoin::CollectMetrics() const {
   if (bloom_enabled()) {
     b.size_bytes = bloom_.SizeBytes();
     b.num_blocks = bloom_.num_blocks();
-    b.build_keys = build_part_->total_tuples();
+    b.build_keys = build_part_->total_tuples() + SpilledBuildTuples();
     b.probes = bloom_checks_.load(std::memory_order_relaxed);
     b.negatives = bloom_dropped_.load(std::memory_order_relaxed);
     b.adaptive = adaptive();
     b.enabled_at_end = !adaptive() || adaptive_.enabled();
     b.adaptive_samples = adaptive() ? adaptive_.sampled_checks() : 0;
   }
+  m.spill = SnapshotSpill(spill_.get());
   return m;
 }
 
@@ -83,16 +114,82 @@ void RadixBuildSink::Close(ThreadContext& ctx) {
   join_->build_partitioner().FlushThread(ctx.thread_id, ctx.bytes);
 }
 
-void RadixBuildSink::Finish(ExecContext& exec) {
-  RadixPartitioner& part = join_->build_partitioner();
-  if (join_->bloom_enabled()) {
+void RadixBuildSink::Finish(ExecContext& exec) { join_->FinishBuild(exec); }
+
+void RadixJoin::FinishBuild(ExecContext& exec) {
+  RadixPartitioner& part = *build_part_;
+  if (bloom_enabled()) {
     // The filter is generated while partitioning during the second pass over
     // the build side (Section 4.7). Exact sizing: the staged tuple count is
     // known before pass 2 starts. Block count >= pass-1 fan-out keeps the
     // per-pre-partition block ranges disjoint (unsynchronized writes).
-    join_->bloom().Resize(part.PendingTuples(),
-                          uint64_t{1} << part.config().bits1);
-    part.set_bloom(&join_->bloom());
+    // Spilled keys are inserted below, before Finalize, so the probe-side
+    // early filter stays sound for spilled partitions too.
+    bloom_.Resize(part.PendingTuples(), uint64_t{1} << part.config().bits1);
+    part.set_bloom(&bloom_);
+  }
+
+  MemoryGovernor& gov = MemoryGovernor::Global();
+  const uint32_t stride = part.tuple_stride();
+  const uint64_t pending_bytes = part.PendingTuples() * stride;
+  // Finalize roughly doubles the footprint while the exchange copies chunks
+  // into the contiguous output; probe for the output allocation.
+  if (!gov.WouldFit(pending_bytes)) {
+    const int fanout1 = 1 << part.config().bits1;
+    std::vector<uint64_t> sizes(fanout1);
+    for (int p = 0; p < fanout1; ++p) sizes[p] = part.PrePartitionBytes(p);
+
+    // Keep the hottest pre-partitions resident: largest-first greedy fill of
+    // half the headroom we'd have after evicting everything. The probe side
+    // mirrors whatever residency the build side chose.
+    uint64_t avail = gov.Available();
+    if (avail == UINT64_MAX) avail = 0;
+    const uint64_t resident_budget = (avail + pending_bytes) / 2;
+    std::vector<int> order(fanout1);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](int a, int b) { return sizes[a] > sizes[b]; });
+    spill_ = std::make_unique<SpillJoinState>(fanout1, stride,
+                                              probe_part_->tuple_stride());
+    uint64_t resident = 0;
+    for (int p : order) {
+      if (sizes[p] == 0) continue;
+      if (resident + sizes[p] <= resident_budget) {
+        resident += sizes[p];
+        continue;
+      }
+      spill_->MarkSpilled(p);
+    }
+    if (spill_->num_spilled() == 0) {
+      spill_.reset();
+    } else {
+      spill_->stats.partitions_total = static_cast<uint32_t>(fanout1);
+      spill_->stats.partitions_spilled =
+          static_cast<uint32_t>(spill_->num_spilled());
+      for (int i = 0; i < spill_->num_spilled(); ++i) {
+        const int p = spill_->spilled_at(i);
+        SpillPartition& dst = spill_->build(p);
+        uint64_t tuples = 0;
+        part.ForEachPrePartitionChunk(
+            p, [&](const std::byte* data, uint64_t used) {
+              if (bloom_enabled()) {
+                for (uint64_t off = 0; off + stride <= used; off += stride) {
+                  bloom_.InsertUnsynchronized(
+                      RadixPartitioner::TupleHash(data + off));
+                }
+              }
+              dst.AppendRaw(data, used);
+              tuples += used / stride;
+            });
+        // Clearing before Finalize makes the exchange size only the resident
+        // remainder; the spilled final partitions end up empty and the
+        // partition-join source skips them naturally.
+        part.ClearPrePartition(p);
+        spill_->stats.build_tuples_spilled.fetch_add(
+            tuples, std::memory_order_relaxed);
+      }
+      spill_->FinishBuildWrite();
+    }
   }
   part.Finalize(*exec.pool(), &exec.timer(), exec.bytes_array());
 }
@@ -104,9 +201,14 @@ void RadixProbeSink::Consume(Batch& batch, ThreadContext& ctx) {
   const bool use_bloom =
       join_->bloom_enabled() &&
       (!join_->adaptive() || join_->adaptive_controller().enabled());
+  SpillJoinState* spill = join_->spill();
+  const uint64_t p1_mask =
+      (uint64_t{1} << part.config().bits1) - 1;  // pass-1 fan-out mask
+  const uint32_t row_stride = join_->probe_layout()->stride();
   uint64_t dropped = 0;
   uint64_t checks = 0;
   uint64_t passes = 0;
+  uint64_t spilled = 0;
   for (uint32_t i = 0; i < batch.size; ++i) {
     const std::byte* row = batch.Row(i);
     uint64_t hash = key.Hash(row);
@@ -114,13 +216,25 @@ void RadixProbeSink::Consume(Batch& batch, ThreadContext& ctx) {
       ++checks;
       if (!join_->bloom().MayContain(hash)) {
         // Early probe: the tuple has no join partner; it is dropped before
-        // any materialization cost is paid.
+        // any materialization cost is paid. Sound under spilling: the filter
+        // also covers the spilled build keys.
         ++dropped;
         continue;
       }
       ++passes;
     }
+    if (spill != nullptr &&
+        spill->IsSpilled(static_cast<int>(hash & p1_mask))) {
+      spill->probe(static_cast<int>(hash & p1_mask))
+          .AppendHashRow(hash, row, row_stride);
+      ++spilled;
+      continue;
+    }
     part.Add(ctx.thread_id, hash, row, ctx.bytes);
+  }
+  if (spilled > 0) {
+    spill->stats.probe_tuples_spilled.fetch_add(spilled,
+                                                std::memory_order_relaxed);
   }
   join_->AddProbeSeen(batch.size);
   if (checks > 0) join_->AddBloomWindow(checks, dropped);
@@ -134,6 +248,9 @@ void RadixProbeSink::Close(ThreadContext& ctx) {
 }
 
 void RadixProbeSink::Finish(ExecContext& exec) {
+  // Finish runs once, after every worker Closed, so the probe spill writers
+  // can flush here without a barrier (unlike the BHJ's probe Close path).
+  if (join_->spill() != nullptr) join_->spill()->FinishProbeWrite();
   join_->probe_partitioner().Finalize(*exec.pool(), &exec.timer(),
                                       exec.bytes_array());
 }
@@ -156,7 +273,35 @@ bool PartitionJoinSource::ProduceMorsel(Operator& consumer,
   int f = cursor_.fetch_add(1, std::memory_order_relaxed);
   RadixPartitioner& bp = join_->build_partitioner();
   RadixPartitioner& pp = join_->probe_partitioner();
-  if (f >= bp.num_partitions()) return false;
+  SpillJoinState* spill = join_->spill();
+  const int num_final = bp.num_partitions();
+  const int num_extra = spill != nullptr ? spill->num_spilled() : 0;
+  if (f >= num_final + num_extra) return false;
+
+  if (f >= num_final) {
+    // Spilled pre-partitions become extra morsels after the resident ones.
+    if (!ws.emitter_bound) {
+      ws.emitter.Bind(&join_->projection(), &consumer, metrics_);
+      ws.emitter_bound = true;
+    }
+    const int p1 = spill->spilled_at(f - num_final);
+    SpillJoinSpec spec;
+    spec.kind = join_->kind();
+    spec.build_key = &join_->build_key();
+    spec.probe_key = &join_->probe_key();
+    spec.build_stride = spill->build_stride();
+    spec.probe_stride = spill->probe_stride();
+    // Pass 1 consumed the low bits1 hash bits; recursion splits on the bits
+    // above them.
+    spec.hash_shift = bp.config().bits1;
+    spec.governor = &MemoryGovernor::Global();
+    spec.stats = &spill->stats;
+    RjSpillEmitter emit(&ws.emitter, &ctx);
+    uint64_t matched = ProcessSpilledPair(spec, spill->build(p1),
+                                          spill->probe(p1), emit);
+    if (matched > 0) join_->AddProbeMatched(matched);
+    return true;
+  }
 
   const std::byte* bdata = bp.partition_data(f);
   const uint64_t bcount = bp.partition_tuples(f);

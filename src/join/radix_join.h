@@ -25,6 +25,7 @@
 #include "join/join_types.h"
 #include "join/key_spec.h"
 #include "partition/radix_partitioner.h"
+#include "spill/spill_join.h"
 
 namespace pjoin {
 
@@ -77,6 +78,22 @@ class RadixJoin {
   BlockedBloomFilter& bloom() { return bloom_; }
   AdaptiveFilterController& adaptive_controller() { return adaptive_; }
 
+  // Terminates the build partitioning: when the governor denies a fully
+  // resident build side, pass-1 pre-partitions are evicted to spill files
+  // (largest-resident-first) before Finalize sizes the resident remainder.
+  // Called by RadixBuildSink::Finish / the kAuto runtime.
+  void FinishBuild(ExecContext& exec);
+
+  // Non-null iff FinishBuild decided to spill. Spilled pre-partitions join
+  // as extra PartitionJoinSource morsels.
+  SpillJoinState* spill() { return spill_.get(); }
+
+  uint64_t SpilledBuildTuples() const {
+    return spill_ == nullptr ? 0
+                             : spill_->stats.build_tuples_spilled.load(
+                                   std::memory_order_relaxed);
+  }
+
   const KeySpec& build_key() const { return build_key_; }
   const KeySpec& probe_key() const { return probe_key_; }
   const JoinProjection& projection() const { return projection_; }
@@ -126,7 +143,7 @@ class RadixJoin {
     audit.join_id = join_id;
     audit.kind = kind_;
     audit.strategy = options_.strategy;
-    audit.build_tuples = build_part_->total_tuples();
+    audit.build_tuples = build_part_->total_tuples() + SpilledBuildTuples();
     audit.probe_tuples = probe_seen_.load(std::memory_order_relaxed);
     audit.probe_matched = probe_matched_.load(std::memory_order_relaxed);
     audit.build_width = build_layout_->stride();
@@ -145,6 +162,7 @@ class RadixJoin {
   JoinProjection projection_;
   std::unique_ptr<RadixPartitioner> build_part_;
   std::unique_ptr<RadixPartitioner> probe_part_;
+  std::unique_ptr<SpillJoinState> spill_;
   BlockedBloomFilter bloom_;
   AdaptiveFilterController adaptive_;
   std::atomic<uint64_t> probe_seen_{0};

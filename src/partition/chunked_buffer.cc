@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "spill/memory_governor.h"
 #include "util/bitutil.h"
 #include "util/check.h"
 
@@ -38,6 +39,16 @@ void ChunkedTupleBuffer::AddChunk(uint32_t min_bytes) {
   chunk.mem.Allocate(cap);
   chunk.capacity = cap;
   chunks_.push_back(std::move(chunk));
+  // Governor accounting is per chunk (16 KiB..1 MiB), never per tuple.
+  MemoryGovernor::Global().Account(cap);
+}
+
+void ChunkedTupleBuffer::Clear() {
+  uint64_t held = 0;
+  for (const Chunk& c : chunks_) held += c.capacity;
+  if (held > 0) MemoryGovernor::Global().Release(held);
+  chunks_.clear();
+  total_bytes_ = 0;
 }
 
 }  // namespace pjoin

@@ -26,11 +26,25 @@ inline constexpr uint32_t kSwwcbBytes = 256;
 class ChunkedTupleBuffer {
  public:
   ChunkedTupleBuffer() = default;
+  ~ChunkedTupleBuffer() { Clear(); }
+
+  ChunkedTupleBuffer(ChunkedTupleBuffer&&) = default;
+  // Custom move-assign: replaced chunks must be un-accounted from the
+  // memory governor before they are freed.
+  ChunkedTupleBuffer& operator=(ChunkedTupleBuffer&& other) noexcept {
+    if (this != &other) {
+      Clear();
+      stride_ = other.stride_;
+      total_bytes_ = other.total_bytes_;
+      chunks_ = std::move(other.chunks_);
+      other.total_bytes_ = 0;
+    }
+    return *this;
+  }
 
   void Init(uint32_t tuple_stride) {
+    Clear();
     stride_ = tuple_stride;
-    total_bytes_ = 0;
-    chunks_.clear();
   }
 
   // Returns a contiguous, 64-byte-aligned region of `bytes` (either one
@@ -52,10 +66,8 @@ class ChunkedTupleBuffer {
     }
   }
 
-  void Clear() {
-    chunks_.clear();
-    total_bytes_ = 0;
-  }
+  // Frees all chunks and reports their bytes back to the memory governor.
+  void Clear();
 
  private:
   struct Chunk {

@@ -5,6 +5,7 @@
 
 #include "exec/thread_pool.h"
 #include "partition/stream_store.h"
+#include "spill/memory_governor.h"
 #include "util/bitutil.h"
 #include "util/check.h"
 #include "util/cpu_info.h"
@@ -71,6 +72,12 @@ RadixPartitioner::RadixPartitioner(const RadixConfig& config)
       swwcb_mem_[t].Allocate(static_cast<size_t>(fanout1_) * kSwwcbBytes);
       swwcb_fill_[t].assign(fanout1_, 0);
     }
+  }
+}
+
+RadixPartitioner::~RadixPartitioner() {
+  if (accounted_output_bytes_ > 0) {
+    MemoryGovernor::Global().Release(accounted_output_bytes_);
   }
 }
 
@@ -197,6 +204,8 @@ void RadixPartitioner::Finalize(ThreadPool& pool, PhaseTimer* timer,
   }
   partition_offset_[num_final] = offset;
   output_.Allocate(offset > 0 ? offset : kCacheLineSize);
+  accounted_output_bytes_ = offset > 0 ? offset : kCacheLineSize;
+  MemoryGovernor::Global().Account(accounted_output_bytes_);
 
   // ---- Pass 2 (steps 6-8): pre-partitions as work-stealing morsels. ------
   pass2_cursor_.store(0, std::memory_order_relaxed);

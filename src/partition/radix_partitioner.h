@@ -67,6 +67,7 @@ RadixBits ChooseRadixBits(uint64_t expected_build_tuples, uint32_t tuple_stride)
 class RadixPartitioner {
  public:
   explicit RadixPartitioner(const RadixConfig& config);
+  ~RadixPartitioner();
 
   uint32_t tuple_stride() const { return tuple_stride_; }
   int num_partitions() const { return 1 << (config_.bits1 + config_.bits2); }
@@ -106,6 +107,34 @@ class RadixPartitioner {
         });
       }
     }
+  }
+
+  // ---- Spill hooks (valid in the PendingTuples window) -------------------
+  //
+  // Pass-1 pre-partitions (LOW bits1 hash bits) are the spill granularity of
+  // the hybrid radix join: a spilled pre-partition's chunks are streamed to
+  // disk and cleared before Finalize, so the exchange only sizes the
+  // resident remainder (the spilled final partitions end up empty).
+
+  // Bytes staged in pre-partition `p1` across all workers.
+  uint64_t PrePartitionBytes(int p1) const {
+    uint64_t total = 0;
+    for (const auto& worker : chunks_) total += worker[p1].total_bytes();
+    return total;
+  }
+
+  // Visits every staged chunk of pre-partition `p1` as fn(data, used_bytes);
+  // chunk data is contiguous tuples in partition-tuple format.
+  template <typename Fn>
+  void ForEachPrePartitionChunk(int p1, Fn&& fn) const {
+    for (const auto& worker : chunks_) {
+      worker[p1].ForEachChunk(fn);
+    }
+  }
+
+  // Frees pre-partition `p1`'s chunks (releasing their governor accounting).
+  void ClearPrePartition(int p1) {
+    for (auto& worker : chunks_) worker[p1].Clear();
   }
 
   // Runs histogram scan, exchange, and pass 2 on `pool`. Phase wall times go
@@ -177,6 +206,9 @@ class RadixPartitioner {
 
   std::atomic<int> pass2_cursor_{0};
   bool finalized_ = false;
+  // Output-buffer bytes reported to the memory governor (chunks account
+  // themselves inside ChunkedTupleBuffer).
+  uint64_t accounted_output_bytes_ = 0;
 
   // Observability counters: pass 1 is worker-indexed (contention-free);
   // pass 2 workers accumulate locally and add once at region end.

@@ -1,0 +1,12 @@
+#include "spill/memory_governor.h"
+
+#include "util/env.h"
+
+namespace pjoin {
+
+MemoryGovernor& MemoryGovernor::Global() {
+  static MemoryGovernor governor(MemoryBudgetBytes());
+  return governor;
+}
+
+}  // namespace pjoin

@@ -1,0 +1,114 @@
+// Process-wide memory budget for join state.
+//
+// The governor is the single decision point that turns the in-memory joins
+// into hybrid-hash joins: storage layers *account* the bytes they actually
+// allocate (forced, so the number always reflects live memory), while join
+// build phases *probe* the governor before committing to a fully resident
+// plan. A denied probe does not fail the query -- it flips the operator into
+// its spill path (see join/hash_join.cc and join/radix_join.cc).
+//
+// Accounting is amortized: callers report per-chunk / per-page allocations
+// (16 KiB..1 MiB), never per-tuple, so an unlimited budget adds two relaxed
+// atomic adds per page to the hot path and nothing else.
+#ifndef PJOIN_SPILL_MEMORY_GOVERNOR_H_
+#define PJOIN_SPILL_MEMORY_GOVERNOR_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace pjoin {
+
+class MemoryGovernor {
+ public:
+  // budget of 0 means unlimited (track usage, never deny).
+  explicit MemoryGovernor(uint64_t budget = 0) : budget_(budget) {}
+
+  // The process-wide instance; budget initialized once from
+  // PJOIN_MEMORY_BUDGET (size suffixes allowed, see util/env.h).
+  static MemoryGovernor& Global();
+
+  uint64_t budget() const { return budget_.load(std::memory_order_relaxed); }
+
+  // Test/bench hook: swap the budget at runtime (counters are untouched).
+  void set_budget(uint64_t budget) {
+    budget_.store(budget, std::memory_order_relaxed);
+  }
+
+  // Probe: would `bytes` more fit in the budget? Counts a denial when not.
+  // Does NOT reserve -- callers that proceed account the real allocation.
+  bool WouldFit(uint64_t bytes) {
+    uint64_t b = budget();
+    if (b == 0) return true;
+    if (reserved_.load(std::memory_order_relaxed) + bytes <= b) return true;
+    denials_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  // Forced accounting of a committed allocation. Never fails: the bytes are
+  // already allocated, the governor just has to know about them.
+  void Account(uint64_t bytes) {
+    uint64_t now = reserved_.fetch_add(bytes, std::memory_order_relaxed) +
+                   bytes;
+    uint64_t hw = high_water_.load(std::memory_order_relaxed);
+    while (now > hw && !high_water_.compare_exchange_weak(
+                           hw, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  void Release(uint64_t bytes) {
+    reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  uint64_t reserved() const {
+    return reserved_.load(std::memory_order_relaxed);
+  }
+  uint64_t high_water() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+  uint64_t denials() const { return denials_.load(std::memory_order_relaxed); }
+
+  // Bytes still available under the budget (UINT64_MAX when unlimited).
+  uint64_t Available() const {
+    uint64_t b = budget();
+    if (b == 0) return UINT64_MAX;
+    uint64_t r = reserved();
+    return r >= b ? 0 : b - r;
+  }
+
+  // Test hook: zero the monotonic counters so suites stay independent.
+  void ResetCountersForTest() {
+    high_water_.store(reserved_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    denials_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> budget_;
+  std::atomic<uint64_t> reserved_{0};
+  std::atomic<uint64_t> high_water_{0};
+  std::atomic<uint64_t> denials_{0};
+};
+
+// RAII budget override for tests/benches: sets the global budget on entry,
+// restores the previous value (and resets counters) on exit.
+class ScopedMemoryBudget {
+ public:
+  explicit ScopedMemoryBudget(uint64_t budget)
+      : previous_(MemoryGovernor::Global().budget()) {
+    MemoryGovernor::Global().set_budget(budget);
+  }
+  ~ScopedMemoryBudget() {
+    MemoryGovernor::Global().set_budget(previous_);
+    MemoryGovernor::Global().ResetCountersForTest();
+  }
+
+  ScopedMemoryBudget(const ScopedMemoryBudget&) = delete;
+  ScopedMemoryBudget& operator=(const ScopedMemoryBudget&) = delete;
+
+ private:
+  uint64_t previous_;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_SPILL_MEMORY_GOVERNOR_H_

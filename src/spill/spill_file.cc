@@ -1,0 +1,104 @@
+#include "spill/spill_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "util/check.h"
+
+namespace pjoin {
+
+namespace {
+constexpr size_t kWriteBufferBytes = 256 * 1024;
+
+ssize_t FullWrite(int fd, const std::byte* data, size_t bytes) {
+  size_t done = 0;
+  while (done < bytes) {
+    ssize_t n = ::write(fd, data + done, bytes - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return static_cast<ssize_t>(done);
+}
+}  // namespace
+
+const char* SpillFile::SpillDir() {
+  static const std::string dir = [] {
+    const char* v = std::getenv("PJOIN_SPILL_DIR");
+    if (v != nullptr && *v != '\0') return std::string(v);
+    v = std::getenv("TMPDIR");
+    if (v != nullptr && *v != '\0') return std::string(v);
+    return std::string("/tmp");
+  }();
+  return dir.c_str();
+}
+
+SpillFile::~SpillFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SpillFile::EnsureOpen() {
+  if (fd_ >= 0) return;
+  std::string path = std::string(SpillDir()) + "/pjoin_spill_XXXXXX";
+  fd_ = ::mkstemp(path.data());
+  PJOIN_CHECK(fd_ >= 0);
+  // Unlink immediately: the fd keeps the data alive, the name does not
+  // outlive the process.
+  ::unlink(path.c_str());
+  buffer_.resize(kWriteBufferBytes);
+}
+
+void SpillFile::Append(const void* data, size_t bytes) {
+  EnsureOpen();
+  const std::byte* src = static_cast<const std::byte*>(data);
+  size_ += bytes;
+  // Fill the buffer; bypass it entirely for writes that would overflow it.
+  while (bytes > 0) {
+    if (buffered_ == 0 && bytes >= buffer_.size()) {
+      PJOIN_CHECK(FullWrite(fd_, src, bytes) >= 0);
+      return;
+    }
+    size_t take = std::min(bytes, buffer_.size() - buffered_);
+    std::memcpy(buffer_.data() + buffered_, src, take);
+    buffered_ += take;
+    src += take;
+    bytes -= take;
+    if (buffered_ == buffer_.size()) {
+      PJOIN_CHECK(FullWrite(fd_, buffer_.data(), buffered_) >= 0);
+      buffered_ = 0;
+    }
+  }
+}
+
+void SpillFile::FinishWrite() {
+  if (buffered_ > 0) {
+    PJOIN_CHECK(FullWrite(fd_, buffer_.data(), buffered_) >= 0);
+    buffered_ = 0;
+  }
+  // Drop the buffer: from here on the file is read-only.
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+}
+
+void SpillFile::Read(uint64_t offset, void* dst, size_t bytes) const {
+  PJOIN_CHECK(buffered_ == 0);
+  PJOIN_CHECK(offset + bytes <= size_);
+  std::byte* out = static_cast<std::byte*>(dst);
+  size_t done = 0;
+  while (done < bytes) {
+    ssize_t n = ::pread(fd_, out + done, bytes - done,
+                        static_cast<off_t>(offset + done));
+    PJOIN_CHECK(n > 0);
+    done += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace pjoin

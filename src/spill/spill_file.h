@@ -1,0 +1,51 @@
+// Unlinked temp-file storage for spilled tuple pages.
+//
+// Spill I/O is strictly sequential-append during the build/probe phases and
+// sequential-scan during the join phase, so a single write buffer per file
+// (256 KiB) is enough to reach device bandwidth. Files are created with
+// mkstemp under PJOIN_SPILL_DIR (default TMPDIR or /tmp) and unlinked
+// immediately, so a crashed process leaks no disk space.
+#ifndef PJOIN_SPILL_SPILL_FILE_H_
+#define PJOIN_SPILL_SPILL_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pjoin {
+
+class SpillFile {
+ public:
+  SpillFile() = default;
+  ~SpillFile();
+
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  // Buffered append; not thread-safe (callers serialize, see SpillPartition).
+  void Append(const void* data, size_t bytes);
+
+  // Flushes the write buffer. Must be called before Read.
+  void FinishWrite();
+
+  // Bytes appended so far (including still-buffered bytes).
+  uint64_t size() const { return size_; }
+
+  // Reads `bytes` at `offset`; the range must lie within [0, size()).
+  void Read(uint64_t offset, void* dst, size_t bytes) const;
+
+  // Directory used for spill files (PJOIN_SPILL_DIR / TMPDIR / /tmp).
+  static const char* SpillDir();
+
+ private:
+  void EnsureOpen();
+
+  int fd_ = -1;
+  uint64_t size_ = 0;
+  std::vector<std::byte> buffer_;
+  size_t buffered_ = 0;
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_SPILL_SPILL_FILE_H_

@@ -1,0 +1,274 @@
+#include "spill/spill_join.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "hash_table/robin_hood.h"
+#include "util/check.h"
+
+namespace pjoin {
+
+void SpillPartition::Init(uint32_t tuple_stride, SpillStats* stats) {
+  PJOIN_CHECK(tuple_stride >= 8);
+  stride_ = tuple_stride;
+  stats_ = stats;
+  scratch_.assign(tuple_stride, std::byte{0});
+}
+
+void SpillPartition::AppendTuple(const std::byte* tuple) {
+  std::lock_guard<std::mutex> lock(mu_);
+  file_.Append(tuple, stride_);
+  tuples_.fetch_add(1, std::memory_order_relaxed);
+  if (stats_ != nullptr) {
+    stats_->bytes_written.fetch_add(stride_, std::memory_order_relaxed);
+  }
+}
+
+void SpillPartition::AppendHashRow(uint64_t hash, const std::byte* row,
+                                   uint32_t row_bytes) {
+  PJOIN_DCHECK(8 + row_bytes <= stride_);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::memcpy(scratch_.data(), &hash, 8);
+  std::memcpy(scratch_.data() + 8, row, row_bytes);
+  file_.Append(scratch_.data(), stride_);
+  tuples_.fetch_add(1, std::memory_order_relaxed);
+  if (stats_ != nullptr) {
+    stats_->bytes_written.fetch_add(stride_, std::memory_order_relaxed);
+  }
+}
+
+void SpillPartition::AppendRaw(const void* data, size_t bytes) {
+  PJOIN_DCHECK(bytes % stride_ == 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  file_.Append(data, bytes);
+  tuples_.fetch_add(bytes / stride_, std::memory_order_relaxed);
+  if (stats_ != nullptr) {
+    stats_->bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+// Sub-partitioning fan-out per recursion level and the depth bound. Six
+// levels of 4 bits on top of the initial fan-out split any skew the hash
+// function can split; past that the partition is duplicate-heavy and must
+// be joined in memory regardless of budget.
+constexpr int kRecurseBits = 4;
+constexpr int kRecurseFanout = 1 << kRecurseBits;
+constexpr int kMaxDepth = 6;
+
+// Probe tuples are streamed through a bounded chunk so the probe side never
+// has to fit in memory.
+constexpr size_t kStreamChunkBytes = 1 << 20;
+
+// Streams a spill file chunk-wise and invokes fn(tuple) per tuple.
+template <typename Fn>
+void ForEachSpilledTuple(const SpillFile& file, uint32_t stride,
+                         SpillStats* stats, Fn&& fn) {
+  const uint64_t total = file.size();
+  const size_t tuples_per_chunk =
+      std::max<size_t>(1, kStreamChunkBytes / stride);
+  std::vector<std::byte> chunk(tuples_per_chunk * stride);
+  uint64_t offset = 0;
+  while (offset < total) {
+    size_t take =
+        static_cast<size_t>(std::min<uint64_t>(chunk.size(), total - offset));
+    file.Read(offset, chunk.data(), take);
+    if (stats != nullptr) {
+      stats->bytes_read.fetch_add(take, std::memory_order_relaxed);
+    }
+    for (size_t p = 0; p < take; p += stride) fn(chunk.data() + p);
+    offset += take;
+  }
+}
+
+// In-memory join of one pair: build side loaded, probe side streamed.
+uint64_t JoinLoadedPair(const SpillJoinSpec& spec, SpillPartition& build,
+                        SpillPartition& probe, SpillEmitter& emit) {
+  const uint64_t build_bytes = build.bytes();
+  const uint64_t bcount = build.tuples();
+  const uint32_t bstride = build.stride();
+
+  std::vector<std::byte> bdata(static_cast<size_t>(build_bytes));
+  if (build_bytes > 0) {
+    build.file().Read(0, bdata.data(), static_cast<size_t>(build_bytes));
+    if (spec.stats != nullptr) {
+      spec.stats->bytes_read.fetch_add(build_bytes, std::memory_order_relaxed);
+    }
+  }
+
+  RobinHoodTable table;
+  table.Reset(bcount);
+  const uint64_t resident_bytes =
+      build_bytes + table.capacity() * sizeof(RobinHoodTable::Slot);
+  if (spec.governor != nullptr) spec.governor->Account(resident_bytes);
+
+  for (uint64_t i = 0; i < bcount; ++i) {
+    const std::byte* tuple = bdata.data() + i * bstride;
+    table.Insert(SpillTupleHash(tuple), tuple);
+  }
+
+  const JoinKind kind = spec.kind;
+  const bool track = TracksBuildMatches(kind);
+  std::vector<uint8_t> matched_slots;
+  if (track) matched_slots.assign(table.capacity(), 0);
+
+  uint64_t matched_tuples = 0;
+  ForEachSpilledTuple(
+      probe.file(), probe.stride(), spec.stats, [&](const std::byte* ptuple) {
+        const uint64_t hash = SpillTupleHash(ptuple);
+        const std::byte* probe_row = SpillTupleRow(ptuple);
+        bool matched = false;
+        table.ForEachMatch(hash, [&](const std::byte* btuple, uint64_t slot) {
+          const std::byte* build_row = SpillTupleRow(btuple);
+          if (!KeySpec::Equals(*spec.build_key, build_row, *spec.probe_key,
+                               probe_row)) {
+            return;
+          }
+          matched = true;
+          switch (kind) {
+            case JoinKind::kInner:
+            case JoinKind::kLeftOuter:
+              emit.Pair(build_row, probe_row);
+              break;
+            case JoinKind::kRightOuter:
+              emit.Pair(build_row, probe_row);
+              matched_slots[slot] = 1;
+              break;
+            case JoinKind::kProbeSemi:
+              // Emission handled below to avoid duplicates on multi-match.
+              break;
+            case JoinKind::kBuildSemi:
+            case JoinKind::kBuildAnti:
+              matched_slots[slot] = 1;
+              break;
+            case JoinKind::kProbeAnti:
+            case JoinKind::kMark:
+              break;
+          }
+        });
+        if (kind == JoinKind::kProbeSemi && matched) {
+          emit.ProbeOnly(probe_row);
+        } else if (kind == JoinKind::kProbeAnti && !matched) {
+          emit.ProbeOnly(probe_row);
+        } else if (kind == JoinKind::kLeftOuter && !matched) {
+          emit.ProbeOnly(probe_row);
+        } else if (kind == JoinKind::kMark) {
+          emit.Mark(probe_row, matched);
+        }
+        matched_tuples += matched ? 1 : 0;
+      });
+
+  // This pair's verdicts are final (equal keys share every partitioning
+  // level), so build-preserving kinds emit here, like the radix join does.
+  if (track) {
+    for (uint64_t slot = 0; slot < table.capacity(); ++slot) {
+      const RobinHoodTable::Slot& s = table.slot(slot);
+      if (s.tuple == nullptr) continue;
+      const bool m = matched_slots[slot] != 0;
+      if ((kind == JoinKind::kBuildSemi && m) ||
+          (kind == JoinKind::kBuildAnti && !m) ||
+          (kind == JoinKind::kRightOuter && !m)) {
+        emit.BuildOnly(SpillTupleRow(s.tuple));
+      }
+    }
+  }
+
+  if (spec.governor != nullptr) spec.governor->Release(resident_bytes);
+  return matched_tuples;
+}
+
+}  // namespace
+
+SpillJoinState::SpillJoinState(int fanout, uint32_t build_stride,
+                               uint32_t probe_stride)
+    : fanout_(fanout),
+      build_stride_(build_stride),
+      probe_stride_(probe_stride),
+      spilled_(fanout, 0),
+      build_parts_(fanout),
+      probe_parts_(fanout) {
+  stats.partitions_total = static_cast<uint32_t>(fanout);
+}
+
+void SpillJoinState::MarkSpilled(int p) {
+  if (spilled_[p] != 0) return;
+  spilled_[p] = 1;
+  spilled_list_.push_back(p);
+  build_parts_[p] = std::make_unique<SpillPartition>();
+  build_parts_[p]->Init(build_stride_, &stats);
+  probe_parts_[p] = std::make_unique<SpillPartition>();
+  probe_parts_[p]->Init(probe_stride_, &stats);
+  stats.partitions_spilled = static_cast<uint32_t>(spilled_list_.size());
+}
+
+void SpillJoinState::FinishBuildWrite() {
+  for (int p : spilled_list_) build_parts_[p]->FinishWrite();
+}
+
+void SpillJoinState::FinishProbeWrite() {
+  for (int p : spilled_list_) probe_parts_[p]->FinishWrite();
+}
+
+void SpillJoinState::AwaitProbeWorkers(int expected) {
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  if (++barrier_arrived_ >= expected) {
+    FinishProbeWrite();
+    barrier_open_ = true;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock, [&] { return barrier_open_; });
+}
+
+uint64_t ProcessSpilledPair(const SpillJoinSpec& spec, SpillPartition& build,
+                            SpillPartition& probe, SpillEmitter& emit,
+                            int depth) {
+  if (spec.stats != nullptr) {
+    spec.stats->NoteDepth(static_cast<uint64_t>(depth) + 1);
+  }
+  // Estimated resident footprint: build tuples plus the robin-hood table at
+  // its <= 2/3 load factor (~1.5 slots of 16 bytes per tuple, rounded up).
+  const uint64_t need =
+      build.bytes() + build.tuples() * 2 * sizeof(RobinHoodTable::Slot);
+  const int shift = spec.hash_shift + depth * kRecurseBits;
+  const bool bits_left = shift + kRecurseBits <= 48;
+  const bool fits = spec.governor == nullptr || spec.governor->WouldFit(need);
+  if (fits || depth >= kMaxDepth || !bits_left) {
+    return JoinLoadedPair(spec, build, probe, emit);
+  }
+
+  // Grace recursion: split both sides by the next kRecurseBits hash bits.
+  std::vector<std::unique_ptr<SpillPartition>> sub_build(kRecurseFanout);
+  std::vector<std::unique_ptr<SpillPartition>> sub_probe(kRecurseFanout);
+  for (int f = 0; f < kRecurseFanout; ++f) {
+    sub_build[f] = std::make_unique<SpillPartition>();
+    sub_build[f]->Init(build.stride(), spec.stats);
+    sub_probe[f] = std::make_unique<SpillPartition>();
+    sub_probe[f]->Init(probe.stride(), spec.stats);
+  }
+  const uint64_t mask = kRecurseFanout - 1;
+  ForEachSpilledTuple(build.file(), build.stride(), spec.stats,
+                      [&](const std::byte* tuple) {
+                        uint64_t f = (SpillTupleHash(tuple) >> shift) & mask;
+                        sub_build[f]->AppendTuple(tuple);
+                      });
+  ForEachSpilledTuple(probe.file(), probe.stride(), spec.stats,
+                      [&](const std::byte* tuple) {
+                        uint64_t f = (SpillTupleHash(tuple) >> shift) & mask;
+                        sub_probe[f]->AppendTuple(tuple);
+                      });
+  uint64_t matched = 0;
+  for (int f = 0; f < kRecurseFanout; ++f) {
+    sub_build[f]->FinishWrite();
+    sub_probe[f]->FinishWrite();
+    // Even an empty build side must be processed: probe-anti / left-outer /
+    // mark kinds emit rows precisely when there is no partner.
+    if (sub_build[f]->tuples() == 0 && sub_probe[f]->tuples() == 0) continue;
+    matched += ProcessSpilledPair(spec, *sub_build[f], *sub_probe[f], emit,
+                                  depth + 1);
+  }
+  return matched;
+}
+
+}  // namespace pjoin

@@ -1,7 +1,9 @@
 #include "storage/row_buffer.h"
 
 #include <cstring>
+#include <utility>
 
+#include "spill/memory_governor.h"
 #include "util/check.h"
 
 namespace pjoin {
@@ -10,6 +12,20 @@ RowBuffer::RowBuffer(uint32_t stride, uint32_t page_rows)
     : stride_(stride), page_rows_(page_rows) {
   PJOIN_CHECK(stride > 0);
   PJOIN_CHECK(page_rows > 0);
+}
+
+RowBuffer::~RowBuffer() { ReleaseAccounting(); }
+
+RowBuffer& RowBuffer::operator=(RowBuffer&& other) noexcept {
+  if (this != &other) {
+    ReleaseAccounting();
+    stride_ = other.stride_;
+    page_rows_ = other.page_rows_;
+    size_ = other.size_;
+    pages_ = std::move(other.pages_);
+    other.size_ = 0;
+  }
+  return *this;
 }
 
 std::byte* RowBuffer::Append(const std::byte* row) {
@@ -31,9 +47,18 @@ void RowBuffer::AddPage() {
   Page page;
   page.data.Allocate(static_cast<size_t>(page_rows_) * stride_);
   pages_.push_back(std::move(page));
+  // Governor accounting is per page (dozens of KiB), never per row.
+  MemoryGovernor::Global().Account(PageBytes());
+}
+
+void RowBuffer::ReleaseAccounting() {
+  if (!pages_.empty()) {
+    MemoryGovernor::Global().Release(pages_.size() * PageBytes());
+  }
 }
 
 void RowBuffer::Clear() {
+  ReleaseAccounting();
   pages_.clear();
   size_ = 0;
 }

@@ -18,9 +18,12 @@ class RowBuffer {
  public:
   // `stride` is the row width in bytes; `page_rows` rows per page.
   explicit RowBuffer(uint32_t stride, uint32_t page_rows = 8192);
+  ~RowBuffer();
 
   RowBuffer(RowBuffer&&) = default;
-  RowBuffer& operator=(RowBuffer&&) = default;
+  // Custom move-assign: the replaced pages must be un-accounted from the
+  // memory governor before they are freed.
+  RowBuffer& operator=(RowBuffer&& other) noexcept;
 
   // Appends one row, returning the destination pointer.
   std::byte* Append(const std::byte* row);
@@ -57,6 +60,11 @@ class RowBuffer {
   };
 
   void AddPage();
+  // Reports all held page bytes back to the memory governor.
+  void ReleaseAccounting();
+  uint64_t PageBytes() const {
+    return static_cast<uint64_t>(page_rows_) * stride_;
+  }
 
   uint32_t stride_;
   uint32_t page_rows_;

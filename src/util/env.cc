@@ -1,5 +1,6 @@
 #include "util/env.h"
 
+#include <cctype>
 #include <cstdlib>
 #include <thread>
 
@@ -11,6 +12,12 @@ int64_t GetEnvInt64(const char* name, int64_t def) {
   char* end = nullptr;
   long long parsed = std::strtoll(v, &end, 10);
   if (end == v) return def;
+  // A partially numeric value ("12abc") is a configuration mistake, not a
+  // number; surface it as unparsable instead of truncating.
+  while (*end != '\0') {
+    if (!std::isspace(static_cast<unsigned char>(*end))) return def;
+    ++end;
+  }
   return static_cast<int64_t>(parsed);
 }
 
@@ -20,6 +27,10 @@ double GetEnvDouble(const char* name, double def) {
   char* end = nullptr;
   double parsed = std::strtod(v, &end);
   if (end == v) return def;
+  while (*end != '\0') {
+    if (!std::isspace(static_cast<unsigned char>(*end))) return def;
+    ++end;
+  }
   return parsed;
 }
 
@@ -29,10 +40,62 @@ std::string GetEnvString(const char* name, const std::string& def) {
   return std::string(v);
 }
 
+bool ParseByteSize(const std::string& text, uint64_t* out) {
+  const char* v = text.c_str();
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || parsed < 0) return false;
+  uint64_t value = static_cast<uint64_t>(parsed);
+  uint64_t multiplier = 1;
+  if (*end != '\0') {
+    switch (std::tolower(static_cast<unsigned char>(*end))) {
+      case 'k':
+        multiplier = 1024ull;
+        break;
+      case 'm':
+        multiplier = 1024ull * 1024;
+        break;
+      case 'g':
+        multiplier = 1024ull * 1024 * 1024;
+        break;
+      case 't':
+        multiplier = 1024ull * 1024 * 1024 * 1024;
+        break;
+      case 'b':
+        multiplier = 1;
+        break;
+      default:
+        return false;
+    }
+    ++end;
+    // Accept the long forms "kb"/"kib" etc. after a size letter.
+    if (multiplier > 1 && (*end == 'i' || *end == 'I')) ++end;
+    if (multiplier > 1 && (*end == 'b' || *end == 'B')) ++end;
+  }
+  while (*end != '\0') {
+    if (!std::isspace(static_cast<unsigned char>(*end))) return false;
+    ++end;
+  }
+  *out = value * multiplier;
+  return true;
+}
+
+uint64_t GetEnvBytes(const char* name, uint64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  uint64_t parsed = 0;
+  if (!ParseByteSize(v, &parsed)) return def;
+  return parsed;
+}
+
+uint64_t MemoryBudgetBytes() { return GetEnvBytes("PJOIN_MEMORY_BUDGET", 0); }
+
 int DefaultThreads() {
   int hw = static_cast<int>(std::thread::hardware_concurrency());
   if (hw <= 0) hw = 1;
-  return static_cast<int>(GetEnvInt64("PJOIN_THREADS", hw));
+  int threads = static_cast<int>(GetEnvInt64("PJOIN_THREADS", hw));
+  // A zero or negative thread count would deadlock the pool; clamp instead.
+  return threads < 1 ? 1 : threads;
 }
 
 int64_t WorkloadScaleDivisor() { return GetEnvInt64("PJOIN_SCALE", 64); }

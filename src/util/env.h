@@ -8,7 +8,8 @@
 namespace pjoin {
 
 // Returns the integer value of environment variable `name`, or `def` if the
-// variable is unset or unparsable.
+// variable is unset or unparsable. Trailing non-numeric characters make the
+// value unparsable ("12abc" -> def), so typos never silently truncate.
 int64_t GetEnvInt64(const char* name, int64_t def);
 
 // Returns the floating-point value of environment variable `name`, or `def`.
@@ -17,8 +18,21 @@ double GetEnvDouble(const char* name, double def);
 // Returns the string value of environment variable `name`, or `def`.
 std::string GetEnvString(const char* name, const std::string& def);
 
+// Parses a byte size with an optional binary suffix: "1048576", "512k",
+// "64m", "2g" (case-insensitive, optional trailing "b" or "ib" as in
+// "64MiB"). Returns false on empty/garbage/negative input.
+bool ParseByteSize(const std::string& text, uint64_t* out);
+
+// Returns the byte size of environment variable `name` parsed with
+// ParseByteSize, or `def` if unset or unparsable.
+uint64_t GetEnvBytes(const char* name, uint64_t def);
+
+// Process-wide memory budget for join state (PJOIN_MEMORY_BUDGET, size
+// suffixes allowed). 0 means unlimited.
+uint64_t MemoryBudgetBytes();
+
 // Number of worker threads to use: PJOIN_THREADS, defaulting to the hardware
-// concurrency of this machine.
+// concurrency of this machine. Always >= 1, whatever the variable says.
 int DefaultThreads();
 
 // Scale divisor applied to the prior-work microbenchmark workloads

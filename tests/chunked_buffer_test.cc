@@ -1,0 +1,140 @@
+// ChunkedTupleBuffer edge cases: empty partitions, single-tuple pages,
+// tuples that would straddle a page boundary (a fresh page must be opened;
+// a tuple is never split), and governor accounting symmetry on Clear.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "partition/chunked_buffer.h"
+#include "spill/memory_governor.h"
+
+namespace pjoin {
+namespace {
+
+// Fills `bytes` with a per-tuple pattern so reads can verify identity.
+void WriteTuple(std::byte* dst, uint32_t stride, uint8_t tag) {
+  std::memset(dst, tag, stride);
+}
+
+uint64_t SumChunkBytes(const ChunkedTupleBuffer& buf) {
+  uint64_t total = 0;
+  buf.ForEachChunk(
+      [&](const std::byte* data, uint64_t used) { (void)data; total += used; });
+  return total;
+}
+
+TEST(ChunkedBuffer, EmptyBufferHasNoChunks) {
+  ChunkedTupleBuffer buf;
+  buf.Init(16);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.total_bytes(), 0u);
+  EXPECT_EQ(buf.num_tuples(), 0u);
+  int chunks = 0;
+  buf.ForEachChunk([&](const std::byte*, uint64_t) { ++chunks; });
+  EXPECT_EQ(chunks, 0);
+}
+
+TEST(ChunkedBuffer, SingleTuple) {
+  ChunkedTupleBuffer buf;
+  buf.Init(24);
+  std::byte* dst = buf.AllocBytes(24);
+  WriteTuple(dst, 24, 0xAB);
+  EXPECT_EQ(buf.total_bytes(), 24u);
+  EXPECT_EQ(buf.num_tuples(), 1u);
+  int chunks = 0;
+  buf.ForEachChunk([&](const std::byte* data, uint64_t used) {
+    ++chunks;
+    ASSERT_EQ(used, 24u);
+    for (uint64_t i = 0; i < used; ++i) {
+      ASSERT_EQ(static_cast<uint8_t>(data[i]), 0xAB);
+    }
+  });
+  EXPECT_EQ(chunks, 1);
+}
+
+TEST(ChunkedBuffer, PageBoundaryNeverSplitsATuple) {
+  // First page is 16 KiB; a stride that does not divide it forces the last
+  // allocation before the boundary onto a fresh page.
+  constexpr uint32_t kStride = 48;  // 16384 % 48 != 0
+  ChunkedTupleBuffer buf;
+  buf.Init(kStride);
+  const uint64_t tuples = (16 * 1024 / kStride) + 8;  // cross the first page
+  for (uint64_t i = 0; i < tuples; ++i) {
+    std::byte* dst = buf.AllocBytes(kStride);
+    WriteTuple(dst, kStride, static_cast<uint8_t>(i & 0xFF));
+  }
+  EXPECT_EQ(buf.num_tuples(), tuples);
+  EXPECT_EQ(buf.total_bytes(), tuples * kStride);
+  EXPECT_EQ(SumChunkBytes(buf), tuples * kStride);
+  // Every chunk must hold whole tuples only: a straddling tuple would leave
+  // a remainder in some chunk.
+  uint64_t seen = 0;
+  buf.ForEachChunk([&](const std::byte* data, uint64_t used) {
+    ASSERT_EQ(used % kStride, 0u) << "tuple split across a page boundary";
+    for (uint64_t off = 0; off < used; off += kStride) {
+      const uint8_t tag = static_cast<uint8_t>(seen & 0xFF);
+      for (uint32_t b = 0; b < kStride; ++b) {
+        ASSERT_EQ(static_cast<uint8_t>(data[off + b]), tag);
+      }
+      ++seen;
+    }
+  });
+  EXPECT_EQ(seen, tuples);
+}
+
+TEST(ChunkedBuffer, GrowsThroughMultiplePages) {
+  ChunkedTupleBuffer buf;
+  buf.Init(64);
+  const uint64_t tuples = (64 * 1024) / 64;  // 64 KiB of tuples: >= 3 pages
+  for (uint64_t i = 0; i < tuples; ++i) {
+    WriteTuple(buf.AllocBytes(64), 64, static_cast<uint8_t>(i));
+  }
+  int chunks = 0;
+  buf.ForEachChunk([&](const std::byte*, uint64_t) { ++chunks; });
+  EXPECT_GE(chunks, 3);  // 16K + 32K + ... doubling pages
+  EXPECT_EQ(buf.num_tuples(), tuples);
+}
+
+TEST(ChunkedBuffer, InitResetsPreviousContents) {
+  ChunkedTupleBuffer buf;
+  buf.Init(16);
+  buf.AllocBytes(16);
+  ASSERT_EQ(buf.num_tuples(), 1u);
+  buf.Init(32);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.stride(), 32u);
+  EXPECT_EQ(buf.num_tuples(), 0u);
+}
+
+TEST(ChunkedBuffer, ClearReleasesGovernorAccounting) {
+  MemoryGovernor& gov = MemoryGovernor::Global();
+  const uint64_t before = gov.reserved();
+  {
+    ChunkedTupleBuffer buf;
+    buf.Init(16);
+    for (int i = 0; i < 4096; ++i) buf.AllocBytes(16);
+    EXPECT_GT(gov.reserved(), before);
+  }  // destructor Clears
+  EXPECT_EQ(gov.reserved(), before);
+}
+
+TEST(ChunkedBuffer, MoveAssignReleasesReplacedChunks) {
+  MemoryGovernor& gov = MemoryGovernor::Global();
+  const uint64_t before = gov.reserved();
+  {
+    ChunkedTupleBuffer a;
+    a.Init(16);
+    a.AllocBytes(16);
+    ChunkedTupleBuffer b;
+    b.Init(16);
+    b.AllocBytes(16);
+    a = std::move(b);  // a's original chunks must be released here
+    EXPECT_EQ(a.num_tuples(), 1u);
+  }
+  EXPECT_EQ(gov.reserved(), before);
+}
+
+}  // namespace
+}  // namespace pjoin

@@ -1,0 +1,130 @@
+// Spill subsystem units: the memory governor's probe/account/release
+// protocol (high-water mark, denial counting, unlimited mode) and the
+// SpillFile / SpillPartition byte-roundtrip guarantees.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "spill/memory_governor.h"
+#include "spill/spill_file.h"
+#include "spill/spill_join.h"
+
+namespace pjoin {
+namespace {
+
+TEST(MemoryGovernor, UnlimitedBudgetNeverDenies) {
+  MemoryGovernor gov(0);
+  EXPECT_TRUE(gov.WouldFit(1ull << 40));
+  EXPECT_EQ(gov.denials(), 0u);
+  EXPECT_EQ(gov.Available(), UINT64_MAX);
+}
+
+TEST(MemoryGovernor, TracksReservationsAndHighWater) {
+  MemoryGovernor gov(1000);
+  gov.Account(400);
+  EXPECT_EQ(gov.reserved(), 400u);
+  EXPECT_EQ(gov.high_water(), 400u);
+  gov.Account(300);
+  EXPECT_EQ(gov.reserved(), 700u);
+  EXPECT_EQ(gov.high_water(), 700u);
+  gov.Release(500);
+  EXPECT_EQ(gov.reserved(), 200u);
+  EXPECT_EQ(gov.high_water(), 700u);  // high-water is monotonic
+  gov.Account(100);
+  EXPECT_EQ(gov.high_water(), 700u);  // 300 < 700: unchanged
+}
+
+TEST(MemoryGovernor, WouldFitProbesWithoutReserving) {
+  MemoryGovernor gov(1000);
+  EXPECT_TRUE(gov.WouldFit(800));
+  EXPECT_EQ(gov.reserved(), 0u);  // a probe reserves nothing
+  gov.Account(800);
+  EXPECT_FALSE(gov.WouldFit(300));
+  EXPECT_EQ(gov.denials(), 1u);
+  EXPECT_TRUE(gov.WouldFit(200));
+  EXPECT_EQ(gov.denials(), 1u);
+  EXPECT_EQ(gov.Available(), 200u);
+}
+
+TEST(MemoryGovernor, AvailableClampsAtZeroWhenOverBudget) {
+  MemoryGovernor gov(100);
+  gov.Account(250);  // forced accounting may exceed the budget
+  EXPECT_EQ(gov.Available(), 0u);
+  EXPECT_FALSE(gov.WouldFit(1));
+}
+
+TEST(MemoryGovernor, ScopedBudgetRestores) {
+  MemoryGovernor& gov = MemoryGovernor::Global();
+  const uint64_t before = gov.budget();
+  {
+    ScopedMemoryBudget scoped(12345);
+    EXPECT_EQ(gov.budget(), 12345u);
+  }
+  EXPECT_EQ(gov.budget(), before);
+  EXPECT_EQ(gov.denials(), 0u);  // counters reset on scope exit
+}
+
+TEST(SpillFile, RoundtripsSequentialWrites) {
+  SpillFile file;
+  std::vector<std::byte> data(100000);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i * 7);
+  }
+  // Appends of varying sizes exercise buffer fill and large-write bypass.
+  size_t off = 0;
+  const size_t sizes[] = {1, 17, 4096, 70000, 25886};
+  for (size_t s : sizes) {
+    file.Append(data.data() + off, s);
+    off += s;
+  }
+  ASSERT_EQ(off, data.size());
+  ASSERT_EQ(file.size(), data.size());
+  file.FinishWrite();
+  std::vector<std::byte> back(data.size());
+  file.Read(0, back.data(), back.size());
+  EXPECT_EQ(std::memcmp(back.data(), data.data(), data.size()), 0);
+  // Offset reads.
+  std::byte one;
+  file.Read(99999, &one, 1);
+  EXPECT_EQ(one, data[99999]);
+}
+
+TEST(SpillFile, EmptyFileFinishesCleanly) {
+  SpillFile file;
+  file.FinishWrite();
+  EXPECT_EQ(file.size(), 0u);
+}
+
+TEST(SpillPartition, AppendHashRowPadsToStride) {
+  SpillStats stats;
+  SpillPartition part;
+  part.Init(32, &stats);  // 8B hash + 16B row + 8B pad
+  const std::byte row[16] = {std::byte{1}, std::byte{2}, std::byte{3}};
+  part.AppendHashRow(0xDEADBEEFull, row, 16);
+  part.AppendHashRow(0x12345678ull, row, 16);
+  part.FinishWrite();
+  EXPECT_EQ(part.tuples(), 2u);
+  EXPECT_EQ(part.bytes(), 64u);
+  std::vector<std::byte> back(64);
+  part.file().Read(0, back.data(), back.size());
+  EXPECT_EQ(SpillTupleHash(back.data()), 0xDEADBEEFull);
+  EXPECT_EQ(SpillTupleHash(back.data() + 32), 0x12345678ull);
+  EXPECT_EQ(std::memcmp(SpillTupleRow(back.data()), row, 16), 0);
+  EXPECT_EQ(stats.bytes_written.load(), 64u);
+}
+
+TEST(SpillPartition, AppendRawCountsTuples) {
+  SpillStats stats;
+  SpillPartition part;
+  part.Init(16, &stats);
+  std::vector<std::byte> block(16 * 10, std::byte{0x5A});
+  part.AppendRaw(block.data(), block.size());
+  part.FinishWrite();
+  EXPECT_EQ(part.tuples(), 10u);
+  EXPECT_EQ(part.bytes(), 160u);
+}
+
+}  // namespace
+}  // namespace pjoin
