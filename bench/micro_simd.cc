@@ -1,0 +1,208 @@
+// Kernel-tier throughput: scalar vs AVX2 vs AVX-512 for the four batched
+// SIMD kernels (src/kernels/). This is the attribution bench for the
+// dispatch layer: the speedup column shows what the runtime tier choice is
+// worth on this host, kernel by kernel, in tuples/s and bytes/s.
+//
+// Inputs mirror the engine's shapes: 1024-tuple batches (kBatchCapacity),
+// a ~16-bits-per-key Bloom filter, a 2x-sized chaining directory, packed
+// [hash][row] partition tuples. JSON side-channel: one line per
+// (kernel, tier) via PJOIN_METRICS_JSON, like the other benches.
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "exec/batch.h"
+#include "filter/blocked_bloom.h"
+#include "kernels/kernels.h"
+#include "util/hash.h"
+#include "util/rng.h"
+#include "util/simd.h"
+#include "util/stopwatch.h"
+
+namespace pjoin {
+namespace {
+
+constexpr uint64_t kTuples = uint64_t{1} << 21;  // per measurement pass
+constexpr uint32_t kBatch = kBatchCapacity;
+
+// Median-of-reps seconds for one pass of `body` over kTuples tuples.
+template <typename Fn>
+double MeasureSeconds(int reps, Fn&& body) {
+  std::vector<double> times;
+  times.reserve(reps);
+  body();  // warm-up
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    body();
+    times.push_back(watch.ElapsedSeconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+void EmitJson(const char* kernel, SimdTier tier, double tuples_per_sec,
+              double bytes_per_sec, double speedup) {
+  const char* path = std::getenv("PJOIN_METRICS_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  std::FILE* out = std::string(path) == "-" ? stdout : std::fopen(path, "a");
+  if (out == nullptr) return;
+  std::fprintf(out,
+               "{\"label\":\"micro_simd\",\"kernel\":\"%s\",\"tier\":\"%s\","
+               "\"tuples_per_sec\":%.0f,\"bytes_per_sec\":%.0f,"
+               "\"speedup_vs_scalar\":%.3f}\n",
+               kernel, SimdTierName(tier), tuples_per_sec, bytes_per_sec,
+               speedup);
+  if (out == stdout) {
+    std::fflush(stdout);
+  } else {
+    std::fclose(out);
+  }
+}
+
+std::vector<SimdTier> Tiers() {
+  std::vector<SimdTier> tiers = {SimdTier::kScalar};
+  if (SimdTierAvailable(SimdTier::kAVX2)) tiers.push_back(SimdTier::kAVX2);
+  if (SimdTierAvailable(SimdTier::kAVX512)) {
+    tiers.push_back(SimdTier::kAVX512);
+  }
+  return tiers;
+}
+
+// Runs `body(kernels)` per tier and renders rows; `bytes_per_tuple` is the
+// memory the kernel genuinely touches per tuple (input + output), so the
+// bytes/s column is comparable across kernels.
+template <typename Fn>
+void BenchKernel(TablePrinter& table, const char* name,
+                 double bytes_per_tuple, int reps, Fn&& body) {
+  double scalar_tps = 0;
+  for (SimdTier tier : Tiers()) {
+    const SimdKernels& k = KernelsFor(tier);
+    double secs = MeasureSeconds(reps, [&] { body(k); });
+    double tps = static_cast<double>(kTuples) / secs;
+    if (tier == SimdTier::kScalar) scalar_tps = tps;
+    double speedup = tps / scalar_tps;
+    char speed_buf[32];
+    std::snprintf(speed_buf, sizeof(speed_buf), "%.2fx", speedup);
+    table.AddRow({name, SimdTierName(tier), bench::Gts(tps),
+                  TablePrinter::Bytes(tps * bytes_per_tuple) + "/s",
+                  speed_buf});
+    EmitJson(name, tier, tps, tps * bytes_per_tuple, speedup);
+  }
+}
+
+}  // namespace
+}  // namespace pjoin
+
+int main() {
+  using namespace pjoin;
+  const int reps = BenchRepetitions();
+  bench::PrintHeader(
+      "Micro: SIMD kernel tiers",
+      "kernel-level dispatch ablation (DESIGN.md \"SIMD kernels\")",
+      "1024-tuple batches, 2^21 tuples/pass, median of reps");
+
+  Rng rng(42);
+  std::vector<uint64_t> hashes(kTuples);
+  for (auto& h : hashes) h = rng.Next();
+
+  // Bloom: filter sized for 2^20 keys, half the probes are members.
+  BlockedBloomFilter bloom;
+  bloom.Resize(uint64_t{1} << 20);
+  for (uint64_t i = 0; i < (uint64_t{1} << 20); ++i) {
+    bloom.InsertUnsynchronized(hashes[i * 2]);
+  }
+
+  // Directory: 2^21 slots with random tags/pointers (the tag-probe kernel
+  // never dereferences, so synthetic slot words are fine).
+  std::vector<uint64_t> dir(kTuples);
+  for (auto& s : dir) s = (rng.Next() % 2 == 0) ? 0 : rng.Next();
+  const int dir_shift = 64 - 21;
+
+  // Rows: packed 8-byte key column and a strided 16-byte row.
+  std::vector<std::byte> packed(kTuples * 8);
+  std::memcpy(packed.data(), hashes.data(), packed.size());
+  std::vector<std::byte> strided(kTuples * 16);
+  for (uint64_t i = 0; i < kTuples; ++i) {
+    std::memcpy(strided.data() + i * 16, &hashes[i], 8);
+  }
+
+  volatile uint64_t sink = 0;
+  TablePrinter table({"kernel", "tier", "Gtuples/s", "bytes/s", "speedup"});
+
+  {
+    uint64_t bitmap[kBatch / 64];
+    // hash read + one gathered block per tuple.
+    BenchKernel(table, "bloom_probe", 16.0, reps, [&](const SimdKernels& k) {
+      uint64_t acc = 0;
+      for (uint64_t off = 0; off + kBatch <= kTuples; off += kBatch) {
+        k.bloom_probe(bloom.blocks(), bloom.block_mask(), hashes.data() + off,
+                      kBatch, bitmap);
+        acc += bitmap[0];
+      }
+      sink = sink + acc;
+    });
+  }
+  {
+    uint32_t sel[kBatch];
+    uint64_t heads[kBatch];
+    // hash read + one gathered slot per tuple, plus compacted survivors.
+    BenchKernel(table, "dir_tag_probe", 16.0, reps,
+                [&](const SimdKernels& k) {
+                  uint64_t acc = 0;
+                  for (uint64_t off = 0; off + kBatch <= kTuples;
+                       off += kBatch) {
+                    acc += k.dir_tag_probe(dir.data(), dir_shift,
+                                           kTuples - 1, hashes.data() + off,
+                                           kBatch, sel, heads);
+                  }
+                  sink = sink + acc;
+                });
+  }
+  {
+    uint64_t out[kBatch];
+    // The engine hashes batches it just materialized, so the inputs are
+    // cache-hot; cycle over an L2-resident window instead of streaming the
+    // full array, or the bench measures DRAM instead of the kernel.
+    constexpr uint64_t kWindow = uint64_t{1} << 16;
+    // 8-byte key in, 8-byte hash out.
+    BenchKernel(table, "hash (packed)", 16.0, reps, [&](const SimdKernels& k) {
+      uint64_t acc = 0;
+      for (uint64_t done = 0; done < kTuples; done += kWindow) {
+        for (uint64_t off = 0; off + kBatch <= kWindow; off += kBatch) {
+          k.hash_rows(packed.data() + off * 8, 8, 0, 8, kBatch, out);
+          acc += out[0];
+        }
+      }
+      sink = sink + acc;
+    });
+    // 16-byte row in, 8-byte hash out.
+    BenchKernel(table, "hash (strided)", 24.0, reps,
+                [&](const SimdKernels& k) {
+                  uint64_t acc = 0;
+                  for (uint64_t done = 0; done < kTuples; done += kWindow) {
+                    for (uint64_t off = 0; off + kBatch <= kWindow;
+                         off += kBatch) {
+                      k.hash_rows(strided.data() + off * 16, 16, 0, 8, kBatch,
+                                  out);
+                      acc += out[0];
+                    }
+                  }
+                  sink = sink + acc;
+                });
+  }
+  {
+    // 8-byte hash read per 16-byte tuple + counter bumps.
+    uint64_t hist[256];
+    BenchKernel(table, "histogram", 16.0, reps, [&](const SimdKernels& k) {
+      std::memset(hist, 0, sizeof(hist));
+      k.histogram(strided.data(), kTuples, 16, 0, 255, hist);
+      sink = sink + hist[0];
+    });
+  }
+
+  table.Print();
+  std::printf("\ndispatched tier on this host: %s (PJOIN_SIMD overrides)\n",
+              SimdTierName(ActiveSimdTier()));
+  (void)sink;
+  return 0;
+}

@@ -2,6 +2,7 @@
 // Ryzen 9, and a 2-socket Sandy Bridge; we probe the host we run on).
 #include "bench/bench_common.h"
 #include "util/cpu_info.h"
+#include "util/simd.h"
 
 int main() {
   using namespace pjoin;
@@ -24,6 +25,12 @@ int main() {
 #else
   table.AddRow({"widest streaming store", "scalar fallback"});
 #endif
+  // Runtime dispatch differs from the compile-time rows above: kernels carry
+  // all tiers in every build and pick one at startup (PJOIN_SIMD overrides).
+  table.AddRow({"SIMD kernel tier (detected)",
+                SimdTierName(DetectSimdTier())});
+  table.AddRow({"SIMD kernel tier (dispatched)",
+                SimdTierName(ActiveSimdTier())});
   table.Print();
   std::printf(
       "\nnote: the paper's scalability/NUMA experiments used 10-20 physical\n"

@@ -8,6 +8,7 @@
 #include "exec/morsel.h"
 #include "util/bitutil.h"
 #include "util/check.h"
+#include "util/prefetch.h"
 
 namespace pjoin {
 
@@ -55,14 +56,12 @@ uint64_t BalkesenNPJ(const std::vector<Tuple>& build,
   MorselQueue probe_queue(probe.size());
   pool.ParallelRun([&](int) {
     uint64_t local = 0;
-    constexpr uint64_t kPrefetchDistance = 16;
     while (true) {
       Morsel m = probe_queue.Next();
       if (m.empty()) break;
       for (uint64_t i = m.begin; i < m.end; ++i) {
         if (i + kPrefetchDistance < m.end) {
-          __builtin_prefetch(
-              &heads[KeyBits(probe[i + kPrefetchDistance]) & mask], 0, 1);
+          PrefetchForRead(&heads[KeyBits(probe[i + kPrefetchDistance]) & mask]);
         }
         auto key = probe[i].key;
         for (int64_t j = heads[KeyBits(probe[i]) & mask].load(

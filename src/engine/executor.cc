@@ -583,6 +583,7 @@ QueryResult Lowerer::Run(ThreadPool& pool, QueryStats* stats) {
     const MemoryGovernor& gov = MemoryGovernor::Global();
     qm.SetGovernor(gov.budget(), gov.high_water(), gov.denials());
   }
+  qm.SetSimdTier(SimdTierName(ActiveSimdTier()));
 
   if (stats != nullptr) {
     stats->metrics = qm;

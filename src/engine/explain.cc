@@ -395,7 +395,9 @@ std::string ExplainAnalyzePlan(const PlanNode& root, const ExecOptions& options,
   out << "\ntotal: " << Fixed(qm.seconds() * 1e3, 3) << "ms"
       << " source_tuples=" << qm.source_tuples()
       << " result_rows=" << qm.result_rows()
-      << " threads=" << qm.num_threads() << "\n";
+      << " threads=" << qm.num_threads();
+  if (!qm.simd_tier().empty()) out << " simd=" << qm.simd_tier();
+  out << "\n";
 
   out << "pipelines:\n";
   for (size_t i = 0; i < qm.pipelines().size(); ++i) {

@@ -120,6 +120,9 @@ OperatorTotals QueryMetrics::TotalsFor(const std::string& name) const {
 std::string QueryMetrics::ToJson(bool include_timings) const {
   std::ostringstream out;
   out << "{\"num_threads\":" << num_threads_;
+  if (!simd_tier_.empty()) {
+    out << ",\"simd\":\"" << simd_tier_ << "\"";
+  }
   if (include_timings) {
     out << ",\"seconds\":";
     AppendDouble(out, seconds_);

@@ -255,6 +255,12 @@ class QueryMetrics {
   uint64_t governor_high_water() const { return governor_high_water_; }
   uint64_t governor_denials() const { return governor_denials_; }
 
+  // Dispatched SIMD kernel tier ("scalar"|"avx2"|"avx512"), set by the
+  // executor so benches can attribute kernel-level wins. Deterministic on a
+  // given host+environment, so it is safe in the stable JSON.
+  void SetSimdTier(std::string tier) { simd_tier_ = std::move(tier); }
+  const std::string& simd_tier() const { return simd_tier_; }
+
   // --- accessors -----------------------------------------------------------
 
   const std::deque<PipelineMetrics>& pipelines() const { return pipelines_; }
@@ -296,6 +302,7 @@ class QueryMetrics {
   uint64_t governor_budget_ = 0;
   uint64_t governor_high_water_ = 0;
   uint64_t governor_denials_ = 0;
+  std::string simd_tier_;
   PhaseTimer timer_;
   ByteCounter bytes_;
 };

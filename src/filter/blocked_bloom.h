@@ -64,6 +64,7 @@ class BlockedBloomFilter {
   }
 
   const uint64_t* blocks() const { return blocks_; }
+  uint64_t block_mask() const { return block_mask_; }
 
  private:
   AlignedBuffer storage_;

@@ -25,6 +25,7 @@
 
 #include "storage/row_buffer.h"
 #include "util/aligned_buffer.h"
+#include "util/prefetch.h"
 
 namespace pjoin {
 
@@ -82,8 +83,17 @@ class ChainingHashTable {
     return dir_[dir_index].load(std::memory_order_relaxed);
   }
   void PrefetchSlot(uint64_t hash) const {
-    __builtin_prefetch(&dir_[DirIndex(hash)], 0, 1);
+    PrefetchForRead(&dir_[DirIndex(hash)]);
   }
+
+  // Raw directory view for the batched tag-probe kernel. The probe phase
+  // starts after Build()'s barrier, so plain 64-bit loads observe the final
+  // slot values (the kernel's gather cannot go through std::atomic).
+  const uint64_t* dir_words() const {
+    return reinterpret_cast<const uint64_t*>(dir_);
+  }
+  int dir_shift() const { return dir_shift_; }
+  uint64_t dir_mask() const { return dir_size_ - 1; }
 
   // Head of chain for `hash` after the tag check, or nullptr when the tag
   // already proves absence.

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 #include <numeric>
 
+#include "kernels/kernels.h"
 #include "spill/memory_governor.h"
 #include "util/bitutil.h"
 #include "util/stopwatch.h"
@@ -211,9 +213,10 @@ void HashJoinBuildSink::Consume(Batch& batch, ThreadContext& ctx) {
   ChainingHashTable& ht = join_->table();
   const KeySpec& key = join_->build_key();
   const uint32_t stride = batch.layout->stride();
+  uint64_t hashes[kBatchCapacity];
+  HashRowsBatch(key, batch.rows, stride, batch.size, hashes);
   for (uint32_t i = 0; i < batch.size; ++i) {
-    const std::byte* row = batch.Row(i);
-    ht.MaterializeEntry(ctx.thread_id, key.Hash(row), row, stride);
+    ht.MaterializeEntry(ctx.thread_id, hashes[i], batch.Row(i), stride);
   }
   ctx.bytes->AddWrite(JoinPhase::kBuildPipeline,
                       static_cast<uint64_t>(batch.size) * ht.entry_stride());
@@ -242,36 +245,22 @@ void HashJoinProbe::Consume(Batch& batch, ThreadContext& ctx) {
   const JoinKind kind = join_->kind();
   JoinEmitter& emitter = emitters_[ctx.thread_id];
 
-  // Relaxed operator fusion: the batch is the staging buffer. First loop
-  // computes hashes and prefetches directory cache lines; second loop walks
-  // chains with the slots (likely) already in cache.
+  // Relaxed operator fusion: the batch is the staging buffer. The hash
+  // kernel fills the hash vector, a prefetch pass requests the directory
+  // cache lines, and the chain walks run with the slots (likely) in cache.
   uint64_t hashes[kBatchCapacity];
+  HashRowsBatch(probe_key, batch.rows, batch.layout->stride(), batch.size,
+                hashes);
   for (uint32_t i = 0; i < batch.size; ++i) {
-    hashes[i] = probe_key.Hash(batch.Row(i));
     ht.PrefetchSlot(hashes[i]);
   }
   ctx.bytes->AddRead(JoinPhase::kProbePipeline,
                      static_cast<uint64_t>(batch.size) *
                          batch.layout->stride());
 
-  SpillJoinState* spill = join_->spill();
-  const uint32_t probe_stride = batch.layout->stride();
-  uint64_t matched_tuples = 0;
-  for (uint32_t i = 0; i < batch.size; ++i) {
-    const std::byte* probe_row = batch.Row(i);
-    const uint64_t hash = hashes[i];
-    if (spill != nullptr &&
-        spill->IsSpilled(hash & (HashJoin::kSpillFanout - 1))) {
-      // The resident table holds no keys from spilled partitions, so this
-      // tuple's verdict is decided entirely during spilled-pair processing.
-      spill->probe(hash & (HashJoin::kSpillFanout - 1))
-          .AppendHashRow(hash, probe_row, probe_stride);
-      spill->stats.probe_tuples_spilled.fetch_add(1,
-                                                  std::memory_order_relaxed);
-      continue;
-    }
-    // Tagged-pointer reducer: a missing tag bit skips the chain walk.
-    const std::byte* entry = ht.ChainHead(hash);
+  // Chain walk for one surviving probe tuple; returns whether it matched.
+  auto walk_chain = [&](const std::byte* entry, const std::byte* probe_row,
+                        uint64_t hash) {
     bool matched = false;
     while (entry != nullptr) {
       if (ChainingHashTable::EntryHash(entry) == hash &&
@@ -311,6 +300,60 @@ void HashJoinProbe::Consume(Batch& batch, ThreadContext& ctx) {
       }
       entry = ChainingHashTable::EntryNext(entry);
     }
+    return matched;
+  };
+
+  SpillJoinState* spill = join_->spill();
+  uint64_t matched_tuples = 0;
+  if (spill == nullptr) {
+    // Batched tag-check kernel: one gather over the directory decides which
+    // tuples have a chain worth walking; the walk loop then only touches
+    // surviving lanes. Tuples whose tag bit is absent are definitively
+    // unmatched, which the second loop below turns into the kind's
+    // unmatched-probe emission.
+    uint32_t sel[kBatchCapacity];
+    uint64_t heads[kBatchCapacity];
+    const uint32_t survivors = ActiveKernels().dir_tag_probe(
+        ht.dir_words(), ht.dir_shift(), ht.dir_mask(), hashes, batch.size,
+        sel, heads);
+    bool matched[kBatchCapacity];
+    std::memset(matched, 0, batch.size);
+    for (uint32_t j = 0; j < survivors; ++j) {
+      const uint32_t i = sel[j];
+      matched[i] = walk_chain(reinterpret_cast<const std::byte*>(heads[j]),
+                              batch.Row(i), hashes[i]);
+      matched_tuples += matched[i] ? 1 : 0;
+    }
+    if (kind == JoinKind::kProbeAnti || kind == JoinKind::kLeftOuter) {
+      for (uint32_t i = 0; i < batch.size; ++i) {
+        if (!matched[i]) emitter.EmitProbeOnly(batch.Row(i), ctx);
+      }
+    } else if (kind == JoinKind::kMark) {
+      for (uint32_t i = 0; i < batch.size; ++i) {
+        emitter.EmitMark(batch.Row(i), matched[i], ctx);
+      }
+    }
+    join_->AddProbeStats(batch.size, matched_tuples);
+    return;
+  }
+
+  // Spill path: per-tuple routing decisions interleave with the probes, so
+  // this loop stays scalar.
+  const uint32_t probe_stride = batch.layout->stride();
+  for (uint32_t i = 0; i < batch.size; ++i) {
+    const std::byte* probe_row = batch.Row(i);
+    const uint64_t hash = hashes[i];
+    if (spill->IsSpilled(hash & (HashJoin::kSpillFanout - 1))) {
+      // The resident table holds no keys from spilled partitions, so this
+      // tuple's verdict is decided entirely during spilled-pair processing.
+      spill->probe(hash & (HashJoin::kSpillFanout - 1))
+          .AppendHashRow(hash, probe_row, probe_stride);
+      spill->stats.probe_tuples_spilled.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      continue;
+    }
+    // Tagged-pointer reducer: a missing tag bit skips the chain walk.
+    const bool matched = walk_chain(ht.ChainHead(hash), probe_row, hash);
     if (!matched && kind == JoinKind::kProbeAnti) {
       emitter.EmitProbeOnly(probe_row, ctx);
     } else if (!matched && kind == JoinKind::kLeftOuter) {

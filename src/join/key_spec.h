@@ -28,6 +28,20 @@ class KeySpec {
   const RowLayout* layout() const { return layout_; }
   const std::vector<int>& fields() const { return fields_; }
 
+  // True when the key is a single 4- or 8-byte field, the shape the
+  // vectorized hash kernel handles (kernels/kernels.h). Hash() branches
+  // purely on field width, so matching on width keeps the kernel bit-
+  // identical; composite and wide char keys return false and hash through
+  // the scalar path.
+  bool SingleWordKey(uint32_t* offset, uint32_t* width) const {
+    if (fields_.size() != 1) return false;
+    const RowField& fld = layout_->field(fields_[0]);
+    if (fld.width != 4 && fld.width != 8) return false;
+    *offset = fld.offset;
+    *width = fld.width;
+    return true;
+  }
+
   // 64-bit hash of the key; identical key values hash identically across
   // sides as long as field widths match (enforced by KeysEqual's contract).
   uint64_t Hash(const std::byte* row) const {

@@ -1,8 +1,10 @@
 #include "join/radix_join.h"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
 
+#include "kernels/kernels.h"
 #include "spill/memory_governor.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
@@ -104,9 +106,10 @@ void RadixBuildSink::Consume(Batch& batch, ThreadContext& ctx) {
   MetricsIn(batch, ctx);
   RadixPartitioner& part = join_->build_partitioner();
   const KeySpec& key = join_->build_key();
+  uint64_t hashes[kBatchCapacity];
+  HashRowsBatch(key, batch.rows, batch.layout->stride(), batch.size, hashes);
   for (uint32_t i = 0; i < batch.size; ++i) {
-    const std::byte* row = batch.Row(i);
-    part.Add(ctx.thread_id, key.Hash(row), row, ctx.bytes);
+    part.Add(ctx.thread_id, hashes[i], batch.Row(i), ctx.bytes);
   }
 }
 
@@ -209,19 +212,28 @@ void RadixProbeSink::Consume(Batch& batch, ThreadContext& ctx) {
   uint64_t checks = 0;
   uint64_t passes = 0;
   uint64_t spilled = 0;
+  uint64_t hashes[kBatchCapacity];
+  HashRowsBatch(key, batch.rows, batch.layout->stride(), batch.size, hashes);
+  uint64_t pass_bitmap[kBatchCapacity / 64];
+  if (use_bloom) {
+    // Early probe, batch-wise: the Bloom kernel gathers one block per hash
+    // and emits a pass bitmap. Dropped tuples have no join partner and never
+    // pay any materialization cost. Sound under spilling: the filter also
+    // covers the spilled build keys.
+    const BlockedBloomFilter& bloom = join_->bloom();
+    ActiveKernels().bloom_probe(bloom.blocks(), bloom.block_mask(), hashes,
+                                batch.size, pass_bitmap);
+    checks = batch.size;
+    for (uint32_t w = 0; w < (batch.size + 63) / 64; ++w) {
+      passes += static_cast<uint64_t>(std::popcount(pass_bitmap[w]));
+    }
+    dropped = checks - passes;
+  }
   for (uint32_t i = 0; i < batch.size; ++i) {
     const std::byte* row = batch.Row(i);
-    uint64_t hash = key.Hash(row);
-    if (use_bloom) {
-      ++checks;
-      if (!join_->bloom().MayContain(hash)) {
-        // Early probe: the tuple has no join partner; it is dropped before
-        // any materialization cost is paid. Sound under spilling: the filter
-        // also covers the spilled build keys.
-        ++dropped;
-        continue;
-      }
-      ++passes;
+    const uint64_t hash = hashes[i];
+    if (use_bloom && ((pass_bitmap[i >> 6] >> (i & 63)) & 1) == 0) {
+      continue;
     }
     if (spill != nullptr &&
         spill->IsSpilled(static_cast<int>(hash & p1_mask))) {

@@ -1,0 +1,229 @@
+// AVX2 kernel tier: 4 x 64-bit lanes, gathers, variable shifts.
+//
+// Every function carries __attribute__((target("avx2"))) so this TU compiles
+// in portable builds (-DPJOIN_NATIVE=OFF) and the code is only executed when
+// dispatch has verified host support. Lane tails fall through to the scalar
+// range helpers, so every batch size is exact.
+
+#include "kernels/kernels_internal.h"
+
+#if PJOIN_SIMD_X86
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace pjoin {
+namespace kernels {
+namespace {
+
+#define PJOIN_AVX2 __attribute__((target("avx2")))
+
+// 64-bit lane-wise multiply by a constant. AVX2 has no 64-bit mullo, so
+// build it from 32x32->64 partial products:
+//   a * c = lo(a)*lo(c) + ((hi(a)*lo(c) + lo(a)*hi(c)) << 32)
+PJOIN_AVX2 inline __m256i Mul64Const(__m256i a, uint64_t c) {
+  const __m256i cv = _mm256_set1_epi64x(static_cast<long long>(c));
+  const __m256i c_hi = _mm256_set1_epi64x(static_cast<long long>(c >> 32));
+  __m256i lo = _mm256_mul_epu32(a, cv);
+  __m256i cross1 = _mm256_mul_epu32(_mm256_srli_epi64(a, 32), cv);
+  __m256i cross2 = _mm256_mul_epu32(a, c_hi);
+  __m256i hi = _mm256_add_epi64(cross1, cross2);
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(hi, 32));
+}
+
+// util/hash.h HashInt64 (MurmurHash3 finalizer), 4 lanes at a time.
+PJOIN_AVX2 inline __m256i Murmur64(__m256i k) {
+  k = _mm256_xor_si256(k, _mm256_srli_epi64(k, 33));
+  k = Mul64Const(k, 0xff51afd7ed558ccdULL);
+  k = _mm256_xor_si256(k, _mm256_srli_epi64(k, 33));
+  k = Mul64Const(k, 0xc4ceb9fe1a85ec53ULL);
+  k = _mm256_xor_si256(k, _mm256_srli_epi64(k, 33));
+  return k;
+}
+
+// The blocked Bloom filter's 4-sector bit mask (blocked_bloom.h BitMask),
+// lane-wise: OR of 1 << ((h >> s) & 63) for s in {40, 46, 52, 58}.
+PJOIN_AVX2 inline __m256i BloomMask4(__m256i h) {
+  const __m256i one = _mm256_set1_epi64x(1);
+  const __m256i six_bits = _mm256_set1_epi64x(63);
+  __m256i m = _mm256_sllv_epi64(
+      one, _mm256_and_si256(_mm256_srli_epi64(h, 40), six_bits));
+  m = _mm256_or_si256(m, _mm256_sllv_epi64(one, _mm256_and_si256(
+                                                    _mm256_srli_epi64(h, 46),
+                                                    six_bits)));
+  m = _mm256_or_si256(m, _mm256_sllv_epi64(one, _mm256_and_si256(
+                                                    _mm256_srli_epi64(h, 52),
+                                                    six_bits)));
+  m = _mm256_or_si256(m, _mm256_sllv_epi64(one, _mm256_and_si256(
+                                                    _mm256_srli_epi64(h, 58),
+                                                    six_bits)));
+  return m;
+}
+
+PJOIN_AVX2 void BloomProbeAvx2(const uint64_t* blocks, uint64_t block_mask,
+                               const uint64_t* hashes, uint32_t n,
+                               uint64_t* pass_bitmap) {
+  for (uint32_t w = 0; w < (n + 63) / 64; ++w) pass_bitmap[w] = 0;
+  const __m256i bmask =
+      _mm256_set1_epi64x(static_cast<long long>(block_mask));
+  uint32_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i h =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hashes + i));
+    __m256i idx = _mm256_and_si256(h, bmask);
+    __m256i block = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(blocks), idx, 8);
+    __m256i mask = BloomMask4(h);
+    __m256i hit = _mm256_cmpeq_epi64(_mm256_and_si256(block, mask), mask);
+    // 4-bit lane mask; i is a multiple of 4, so the nibble never straddles a
+    // bitmap word.
+    uint64_t lanes = static_cast<uint32_t>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(hit)));
+    pass_bitmap[i >> 6] |= lanes << (i & 63);
+  }
+  BloomProbeScalarRange(blocks, block_mask, hashes, i, n, pass_bitmap);
+}
+
+PJOIN_AVX2 uint32_t DirTagProbeAvx2(const uint64_t* dir, int dir_shift,
+                                    uint64_t dir_mask, const uint64_t* hashes,
+                                    uint32_t n, uint32_t* sel,
+                                    uint64_t* heads) {
+  const __m256i dmask = _mm256_set1_epi64x(static_cast<long long>(dir_mask));
+  const __m256i one = _mm256_set1_epi64x(1);
+  const __m256i tag_sel = _mm256_set1_epi64x(15);
+  const __m256i tag_base = _mm256_set1_epi64x(48);
+  const __m256i ptr_mask =
+      _mm256_set1_epi64x(static_cast<long long>(kChainPointerMask));
+  const __m128i shift = _mm_cvtsi32_si128(dir_shift);
+  const __m256i zero = _mm256_setzero_si256();
+  uint32_t out = 0;
+  uint32_t i = 0;
+  alignas(32) uint64_t head_lanes[4];
+  for (; i + 4 <= n; i += 4) {
+    __m256i h =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hashes + i));
+    __m256i idx = _mm256_and_si256(_mm256_srl_epi64(h, shift), dmask);
+    __m256i slot = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(dir), idx, 8);
+    __m256i tag_shift = _mm256_add_epi64(
+        _mm256_and_si256(_mm256_srli_epi64(h, 16), tag_sel), tag_base);
+    __m256i tag = _mm256_sllv_epi64(one, tag_shift);
+    __m256i miss = _mm256_cmpeq_epi64(_mm256_and_si256(slot, tag), zero);
+    uint32_t hits =
+        ~static_cast<uint32_t>(_mm256_movemask_pd(_mm256_castsi256_pd(miss))) &
+        0xf;
+    if (hits == 0) continue;
+    _mm256_store_si256(reinterpret_cast<__m256i*>(head_lanes),
+                       _mm256_and_si256(slot, ptr_mask));
+    while (hits != 0) {
+      uint32_t lane = static_cast<uint32_t>(__builtin_ctz(hits));
+      sel[out] = i + lane;
+      heads[out] = head_lanes[lane];
+      ++out;
+      hits &= hits - 1;
+    }
+  }
+  return DirTagProbeScalarRange(dir, dir_shift, dir_mask, hashes, i, n, sel,
+                                heads, out);
+}
+
+PJOIN_AVX2 void HashRowsAvx2(const std::byte* rows, uint32_t stride,
+                             uint32_t offset, uint32_t width, uint32_t n,
+                             uint64_t* out) {
+  uint32_t i = 0;
+  if (width == 8 && stride == 8 && offset == 0) {
+    // Packed key column: contiguous 64-bit loads. Two independent vectors
+    // per iteration — the emulated 64-bit multiply chain in Murmur64 is
+    // latency-bound, and interleaving two chains roughly doubles ILP.
+    for (; i + 8 <= n; i += 8) {
+      __m256i k0 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(rows + static_cast<size_t>(i) * 8));
+      __m256i k1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          rows + static_cast<size_t>(i) * 8 + 32));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), Murmur64(k0));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 4),
+                          Murmur64(k1));
+    }
+    for (; i + 4 <= n; i += 4) {
+      __m256i k = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(rows + static_cast<size_t>(i) * 8));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), Murmur64(k));
+    }
+  } else {
+    // Strided rows: assemble lanes with scalar loads (a gather of `width`
+    // bytes could read past the final row), then finalize vector-wise —
+    // the multiply chain is where the cycles are.
+    const std::byte* base = rows + offset;
+    auto lane = [&](uint32_t r) -> long long {
+      if (width == 8) {
+        uint64_t v;
+        std::memcpy(&v, base + static_cast<size_t>(r) * stride, 8);
+        return static_cast<long long>(v);
+      }
+      uint32_t v;
+      std::memcpy(&v, base + static_cast<size_t>(r) * stride, 4);
+      return static_cast<long long>(static_cast<uint64_t>(v));
+    };
+    for (; i + 8 <= n; i += 8) {
+      __m256i k0 = _mm256_set_epi64x(lane(i + 3), lane(i + 2), lane(i + 1),
+                                     lane(i));
+      __m256i k1 = _mm256_set_epi64x(lane(i + 7), lane(i + 6), lane(i + 5),
+                                     lane(i + 4));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), Murmur64(k0));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 4),
+                          Murmur64(k1));
+    }
+    for (; i + 4 <= n; i += 4) {
+      __m256i k = _mm256_set_epi64x(lane(i + 3), lane(i + 2), lane(i + 1),
+                                    lane(i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), Murmur64(k));
+    }
+  }
+  HashRowsScalarRange(rows, stride, offset, width, i, n, out);
+}
+
+}  // namespace
+
+// External linkage: the avx512 tier's table shares this function (see the
+// declaration in kernels_internal.h for why 256 bits is the right width).
+PJOIN_AVX2 void HistogramAvx2(const std::byte* tuples, uint64_t n,
+                              uint32_t stride, int shift, uint64_t mask,
+                              uint64_t* hist) {
+  const __m256i pmask = _mm256_set1_epi64x(static_cast<long long>(mask));
+  const __m128i pshift = _mm_cvtsi32_si128(shift);
+  uint64_t i = 0;
+  alignas(32) uint64_t part[4];
+  for (; i + 4 <= n; i += 4) {
+    // Tuple hashes sit `stride` bytes apart; extract the partition index for
+    // 4 tuples at once, then bump the counters scalar-wise (counter updates
+    // can collide across lanes).
+    auto h = [&](uint64_t r) -> long long {
+      uint64_t v;
+      std::memcpy(&v, tuples + r * stride, 8);
+      return static_cast<long long>(v);
+    };
+    __m256i hv = _mm256_set_epi64x(h(i + 3), h(i + 2), h(i + 1), h(i));
+    __m256i idx = _mm256_and_si256(_mm256_srl_epi64(hv, pshift), pmask);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(part), idx);
+    hist[part[0]] += 1;
+    hist[part[1]] += 1;
+    hist[part[2]] += 1;
+    hist[part[3]] += 1;
+  }
+  HistogramScalarRange(tuples, i, n, stride, shift, mask, hist);
+}
+
+#undef PJOIN_AVX2
+
+const SimdKernels kAvx2Kernels = {
+    BloomProbeAvx2,
+    DirTagProbeAvx2,
+    HashRowsAvx2,
+    HistogramAvx2,
+};
+
+}  // namespace kernels
+}  // namespace pjoin
+
+#endif  // PJOIN_SIMD_X86

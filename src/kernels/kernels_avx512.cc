@@ -1,0 +1,152 @@
+// AVX-512 kernel tier: 8 x 64-bit lanes, mask registers, native 64-bit
+// multiply (hence the DQ requirement in cpu_info's has_avx512).
+//
+// Same compile-everywhere scheme as the AVX2 tier: per-function target
+// attributes, scalar range helpers for lane tails.
+
+#include "kernels/kernels_internal.h"
+
+#if PJOIN_SIMD_X86
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace pjoin {
+namespace kernels {
+namespace {
+
+#define PJOIN_AVX512 __attribute__((target("avx512f,avx512dq")))
+
+// util/hash.h HashInt64 (MurmurHash3 finalizer), 8 lanes at a time.
+PJOIN_AVX512 inline __m512i Murmur64(__m512i k) {
+  k = _mm512_xor_si512(k, _mm512_srli_epi64(k, 33));
+  k = _mm512_mullo_epi64(k, _mm512_set1_epi64(0xff51afd7ed558ccdULL));
+  k = _mm512_xor_si512(k, _mm512_srli_epi64(k, 33));
+  k = _mm512_mullo_epi64(k, _mm512_set1_epi64(0xc4ceb9fe1a85ec53ULL));
+  k = _mm512_xor_si512(k, _mm512_srli_epi64(k, 33));
+  return k;
+}
+
+// The blocked Bloom filter's 4-sector bit mask, 8 lanes at a time.
+PJOIN_AVX512 inline __m512i BloomMask8(__m512i h) {
+  const __m512i one = _mm512_set1_epi64(1);
+  const __m512i six_bits = _mm512_set1_epi64(63);
+  __m512i m = _mm512_sllv_epi64(
+      one, _mm512_and_si512(_mm512_srli_epi64(h, 40), six_bits));
+  m = _mm512_or_si512(m, _mm512_sllv_epi64(one, _mm512_and_si512(
+                                                    _mm512_srli_epi64(h, 46),
+                                                    six_bits)));
+  m = _mm512_or_si512(m, _mm512_sllv_epi64(one, _mm512_and_si512(
+                                                    _mm512_srli_epi64(h, 52),
+                                                    six_bits)));
+  m = _mm512_or_si512(m, _mm512_sllv_epi64(one, _mm512_and_si512(
+                                                    _mm512_srli_epi64(h, 58),
+                                                    six_bits)));
+  return m;
+}
+
+PJOIN_AVX512 void BloomProbeAvx512(const uint64_t* blocks, uint64_t block_mask,
+                                   const uint64_t* hashes, uint32_t n,
+                                   uint64_t* pass_bitmap) {
+  for (uint32_t w = 0; w < (n + 63) / 64; ++w) pass_bitmap[w] = 0;
+  const __m512i bmask = _mm512_set1_epi64(static_cast<long long>(block_mask));
+  uint32_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512i h = _mm512_loadu_si512(hashes + i);
+    __m512i idx = _mm512_and_si512(h, bmask);
+    __m512i block = _mm512_i64gather_epi64(idx, blocks, 8);
+    __m512i mask = BloomMask8(h);
+    __mmask8 hit =
+        _mm512_cmpeq_epi64_mask(_mm512_and_si512(block, mask), mask);
+    // i is a multiple of 8, so the byte never straddles a bitmap word.
+    pass_bitmap[i >> 6] |= static_cast<uint64_t>(hit) << (i & 63);
+  }
+  BloomProbeScalarRange(blocks, block_mask, hashes, i, n, pass_bitmap);
+}
+
+PJOIN_AVX512 uint32_t DirTagProbeAvx512(const uint64_t* dir, int dir_shift,
+                                        uint64_t dir_mask,
+                                        const uint64_t* hashes, uint32_t n,
+                                        uint32_t* sel, uint64_t* heads) {
+  const __m512i dmask = _mm512_set1_epi64(static_cast<long long>(dir_mask));
+  const __m512i one = _mm512_set1_epi64(1);
+  const __m512i tag_sel = _mm512_set1_epi64(15);
+  const __m512i tag_base = _mm512_set1_epi64(48);
+  const __m512i ptr_mask =
+      _mm512_set1_epi64(static_cast<long long>(kChainPointerMask));
+  const __m128i shift = _mm_cvtsi32_si128(dir_shift);
+  uint32_t out = 0;
+  uint32_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512i h = _mm512_loadu_si512(hashes + i);
+    __m512i idx = _mm512_and_si512(_mm512_srl_epi64(h, shift), dmask);
+    __m512i slot = _mm512_i64gather_epi64(idx, dir, 8);
+    __m512i tag_shift = _mm512_add_epi64(
+        _mm512_and_si512(_mm512_srli_epi64(h, 16), tag_sel), tag_base);
+    __m512i tag = _mm512_sllv_epi64(one, tag_shift);
+    __mmask8 hits = _mm512_test_epi64_mask(slot, tag);
+    if (hits == 0) continue;
+    // Compress surviving chain heads straight into the output (lane order is
+    // preserved, matching the scalar sel order).
+    _mm512_mask_compressstoreu_epi64(heads + out, hits,
+                                     _mm512_and_si512(slot, ptr_mask));
+    uint32_t bits = hits;
+    while (bits != 0) {
+      sel[out] = i + static_cast<uint32_t>(__builtin_ctz(bits));
+      ++out;
+      bits &= bits - 1;
+    }
+  }
+  return DirTagProbeScalarRange(dir, dir_shift, dir_mask, hashes, i, n, sel,
+                                heads, out);
+}
+
+PJOIN_AVX512 void HashRowsAvx512(const std::byte* rows, uint32_t stride,
+                                 uint32_t offset, uint32_t width, uint32_t n,
+                                 uint64_t* out) {
+  uint32_t i = 0;
+  if (width == 8 && stride == 8 && offset == 0) {
+    for (; i + 8 <= n; i += 8) {
+      __m512i k = _mm512_loadu_si512(rows + static_cast<size_t>(i) * 8);
+      _mm512_storeu_si512(out + i, Murmur64(k));
+    }
+  } else {
+    const std::byte* base = rows + offset;
+    auto lane = [&](uint32_t r) -> long long {
+      if (width == 8) {
+        uint64_t v;
+        std::memcpy(&v, base + static_cast<size_t>(r) * stride, 8);
+        return static_cast<long long>(v);
+      }
+      uint32_t v;
+      std::memcpy(&v, base + static_cast<size_t>(r) * stride, 4);
+      return static_cast<long long>(static_cast<uint64_t>(v));
+    };
+    for (; i + 8 <= n; i += 8) {
+      __m512i k = _mm512_set_epi64(lane(i + 7), lane(i + 6), lane(i + 5),
+                                   lane(i + 4), lane(i + 3), lane(i + 2),
+                                   lane(i + 1), lane(i));
+      _mm512_storeu_si512(out + i, Murmur64(k));
+    }
+  }
+  HashRowsScalarRange(rows, stride, offset, width, i, n, out);
+}
+
+#undef PJOIN_AVX512
+
+}  // namespace
+
+const SimdKernels kAvx512Kernels = {
+    BloomProbeAvx512,
+    DirTagProbeAvx512,
+    HashRowsAvx512,
+    // 256-bit on purpose: counter bumps are scalar either way, and 512-bit
+    // index extraction measurably loses to frequency licensing.
+    HistogramAvx2,
+};
+
+}  // namespace kernels
+}  // namespace pjoin
+
+#endif  // PJOIN_SIMD_X86

@@ -1,0 +1,50 @@
+// Kernel tier dispatch: maps a SimdTier to its function table, falling back
+// to scalar whenever the tier is not compiled in or the host cannot run it,
+// so a returned table is always safe to call.
+
+#include "kernels/kernels.h"
+
+#include "join/key_spec.h"
+#include "kernels/kernels_internal.h"
+
+namespace pjoin {
+
+const SimdKernels& KernelsFor(SimdTier tier) {
+#if PJOIN_SIMD_X86
+  if (SimdTierAvailable(tier)) {
+    switch (tier) {
+      case SimdTier::kAVX512:
+        return kernels::kAvx512Kernels;
+      case SimdTier::kAVX2:
+        return kernels::kAvx2Kernels;
+      case SimdTier::kScalar:
+        break;
+    }
+  }
+#else
+  (void)tier;
+#endif
+  return kernels::kScalarKernels;
+}
+
+const SimdKernels& ActiveKernels() {
+  static const SimdKernels& table = KernelsFor(ActiveSimdTier());
+  return table;
+}
+
+void HashRowsBatch(const KeySpec& key, const std::byte* rows, uint32_t stride,
+                   uint32_t n, uint64_t* out) {
+  uint32_t offset = 0;
+  uint32_t width = 0;
+  if (key.SingleWordKey(&offset, &width)) {
+    ActiveKernels().hash_rows(rows, stride, offset, width, n, out);
+    return;
+  }
+  // Composite or wide char keys: per-row scalar hash (HashCombine chains do
+  // not vectorize profitably at these key counts).
+  for (uint32_t i = 0; i < n; ++i) {
+    out[i] = key.Hash(rows + static_cast<size_t>(i) * stride);
+  }
+}
+
+}  // namespace pjoin

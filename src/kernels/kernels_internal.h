@@ -1,0 +1,58 @@
+// Shared internals of the kernel tiers: per-tier tables and the scalar
+// helpers vector variants use for lane tails. Not part of the public API.
+#ifndef PJOIN_KERNELS_KERNELS_INTERNAL_H_
+#define PJOIN_KERNELS_KERNELS_INTERNAL_H_
+
+#include <cstdint>
+
+#include "filter/blocked_bloom.h"
+#include "hash_table/chaining_ht.h"
+#include "kernels/kernels.h"
+
+namespace pjoin {
+namespace kernels {
+
+// Bit-level formulas shared by all tiers, delegated to the owning classes so
+// the kernels cannot drift from the scalar engine.
+inline uint64_t BloomBitMask(uint64_t hash) {
+  return BlockedBloomFilter::BitMask(hash);
+}
+inline uint64_t ChainTagBit(uint64_t hash) {
+  return ChainingHashTable::TagOf(hash);
+}
+inline constexpr uint64_t kChainPointerMask = ChainingHashTable::kPointerMask;
+
+// Scalar kernels, used directly as the kScalar tier and by the vector tiers
+// to finish batches that are not a multiple of the lane count. Each takes a
+// `begin` index so tails reuse the exact oracle code path.
+void BloomProbeScalarRange(const uint64_t* blocks, uint64_t block_mask,
+                           const uint64_t* hashes, uint32_t begin, uint32_t n,
+                           uint64_t* pass_bitmap);
+uint32_t DirTagProbeScalarRange(const uint64_t* dir, int dir_shift,
+                                uint64_t dir_mask, const uint64_t* hashes,
+                                uint32_t begin, uint32_t n, uint32_t* sel,
+                                uint64_t* heads, uint32_t out);
+void HashRowsScalarRange(const std::byte* rows, uint32_t stride,
+                         uint32_t offset, uint32_t width, uint32_t begin,
+                         uint32_t n, uint64_t* out);
+void HistogramScalarRange(const std::byte* tuples, uint64_t begin, uint64_t n,
+                          uint32_t stride, int shift, uint64_t mask,
+                          uint64_t* hist);
+
+// Per-tier kernel tables. The AVX tables exist only when PJOIN_SIMD_X86.
+extern const SimdKernels kScalarKernels;
+#if PJOIN_SIMD_X86
+extern const SimdKernels kAvx2Kernels;
+extern const SimdKernels kAvx512Kernels;
+
+// The 256-bit histogram kernel, shared with the avx512 tier: the counter
+// bumps are inherently scalar, so 512-bit index extraction buys nothing and
+// measurably loses to frequency licensing (see bench/micro_simd).
+void HistogramAvx2(const std::byte* tuples, uint64_t n, uint32_t stride,
+                   int shift, uint64_t mask, uint64_t* hist);
+#endif
+
+}  // namespace kernels
+}  // namespace pjoin
+
+#endif  // PJOIN_KERNELS_KERNELS_INTERNAL_H_

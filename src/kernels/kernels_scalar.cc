@@ -1,0 +1,109 @@
+// Scalar reference kernels: the dispatch fallback and the test oracle.
+//
+// This translation unit is compiled with -fno-tree-vectorize (src/CMakeLists)
+// so the "scalar" tier really is scalar — GCC's -O2 cost model otherwise
+// auto-vectorizes these loops, which would silently turn the scalar baseline
+// of bench/micro_simd into a vector one.
+
+#include <cstring>
+
+#include "kernels/kernels_internal.h"
+#include "util/hash.h"
+
+namespace pjoin {
+namespace kernels {
+
+void BloomProbeScalarRange(const uint64_t* blocks, uint64_t block_mask,
+                           const uint64_t* hashes, uint32_t begin, uint32_t n,
+                           uint64_t* pass_bitmap) {
+  for (uint32_t i = begin; i < n; ++i) {
+    uint64_t h = hashes[i];
+    uint64_t mask = BloomBitMask(h);
+    if ((blocks[h & block_mask] & mask) == mask) {
+      pass_bitmap[i >> 6] |= uint64_t{1} << (i & 63);
+    }
+  }
+}
+
+uint32_t DirTagProbeScalarRange(const uint64_t* dir, int dir_shift,
+                                uint64_t dir_mask, const uint64_t* hashes,
+                                uint32_t begin, uint32_t n, uint32_t* sel,
+                                uint64_t* heads, uint32_t out) {
+  for (uint32_t i = begin; i < n; ++i) {
+    uint64_t h = hashes[i];
+    uint64_t slot = dir[(h >> dir_shift) & dir_mask];
+    if ((slot & ChainTagBit(h)) != 0) {
+      sel[out] = i;
+      heads[out] = slot & kChainPointerMask;
+      ++out;
+    }
+  }
+  return out;
+}
+
+void HashRowsScalarRange(const std::byte* rows, uint32_t stride,
+                         uint32_t offset, uint32_t width, uint32_t begin,
+                         uint32_t n, uint64_t* out) {
+  const std::byte* base = rows + offset;
+  if (width == 8) {
+    for (uint32_t i = begin; i < n; ++i) {
+      uint64_t v;
+      std::memcpy(&v, base + static_cast<size_t>(i) * stride, 8);
+      out[i] = HashInt64(v);
+    }
+  } else {
+    for (uint32_t i = begin; i < n; ++i) {
+      uint32_t v;
+      std::memcpy(&v, base + static_cast<size_t>(i) * stride, 4);
+      out[i] = HashInt64(v);
+    }
+  }
+}
+
+void HistogramScalarRange(const std::byte* tuples, uint64_t begin, uint64_t n,
+                          uint32_t stride, int shift, uint64_t mask,
+                          uint64_t* hist) {
+  for (uint64_t i = begin; i < n; ++i) {
+    uint64_t h;
+    std::memcpy(&h, tuples + i * stride, 8);
+    hist[(h >> shift) & mask] += 1;
+  }
+}
+
+namespace {
+
+void BloomProbeScalar(const uint64_t* blocks, uint64_t block_mask,
+                      const uint64_t* hashes, uint32_t n,
+                      uint64_t* pass_bitmap) {
+  for (uint32_t w = 0; w < (n + 63) / 64; ++w) pass_bitmap[w] = 0;
+  BloomProbeScalarRange(blocks, block_mask, hashes, 0, n, pass_bitmap);
+}
+
+uint32_t DirTagProbeScalar(const uint64_t* dir, int dir_shift,
+                           uint64_t dir_mask, const uint64_t* hashes,
+                           uint32_t n, uint32_t* sel, uint64_t* heads) {
+  return DirTagProbeScalarRange(dir, dir_shift, dir_mask, hashes, 0, n, sel,
+                                heads, 0);
+}
+
+void HashRowsScalar(const std::byte* rows, uint32_t stride, uint32_t offset,
+                    uint32_t width, uint32_t n, uint64_t* out) {
+  HashRowsScalarRange(rows, stride, offset, width, 0, n, out);
+}
+
+void HistogramScalar(const std::byte* tuples, uint64_t n, uint32_t stride,
+                     int shift, uint64_t mask, uint64_t* hist) {
+  HistogramScalarRange(tuples, 0, n, stride, shift, mask, hist);
+}
+
+}  // namespace
+
+const SimdKernels kScalarKernels = {
+    BloomProbeScalar,
+    DirTagProbeScalar,
+    HashRowsScalar,
+    HistogramScalar,
+};
+
+}  // namespace kernels
+}  // namespace pjoin

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "exec/thread_pool.h"
+#include "kernels/kernels.h"
 #include "partition/stream_store.h"
 #include "spill/memory_governor.h"
 #include "util/bitutil.h"
@@ -162,10 +163,10 @@ void RadixPartitioner::Finalize(ThreadPool& pool, PhaseTimer* timer,
             hist_[tid].data() + static_cast<uint64_t>(p1) * fanout2_;
         chunks_[tid][p1].ForEachChunk([&](const std::byte* data,
                                           uint64_t used) {
-          for (uint64_t off = 0; off < used; off += tuple_stride_) {
-            uint64_t hash = TupleHash(data + off);
-            row[(hash >> config_.bits1) & (fanout2_ - 1)]++;
-          }
+          // Batched radix-bit extraction: the kernel reads each tuple's
+          // leading hash word and bumps row[(hash >> bits1) & (fanout2-1)].
+          ActiveKernels().histogram(data, used / tuple_stride_, tuple_stride_,
+                                    config_.bits1, fanout2_ - 1, row);
           read_bytes += used;
         });
       }

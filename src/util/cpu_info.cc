@@ -33,6 +33,12 @@ CpuInfo Probe() {
   int hw = static_cast<int>(std::thread::hardware_concurrency());
   if (hw > 0) info.logical_cores = hw;
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  info.has_avx2 = __builtin_cpu_supports("avx2") != 0;
+  info.has_avx512 = __builtin_cpu_supports("avx512f") != 0 &&
+                    __builtin_cpu_supports("avx512dq") != 0;
+#endif
+
   std::ifstream cpuinfo("/proc/cpuinfo");
   std::string line;
   while (std::getline(cpuinfo, line)) {

@@ -17,6 +17,11 @@ struct CpuInfo {
   int64_t l1d_bytes = 32 * 1024;
   int64_t l2_bytes = 1024 * 1024;
   int64_t llc_bytes = 16 * 1024 * 1024;
+  // ISA capabilities consumed by the SIMD kernel dispatch (util/simd):
+  // has_avx512 requires both F (foundation) and DQ (64-bit multiply), the
+  // two extensions the avx512 kernel tier uses.
+  bool has_avx2 = false;
+  bool has_avx512 = false;
 };
 
 // Cached singleton; reads /sys and /proc on first use, falling back to the

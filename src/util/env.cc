@@ -106,4 +106,12 @@ int BenchRepetitions() {
   return static_cast<int>(GetEnvInt64("PJOIN_REPS", 3));
 }
 
+SimdTier RequestedSimdTier(SimdTier def) {
+  const char* v = std::getenv("PJOIN_SIMD");
+  if (v == nullptr || *v == '\0') return def;
+  SimdTier parsed = def;
+  if (!ParseSimdTier(v, &parsed)) return def;
+  return parsed;
+}
+
 }  // namespace pjoin

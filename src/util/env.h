@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/simd.h"
+
 namespace pjoin {
 
 // Returns the integer value of environment variable `name`, or `def` if the
@@ -46,6 +48,11 @@ double BenchScaleFactor();
 
 // Median-of-N repetitions for throughput measurements (PJOIN_REPS, default 3).
 int BenchRepetitions();
+
+// Requested SIMD dispatch tier (PJOIN_SIMD=scalar|avx2|avx512), or `def` when
+// the variable is unset or not a valid tier name — strict, like
+// PJOIN_MEMORY_BUDGET, so a typo never silently changes the dispatch.
+SimdTier RequestedSimdTier(SimdTier def);
 
 }  // namespace pjoin
 

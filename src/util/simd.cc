@@ -1,0 +1,73 @@
+#include "util/simd.h"
+
+#include <cctype>
+
+#include "util/cpu_info.h"
+#include "util/env.h"
+
+namespace pjoin {
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar: return "scalar";
+    case SimdTier::kAVX2: return "avx2";
+    case SimdTier::kAVX512: return "avx512";
+  }
+  return "unknown";
+}
+
+bool ParseSimdTier(const std::string& text, SimdTier* out) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  std::string word;
+  word.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    word.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(text[i]))));
+  }
+  if (word == "scalar") {
+    *out = SimdTier::kScalar;
+    return true;
+  }
+  if (word == "avx2") {
+    *out = SimdTier::kAVX2;
+    return true;
+  }
+  if (word == "avx512") {
+    *out = SimdTier::kAVX512;
+    return true;
+  }
+  return false;
+}
+
+SimdTier DetectSimdTier() {
+#if PJOIN_SIMD_X86
+  const CpuInfo& cpu = GetCpuInfo();
+  if (cpu.has_avx512) return SimdTier::kAVX512;
+  if (cpu.has_avx2) return SimdTier::kAVX2;
+#endif
+  return SimdTier::kScalar;
+}
+
+bool SimdTierAvailable(SimdTier tier) {
+  return static_cast<int>(tier) <= static_cast<int>(DetectSimdTier());
+}
+
+SimdTier ActiveSimdTier() {
+  static const SimdTier tier = [] {
+    SimdTier detected = DetectSimdTier();
+    SimdTier requested = RequestedSimdTier(detected);
+    // The override only lowers: an unsupported request clamps to detected.
+    return static_cast<int>(requested) < static_cast<int>(detected) ? requested
+                                                                    : detected;
+  }();
+  return tier;
+}
+
+}  // namespace pjoin

@@ -1,0 +1,55 @@
+// SIMD dispatch tiers for the batched kernels in src/kernels/.
+//
+// The hot loops of every join phase (Bloom probe, directory tag check, key
+// hashing, partition histogram) have scalar, AVX2, and AVX-512 variants. The
+// tier is selected ONCE at startup from the host's capabilities probed by
+// util/cpu_info, overridable with PJOIN_SIMD=scalar|avx2|avx512 (the override
+// can only lower the tier: requesting a tier the host lacks clamps to the
+// detected maximum, so a forced "avx512" never executes illegal
+// instructions). The vector variants are compiled with per-function target
+// attributes, so even a portable build (-DPJOIN_NATIVE=OFF) carries all tiers
+// and dispatches at runtime — the scheme GCC/Clang function multi-versioning
+// uses, done by hand so tests can call every tier explicitly.
+#ifndef PJOIN_UTIL_SIMD_H_
+#define PJOIN_UTIL_SIMD_H_
+
+#include <string>
+
+namespace pjoin {
+
+// Vector tiers can be compiled with per-function target attributes only on
+// x86-64 GCC/Clang; everywhere else the scalar tier is the only one.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PJOIN_SIMD_X86 1
+#endif
+
+enum class SimdTier {
+  kScalar = 0,
+  kAVX2 = 1,    // 4 x 64-bit lanes, gathers, variable shifts
+  kAVX512 = 2,  // 8 x 64-bit lanes, mask registers, native 64-bit multiply
+};
+
+// Stable lower-case names used by PJOIN_SIMD, EXPLAIN ANALYZE, and the
+// metrics JSON: "scalar" | "avx2" | "avx512".
+const char* SimdTierName(SimdTier tier);
+
+// Strict parse of a tier name (case-insensitive, surrounding whitespace
+// allowed). Returns false on anything else — "avx", "sse", "512" are
+// configuration mistakes, not tiers.
+bool ParseSimdTier(const std::string& text, SimdTier* out);
+
+// Highest tier this binary can run on this host: ISA support probed via
+// util/cpu_info intersected with what the compiler could build.
+SimdTier DetectSimdTier();
+
+// True when `tier`'s kernels were compiled in AND the host can execute them.
+bool SimdTierAvailable(SimdTier tier);
+
+// The dispatch decision: DetectSimdTier() clamped down by the PJOIN_SIMD
+// override (util/env). Computed once and cached; every batched kernel call
+// goes through the table this selects.
+SimdTier ActiveSimdTier();
+
+}  // namespace pjoin
+
+#endif  // PJOIN_UTIL_SIMD_H_

@@ -1,0 +1,290 @@
+// Differential tests for the SIMD kernel tiers (src/kernels/): every vector
+// tier must be bit-identical to the scalar oracle over random inputs,
+// including empty batches and tails that are not a multiple of the lane
+// width. Unavailable tiers are skipped (KernelsFor would silently hand back
+// the scalar table, which would make the comparison vacuous).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "filter/blocked_bloom.h"
+#include "join/key_spec.h"
+#include "kernels/kernels.h"
+#include "storage/row_layout.h"
+#include "util/env.h"
+#include "util/hash.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+namespace pjoin {
+namespace {
+
+// Batch sizes covering empty, sub-lane, lane-boundary, and bitmap-word
+// boundary cases for both 4-lane (AVX2) and 8-lane (AVX-512) groups.
+const uint32_t kBatchSizes[] = {0,  1,  3,   4,   5,   7,   8,   9,  15,
+                                16, 17, 63,  64,  65,  100, 127, 128,
+                                129, 255, 256, 1000, 1024};
+
+std::vector<SimdTier> VectorTiers() {
+  return {SimdTier::kAVX2, SimdTier::kAVX512};
+}
+
+class SimdKernelTest : public ::testing::TestWithParam<SimdTier> {
+ protected:
+  void SetUp() override {
+    if (!SimdTierAvailable(GetParam())) {
+      GTEST_SKIP() << SimdTierName(GetParam())
+                   << " not supported on this host";
+    }
+  }
+  const SimdKernels& tier() const { return KernelsFor(GetParam()); }
+  const SimdKernels& oracle() const { return KernelsFor(SimdTier::kScalar); }
+};
+
+TEST_P(SimdKernelTest, BloomProbeMatchesScalarAndFilter) {
+  Rng rng(1);
+  BlockedBloomFilter bloom;
+  bloom.Resize(5000);
+  std::vector<uint64_t> member;
+  for (int i = 0; i < 5000; ++i) {
+    member.push_back(rng.Next());
+    bloom.InsertUnsynchronized(member.back());
+  }
+  for (uint32_t n : kBatchSizes) {
+    std::vector<uint64_t> hashes(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      // Half members (always pass), half random (mostly rejected).
+      hashes[i] = (i % 2 == 0 && !member.empty())
+                      ? member[rng.Next() % member.size()]
+                      : rng.Next();
+    }
+    const uint32_t words = (n + 63) / 64;
+    // Poison both outputs: the kernel must zero-initialize, including the
+    // bits at and past n in the last word.
+    std::vector<uint64_t> got(words + 1, ~uint64_t{0});
+    std::vector<uint64_t> want(words + 1, ~uint64_t{0});
+    tier().bloom_probe(bloom.blocks(), bloom.block_mask(), hashes.data(), n,
+                       got.data());
+    oracle().bloom_probe(bloom.blocks(), bloom.block_mask(), hashes.data(), n,
+                         want.data());
+    for (uint32_t w = 0; w < words; ++w) {
+      EXPECT_EQ(got[w], want[w]) << "n=" << n << " word=" << w;
+    }
+    // The scalar oracle itself must agree with the filter's own check, and
+    // bits at and past n stay zero.
+    for (uint32_t i = 0; i < n; ++i) {
+      EXPECT_EQ((want[i >> 6] >> (i & 63)) & 1,
+                bloom.MayContain(hashes[i]) ? 1u : 0u)
+          << "i=" << i;
+    }
+    if (n % 64 != 0) {
+      EXPECT_EQ(want[words - 1] >> (n % 64), 0u) << "n=" << n;
+    }
+    EXPECT_EQ(got[words], ~uint64_t{0}) << "wrote past the bitmap, n=" << n;
+  }
+}
+
+TEST_P(SimdKernelTest, DirTagProbeMatchesScalar) {
+  Rng rng(2);
+  // Synthetic directory: the kernel only does loads and bit tests, so random
+  // slot words exercise it fully (pointers are masked, never dereferenced).
+  const uint64_t dir_size = 1 << 12;
+  const int dir_shift = 64 - 12;
+  std::vector<uint64_t> dir(dir_size);
+  for (auto& slot : dir) {
+    // ~1/2 of slots empty, the rest with random tags + pointer bits.
+    slot = (rng.Next() % 2 == 0) ? 0 : rng.Next();
+  }
+  for (uint32_t n : kBatchSizes) {
+    std::vector<uint64_t> hashes(n);
+    for (auto& h : hashes) h = rng.Next();
+    std::vector<uint32_t> got_sel(n + 1, 0xdeadbeef);
+    std::vector<uint64_t> got_heads(n + 1, ~uint64_t{0});
+    std::vector<uint32_t> want_sel(n + 1, 0xdeadbeef);
+    std::vector<uint64_t> want_heads(n + 1, ~uint64_t{0});
+    uint32_t got_n =
+        tier().dir_tag_probe(dir.data(), dir_shift, dir_size - 1,
+                             hashes.data(), n, got_sel.data(),
+                             got_heads.data());
+    uint32_t want_n =
+        oracle().dir_tag_probe(dir.data(), dir_shift, dir_size - 1,
+                               hashes.data(), n, want_sel.data(),
+                               want_heads.data());
+    ASSERT_EQ(got_n, want_n) << "n=" << n;
+    for (uint32_t j = 0; j < want_n; ++j) {
+      EXPECT_EQ(got_sel[j], want_sel[j]) << "n=" << n << " j=" << j;
+      EXPECT_EQ(got_heads[j], want_heads[j]) << "n=" << n << " j=" << j;
+    }
+  }
+}
+
+TEST_P(SimdKernelTest, HashRowsMatchesScalarAcrossShapes) {
+  Rng rng(3);
+  struct Shape {
+    uint32_t stride, offset, width;
+  };
+  // Contiguous fast path, strided 8-byte keys, and 4-byte keys.
+  const Shape shapes[] = {{8, 0, 8}, {16, 0, 8}, {16, 8, 8},
+                          {24, 4, 8}, {12, 0, 4}, {20, 8, 4}};
+  for (const Shape& s : shapes) {
+    for (uint32_t n : kBatchSizes) {
+      std::vector<std::byte> rows(static_cast<size_t>(n) * s.stride);
+      for (auto& b : rows) b = static_cast<std::byte>(rng.Next());
+      std::vector<uint64_t> got(n + 1, 0), want(n + 1, 0);
+      tier().hash_rows(rows.data(), s.stride, s.offset, s.width, n,
+                       got.data());
+      oracle().hash_rows(rows.data(), s.stride, s.offset, s.width, n,
+                         want.data());
+      for (uint32_t i = 0; i < n; ++i) {
+        EXPECT_EQ(got[i], want[i])
+            << "stride=" << s.stride << " offset=" << s.offset
+            << " width=" << s.width << " n=" << n << " i=" << i;
+      }
+    }
+  }
+  // The oracle itself must be HashInt64 of the loaded key.
+  const uint32_t n = 257;
+  std::vector<std::byte> rows(static_cast<size_t>(n) * 16);
+  for (auto& b : rows) b = static_cast<std::byte>(rng.Next());
+  std::vector<uint64_t> out(n);
+  oracle().hash_rows(rows.data(), 16, 8, 8, n, out.data());
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t v;
+    std::memcpy(&v, rows.data() + static_cast<size_t>(i) * 16 + 8, 8);
+    EXPECT_EQ(out[i], HashInt64(v));
+  }
+  oracle().hash_rows(rows.data(), 16, 4, 4, n, out.data());
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t v;
+    std::memcpy(&v, rows.data() + static_cast<size_t>(i) * 16 + 4, 4);
+    EXPECT_EQ(out[i], HashInt64(v));
+  }
+}
+
+TEST_P(SimdKernelTest, HistogramMatchesScalar) {
+  Rng rng(4);
+  const uint32_t stride = 16;  // [hash:8B][row:8B], the partitioner's layout
+  struct Split {
+    int shift;
+    uint64_t mask;
+  };
+  const Split splits[] = {{0, 255}, {6, 63}, {8, 255}, {5, 0}, {0, 1}};
+  for (const Split& sp : splits) {
+    for (uint32_t n : kBatchSizes) {
+      std::vector<std::byte> tuples(static_cast<size_t>(n) * stride);
+      for (auto& b : tuples) b = static_cast<std::byte>(rng.Next());
+      // Kernels accumulate (no clearing): start both from the same nonzero
+      // counts to verify that contract.
+      std::vector<uint64_t> got(sp.mask + 1, 7), want(sp.mask + 1, 7);
+      tier().histogram(tuples.data(), n, stride, sp.shift, sp.mask,
+                       got.data());
+      oracle().histogram(tuples.data(), n, stride, sp.shift, sp.mask,
+                         want.data());
+      uint64_t total = 0;
+      for (uint64_t c = 0; c <= sp.mask; ++c) {
+        EXPECT_EQ(got[c], want[c])
+            << "shift=" << sp.shift << " mask=" << sp.mask << " n=" << n
+            << " cell=" << c;
+        total += want[c] - 7;
+      }
+      EXPECT_EQ(total, n);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTiers, SimdKernelTest,
+                         ::testing::ValuesIn(VectorTiers()),
+                         [](const auto& info) {
+                           return std::string(SimdTierName(info.param));
+                         });
+
+TEST(SimdDispatch, KernelsForUnavailableTierFallsBackToScalar) {
+  // Every returned table must be callable on this host.
+  for (SimdTier t :
+       {SimdTier::kScalar, SimdTier::kAVX2, SimdTier::kAVX512}) {
+    const SimdKernels& k = KernelsFor(t);
+    uint64_t out[1];
+    const uint64_t hash = HashInt64(42);
+    k.hash_rows(reinterpret_cast<const std::byte*>(&hash), 8, 0, 8, 1, out);
+    EXPECT_EQ(out[0], HashInt64(hash));
+    if (!SimdTierAvailable(t)) {
+      EXPECT_EQ(&k, &KernelsFor(SimdTier::kScalar));
+    }
+  }
+  EXPECT_TRUE(SimdTierAvailable(SimdTier::kScalar));
+}
+
+TEST(SimdDispatch, ActiveTierNeverExceedsDetected) {
+  EXPECT_LE(static_cast<int>(ActiveSimdTier()),
+            static_cast<int>(DetectSimdTier()));
+}
+
+TEST(SimdDispatch, HashRowsBatchMatchesKeySpecHash) {
+  Rng rng(5);
+  // Two-column layout; single int64 key (kernel path), single int32 key
+  // (width-4 kernel path), and a composite key (scalar fallback).
+  RowLayout wide(std::vector<RowField>{
+      {"a", DataType::kInt64, 8, 0},
+      {"b", DataType::kInt64, 8, 8},
+  });
+  RowLayout narrow(std::vector<RowField>{
+      {"a", DataType::kInt32, 4, 0},
+      {"b", DataType::kInt32, 4, 4},
+  });
+  const uint32_t n = 333;
+  std::vector<std::byte> rows(static_cast<size_t>(n) * 16);
+  for (auto& b : rows) b = static_cast<std::byte>(rng.Next());
+  std::vector<uint64_t> out(n);
+
+  for (const std::vector<int>& fields :
+       {std::vector<int>{1}, std::vector<int>{0, 1}}) {
+    KeySpec key(&wide, fields);
+    HashRowsBatch(key, rows.data(), wide.stride(), n, out.data());
+    for (uint32_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], key.Hash(rows.data() + static_cast<size_t>(i) * 16));
+    }
+  }
+  KeySpec key32(&narrow, std::vector<int>{1});
+  HashRowsBatch(key32, rows.data(), narrow.stride(), n, out.data());
+  for (uint32_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i],
+              key32.Hash(rows.data() + static_cast<size_t>(i) * narrow.stride()));
+  }
+}
+
+TEST(SimdEnv, ParseSimdTierAcceptsOnlyTierNames) {
+  SimdTier t = SimdTier::kAVX512;
+  EXPECT_TRUE(ParseSimdTier("scalar", &t));
+  EXPECT_EQ(t, SimdTier::kScalar);
+  EXPECT_TRUE(ParseSimdTier("AVX2", &t));
+  EXPECT_EQ(t, SimdTier::kAVX2);
+  EXPECT_TRUE(ParseSimdTier("  avx512\t", &t));
+  EXPECT_EQ(t, SimdTier::kAVX512);
+  for (const char* bad : {"", "avx", "sse", "512", "avx-512", "scalar2",
+                          "auto", "avx2 avx512"}) {
+    t = SimdTier::kAVX2;
+    EXPECT_FALSE(ParseSimdTier(bad, &t)) << "'" << bad << "'";
+    EXPECT_EQ(t, SimdTier::kAVX2) << "'" << bad << "' mutated the output";
+  }
+}
+
+TEST(SimdEnv, RequestedSimdTierIsStrictLikeMemoryBudget) {
+  unsetenv("PJOIN_SIMD");
+  EXPECT_EQ(RequestedSimdTier(SimdTier::kAVX2), SimdTier::kAVX2);
+  setenv("PJOIN_SIMD", "scalar", 1);
+  EXPECT_EQ(RequestedSimdTier(SimdTier::kAVX2), SimdTier::kScalar);
+  setenv("PJOIN_SIMD", "Avx512", 1);
+  EXPECT_EQ(RequestedSimdTier(SimdTier::kScalar), SimdTier::kAVX512);
+  // Unknown values fall back to the default instead of guessing.
+  setenv("PJOIN_SIMD", "fastest", 1);
+  EXPECT_EQ(RequestedSimdTier(SimdTier::kAVX2), SimdTier::kAVX2);
+  setenv("PJOIN_SIMD", "", 1);
+  EXPECT_EQ(RequestedSimdTier(SimdTier::kAVX512), SimdTier::kAVX512);
+  unsetenv("PJOIN_SIMD");
+}
+
+}  // namespace
+}  // namespace pjoin
