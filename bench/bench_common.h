@@ -12,6 +12,7 @@
 #include "bench_util/harness.h"
 #include "bench_util/workloads.h"
 #include "engine/executor.h"
+#include "engine/sampler.h"
 #include "tpch/gen.h"
 #include "tpch/queries.h"
 #include "util/env.h"
@@ -48,12 +49,15 @@ inline std::vector<int> ThreadSweep() {
   return sweep;
 }
 
-// Runs a multi-step TPC-H query to a median-stats measurement.
+// Runs a multi-step TPC-H query to a median-stats measurement; rep_seconds,
+// when non-null, receives every rep's wall time (for tail-latency columns).
 inline QueryStats MeasureTpch(const TpchQuery& query, const TpchDb& db,
                               const ExecOptions& options, int reps,
-                              ThreadPool* pool) {
+                              ThreadPool* pool,
+                              std::vector<double>* rep_seconds = nullptr) {
   return MeasureRuns(
-      [&](QueryStats* stats) { query.run(db, options, stats, pool); }, reps);
+      [&](QueryStats* stats) { query.run(db, options, stats, pool); }, reps,
+      /*warmup=*/true, rep_seconds);
 }
 
 // Paired relative comparison: interleaves A/B runs (A,B,A,B,...) and
@@ -97,6 +101,41 @@ inline void DumpMetrics(const std::string& label, const QueryStats& stats) {
   } else {
     std::fclose(out);
   }
+}
+
+// Emits the reservoir-sampled skew summary of one table column to the same
+// PJOIN_METRICS_JSON side-channel, so plotting scripts can correlate the
+// measured tail latencies with the estimated key distribution.
+inline void DumpSkewEstimate(const std::string& label, const Table& table,
+                             int key_col) {
+  const char* path = std::getenv("PJOIN_METRICS_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  const SkewEstimate est = SampleBuildColumn(table, key_col, SkewSampleSize());
+  if (!est.present) return;
+  std::FILE* out = std::string(path) == "-" ? stdout : std::fopen(path, "a");
+  if (out == nullptr) return;
+  std::fprintf(out,
+               "{\"label\":\"%s\",\"skew_estimate\":{\"table_rows\":%llu"
+               ",\"sample_rows\":%llu,\"distinct_keys\":%llu"
+               ",\"top_share\":%.6f,\"topk_share\":%.6f"
+               ",\"key_payload_corr\":%.6f}}\n",
+               label.c_str(),
+               static_cast<unsigned long long>(est.table_rows),
+               static_cast<unsigned long long>(est.sample_rows),
+               static_cast<unsigned long long>(est.distinct_keys),
+               est.top_share, est.topk_share, est.key_payload_corr);
+  if (out == stdout) {
+    std::fflush(stdout);
+  } else {
+    std::fclose(out);
+  }
+}
+
+// p99 of per-rep wall times rendered in milliseconds for a table column.
+inline std::string P99Ms(const std::vector<double>& rep_seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", Percentile(rep_seconds, 99.0) * 1e3);
+  return buf;
 }
 
 }  // namespace bench

@@ -22,9 +22,19 @@ int main() {
   auto skewed = GenerateTpch(sf, /*seed=*/19, /*fk_skew=*/skew);
   ThreadPool pool(threads);
 
+  // The sampled estimate of the Zipf'd foreign keys goes to the metrics
+  // side-channel, so the JSON records what skew the queries actually faced.
+  bench::DumpSkewEstimate("ext_skewed_tpch_o_custkey", skewed->orders,
+                          skewed->orders.schema().Find("o_custkey"));
+  bench::DumpSkewEstimate("ext_skewed_tpch_l_partkey", skewed->lineitem,
+                          skewed->lineitem.schema().Find("l_partkey"));
+
+  // Tail latency (p99 of per-join wall time) alongside the medians: under
+  // skew the radix join's slowest rep diverges from its median much faster
+  // than the BHJ's does.
   TablePrinter table({"query", "BHJ uni [ms]", "BRJ uni [ms]",
-                      "BHJ skew [ms]", "BRJ skew [ms]",
-                      "BRJ penalty from skew"});
+                      "BHJ skew [ms]", "BHJ skew p99", "BRJ skew [ms]",
+                      "BRJ skew p99", "BRJ penalty from skew"});
   for (int qid : {3, 5, 9, 10, 14, 18}) {  // custkey/partkey-heavy queries
     const TpchQuery& query = GetTpchQuery(qid);
     QueryStats bhj_u = bench::MeasureTpch(
@@ -33,12 +43,17 @@ int main() {
     QueryStats brj_u = bench::MeasureTpch(
         query, *uniform, bench::Options(JoinStrategy::kBRJ, threads), reps,
         &pool);
+    std::vector<double> bhj_s_reps, brj_s_reps;
     QueryStats bhj_s = bench::MeasureTpch(
         query, *skewed, bench::Options(JoinStrategy::kBHJ, threads), reps,
-        &pool);
+        &pool, &bhj_s_reps);
     QueryStats brj_s = bench::MeasureTpch(
         query, *skewed, bench::Options(JoinStrategy::kBRJ, threads), reps,
-        &pool);
+        &pool, &brj_s_reps);
+    bench::DumpMetrics("ext_skewed_tpch_q" + std::to_string(qid) + "_bhj",
+                       bhj_s);
+    bench::DumpMetrics("ext_skewed_tpch_q" + std::to_string(qid) + "_brj",
+                       brj_s);
     // How much more the BRJ slows down under skew than the BHJ does.
     double brj_ratio = brj_s.seconds / brj_u.seconds;
     double bhj_ratio = bhj_s.seconds / bhj_u.seconds;
@@ -46,7 +61,9 @@ int main() {
                   TablePrinter::Double(bhj_u.seconds * 1e3, 1),
                   TablePrinter::Double(brj_u.seconds * 1e3, 1),
                   TablePrinter::Double(bhj_s.seconds * 1e3, 1),
+                  bench::P99Ms(bhj_s_reps),
                   TablePrinter::Double(brj_s.seconds * 1e3, 1),
+                  bench::P99Ms(brj_s_reps),
                   TablePrinter::Percent(brj_ratio / bhj_ratio - 1.0)});
   }
   table.Print();

@@ -11,12 +11,18 @@ template <typename Tuple>
 void RunSkewSweep(const char* label, bool workload_b, int64_t divisor,
                   int reps, int threads) {
   std::printf("Workload %s\n", label);
-  TablePrinter table({"zipf z", "NPJ [G T/s]", "PRJ [G T/s]", "BHJ [G T/s]",
-                      "RJ [G T/s]"});
+  // Medians hide what skew does to the radix joins (one straggler partition
+  // per run): report p99 of the per-join wall time next to every mean.
+  TablePrinter table({"zipf z", "NPJ [G T/s]", "NPJ p99 [ms]", "PRJ [G T/s]",
+                      "PRJ p99 [ms]", "BHJ [G T/s]", "BHJ p99 [ms]",
+                      "RJ [G T/s]", "RJ p99 [ms]"});
   ThreadPool pool(threads);
   for (double z : {0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0}) {
     MicroWorkload w = MakeSkewWorkload(divisor, z, workload_b);
     const uint64_t total = w.build_tuples + w.probe_tuples;
+    const std::string zlabel =
+        std::string("fig17_") + label + "_z" + TablePrinter::Double(z, 2);
+    bench::DumpSkewEstimate(zlabel + "_probe_keys", w.probe, 0);
 
     std::vector<Tuple> build(w.build.num_rows()), probe(w.probe.num_rows());
     const bool narrow = sizeof(Tuple) == 8;
@@ -31,6 +37,7 @@ void RunSkewSweep(const char* label, bool workload_b, int64_t divisor,
       probe[r].payload = static_cast<decltype(Tuple::payload)>(r);
     }
 
+    std::vector<double> npj_reps, prj_reps, bhj_reps, rj_reps;
     QueryStats npj = MeasureRuns(
         [&](QueryStats* stats) {
           Stopwatch watch;
@@ -38,7 +45,7 @@ void RunSkewSweep(const char* label, bool workload_b, int64_t divisor,
           stats->seconds = watch.ElapsedSeconds();
           stats->source_tuples = total;
         },
-        reps);
+        reps, /*warmup=*/true, &npj_reps);
     QueryStats prj = MeasureRuns(
         [&](QueryStats* stats) {
           Stopwatch watch;
@@ -46,15 +53,21 @@ void RunSkewSweep(const char* label, bool workload_b, int64_t divisor,
           stats->seconds = watch.ElapsedSeconds();
           stats->source_tuples = total;
         },
-        reps);
+        reps, /*warmup=*/true, &prj_reps);
     auto plan = CountJoinPlan(w);
-    QueryStats bhj = MeasurePlan(
-        *plan, bench::Options(JoinStrategy::kBHJ, threads), reps, &pool);
-    QueryStats rj = MeasurePlan(
-        *plan, bench::Options(JoinStrategy::kRJ, threads), reps, &pool);
+    QueryStats bhj =
+        MeasurePlan(*plan, bench::Options(JoinStrategy::kBHJ, threads), reps,
+                    &pool, /*warmup=*/true, &bhj_reps);
+    QueryStats rj =
+        MeasurePlan(*plan, bench::Options(JoinStrategy::kRJ, threads), reps,
+                    &pool, /*warmup=*/true, &rj_reps);
+    bench::DumpMetrics(zlabel + "_bhj", bhj);
+    bench::DumpMetrics(zlabel + "_rj", rj);
     table.AddRow({TablePrinter::Double(z, 2), bench::Gts(npj.Throughput()),
-                  bench::Gts(prj.Throughput()), bench::Gts(bhj.Throughput()),
-                  bench::Gts(rj.Throughput())});
+                  bench::P99Ms(npj_reps), bench::Gts(prj.Throughput()),
+                  bench::P99Ms(prj_reps), bench::Gts(bhj.Throughput()),
+                  bench::P99Ms(bhj_reps), bench::Gts(rj.Throughput()),
+                  bench::P99Ms(rj_reps)});
   }
   table.Print();
   std::printf("\n");

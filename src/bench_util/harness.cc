@@ -8,7 +8,7 @@
 namespace pjoin {
 
 QueryStats MeasureRuns(const std::function<void(QueryStats*)>& run, int reps,
-                       bool warmup) {
+                       bool warmup, std::vector<double>* rep_seconds) {
   PJOIN_CHECK(reps >= 1);
   if (warmup) {
     QueryStats ignored;
@@ -17,6 +17,7 @@ QueryStats MeasureRuns(const std::function<void(QueryStats*)>& run, int reps,
   std::vector<QueryStats> results(reps);
   for (int r = 0; r < reps; ++r) {
     run(&results[r]);
+    if (rep_seconds != nullptr) rep_seconds->push_back(results[r].seconds);
   }
   std::sort(results.begin(), results.end(),
             [](const QueryStats& a, const QueryStats& b) {
@@ -26,10 +27,20 @@ QueryStats MeasureRuns(const std::function<void(QueryStats*)>& run, int reps,
 }
 
 QueryStats MeasurePlan(const PlanNode& plan, const ExecOptions& options,
-                       int reps, ThreadPool* pool, bool warmup) {
+                       int reps, ThreadPool* pool, bool warmup,
+                       std::vector<double>* rep_seconds) {
   return MeasureRuns(
       [&](QueryStats* stats) { ExecuteQuery(plan, options, stats, pool); },
-      reps, warmup);
+      reps, warmup, rep_seconds);
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = p / 100.0 * static_cast<double>(samples.size());
+  size_t idx = rank <= 1.0 ? 0 : static_cast<size_t>(rank + 0.5) - 1;
+  if (idx >= samples.size()) idx = samples.size() - 1;
+  return samples[idx];
 }
 
 }  // namespace pjoin

@@ -5,6 +5,7 @@
 #define PJOIN_BENCH_UTIL_HARNESS_H_
 
 #include <functional>
+#include <vector>
 
 #include "engine/executor.h"
 #include "engine/plan.h"
@@ -13,13 +14,21 @@ namespace pjoin {
 
 // Runs `plan` `reps` times under `options` on `pool` and returns the stats
 // of the median-time run. One untimed warm-up run precedes the measurement.
+// `rep_seconds`, when non-null, receives every rep's wall time in run order,
+// so callers can report tail latency (p99) alongside the median.
 QueryStats MeasurePlan(const PlanNode& plan, const ExecOptions& options,
-                       int reps, ThreadPool* pool, bool warmup = true);
+                       int reps, ThreadPool* pool, bool warmup = true,
+                       std::vector<double>* rep_seconds = nullptr);
 
 // Same for an arbitrary runnable that fills QueryStats (used for multi-step
 // TPC-H queries and the stand-alone baselines).
 QueryStats MeasureRuns(const std::function<void(QueryStats*)>& run, int reps,
-                       bool warmup = true);
+                       bool warmup = true,
+                       std::vector<double>* rep_seconds = nullptr);
+
+// Nearest-rank percentile (p in [0, 100]) of a sample set; used for the
+// skew benches' p99-of-per-join-wall-time columns. Returns 0 when empty.
+double Percentile(std::vector<double> samples, double p);
 
 }  // namespace pjoin
 

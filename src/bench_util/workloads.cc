@@ -171,6 +171,74 @@ MicroWorkload MakeSkewWorkload(int64_t scale_divisor, double zipf_theta,
   return w;
 }
 
+MicroWorkload MakeBuildSkewWorkload(int64_t scale_divisor, double zipf_theta) {
+  MicroWorkload w;
+  w.build_tuples = Scaled(kWorkloadABuild, scale_divisor);
+  w.probe_tuples = Scaled(kWorkloadAProbe, scale_divisor);
+  Rng rng(107);
+  const uint64_t universe = w.build_tuples / 4 < 16 ? 16 : w.build_tuples / 4;
+
+  w.build = Table("build", Schema({{"b_key", DataType::kInt64, 0},
+                                   {"b_pay", DataType::kInt64, 0}}));
+  w.build.Reserve(w.build_tuples);
+  ZipfGenerator zipf(universe, zipf_theta);
+  for (uint64_t i = 0; i < w.build_tuples; ++i) {
+    int64_t key = static_cast<int64_t>(zipf.Next(rng));
+    w.build.column(0).AppendInt64(key);
+    w.build.column(1).AppendInt64(key);  // payload == key: corr signal
+    w.build.FinishRow();
+  }
+
+  w.probe = Table("probe", Schema({{"p_key", DataType::kInt64, 0},
+                                   {"p_pay", DataType::kInt64, 0}}));
+  w.probe.Reserve(w.probe_tuples);
+  for (uint64_t i = 0; i < w.probe_tuples; ++i) {
+    w.probe.column(0).AppendInt64(static_cast<int64_t>(1 + rng.Below(universe)));
+    w.probe.column(1).AppendInt64(static_cast<int64_t>(i));
+    w.probe.FinishRow();
+  }
+  return w;
+}
+
+MicroWorkload MakeHeavyHitterWorkload(int64_t scale_divisor,
+                                      double heavy_fraction) {
+  PJOIN_CHECK(heavy_fraction > 0 && heavy_fraction < 1.0);
+  MicroWorkload w;
+  w.build_tuples = Scaled(kWorkloadABuild, scale_divisor);
+  w.probe_tuples = Scaled(kWorkloadAProbe, scale_divisor);
+  Rng rng(108);
+  const uint64_t heavy_rows =
+      static_cast<uint64_t>(heavy_fraction * static_cast<double>(w.build_tuples));
+  const uint64_t tail_rows = w.build_tuples - heavy_rows;
+  const int64_t heavy_key = 1;  // tail occupies [2, 1 + tail_rows]
+
+  w.build = Table("build", Schema({{"b_key", DataType::kInt64, 0},
+                                   {"b_pay", DataType::kInt64, 0}}));
+  w.build.Reserve(w.build_tuples);
+  for (uint64_t i = 0; i < w.build_tuples; ++i) {
+    // Heavy rows are interleaved (every 1/heavy_fraction-th row) so any
+    // prefix sample sees the hitter at its true rate.
+    const bool heavy =
+        i * heavy_rows / w.build_tuples != (i + 1) * heavy_rows / w.build_tuples;
+    int64_t key = heavy ? heavy_key
+                        : static_cast<int64_t>(2 + rng.Below(tail_rows));
+    w.build.column(0).AppendInt64(key);
+    w.build.column(1).AppendInt64(key);
+    w.build.FinishRow();
+  }
+
+  w.probe = Table("probe", Schema({{"p_key", DataType::kInt64, 0},
+                                   {"p_pay", DataType::kInt64, 0}}));
+  w.probe.Reserve(w.probe_tuples);
+  const uint64_t universe = tail_rows + 1;
+  for (uint64_t i = 0; i < w.probe_tuples; ++i) {
+    w.probe.column(0).AppendInt64(static_cast<int64_t>(1 + rng.Below(universe)));
+    w.probe.column(1).AppendInt64(static_cast<int64_t>(i));
+    w.probe.FinishRow();
+  }
+  return w;
+}
+
 MicroWorkload MakeStarWorkload(int64_t scale_divisor, int depth) {
   PJOIN_CHECK(depth >= 1);
   MicroWorkload w;

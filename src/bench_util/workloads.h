@@ -55,6 +55,20 @@ MicroWorkload MakePayloadWorkload(int64_t scale_divisor, int payload_cols,
 MicroWorkload MakeSkewWorkload(int64_t scale_divisor, double zipf_theta,
                                bool workload_b = false);
 
+// Build-side skew for the skew-defense study: build keys are drawn
+// Zipf(theta) from a universe of build_tuples/4 values (so hot keys repeat
+// heavily on the side that becomes hash-table entries and partitions), and
+// the probe references the same universe uniformly. theta in {0.5, 1.0, 1.5}
+// spans mild to catastrophic skew.
+MicroWorkload MakeBuildSkewWorkload(int64_t scale_divisor, double zipf_theta);
+
+// Degenerate build skew: one heavy-hitter key absorbs `heavy_fraction` of
+// the build side; the remaining keys are a dense distinct tail. The probe
+// references the universe uniformly, so the heavy key's partition holds
+// heavy_fraction of the build no matter how many radix bits are spent.
+MicroWorkload MakeHeavyHitterWorkload(int64_t scale_divisor,
+                                      double heavy_fraction);
+
 // Section 5.4.4: star schema of `depth` dimension tables; the probe (fact)
 // table carries one key column per dimension, each with 100% selectivity.
 MicroWorkload MakeStarWorkload(int64_t scale_divisor, int depth);

@@ -8,6 +8,7 @@
 #include "spill/memory_governor.h"
 #include "util/check.h"
 #include "util/cpu_info.h"
+#include "util/env.h"
 #include "util/stopwatch.h"
 
 namespace pjoin {
@@ -56,6 +57,20 @@ double PaddedPartitionStride(uint32_t row_width) {
   return p;
 }
 
+// Share of the build side an evenly-loaded final partition would hold,
+// mirroring ChooseRadixBits: fan-out targets half of L2 per partition
+// (tuple + table-slot bytes), clamped to 16 total bits.
+double EvenPartitionShare(uint64_t est_build_rows, uint32_t build_width,
+                          uint64_t l2) {
+  const double per_tuple = PaddedPartitionStride(build_width) + 24.0;
+  const double budget = std::max(1.0, static_cast<double>(l2) / 2.0);
+  const double want =
+      std::max(1.0, static_cast<double>(est_build_rows) * per_tuple / budget);
+  int bits = 1;
+  while (bits < 16 && (1u << bits) < want) ++bits;
+  return 1.0 / static_cast<double>(1u << bits);
+}
+
 // --- Plan walk -------------------------------------------------------------
 // Mirrors the executor's lowering: the same required-column propagation and
 // the same post-order join numbering, so decisions line up with
@@ -68,7 +83,36 @@ struct WalkContext {
   std::map<std::string, uint32_t> width;  // column name -> byte width
   std::map<int, JoinDecision>* out = nullptr;
   int next_join_id = 0;
+  uint64_t skew_sample_size = 0;  // resolved: 0 disables sampling
 };
+
+// Traces a join-key name back to the base-table column it scans from, so the
+// build side can be sampled for skew. Computed (mapped) columns and names
+// that never reach a scan return null — those joins keep the uniform model.
+const Table* ResolveBaseColumn(const PlanNode& node, const std::string& name,
+                               int* col) {
+  switch (node.kind) {
+    case PlanNode::Kind::kScan: {
+      const int idx = node.table->schema().Find(name);
+      if (idx < 0) return nullptr;
+      *col = idx;
+      return node.table;
+    }
+    case PlanNode::Kind::kFilter:
+    case PlanNode::Kind::kAgg:
+      return ResolveBaseColumn(*node.child, name, col);
+    case PlanNode::Kind::kMap:
+      for (const auto& map : node.maps) {
+        if (map.name == name) return nullptr;  // computed, not sampleable
+      }
+      return ResolveBaseColumn(*node.child, name, col);
+    case PlanNode::Kind::kJoin: {
+      const Table* t = ResolveBaseColumn(*node.build, name, col);
+      return t != nullptr ? t : ResolveBaseColumn(*node.probe, name, col);
+    }
+  }
+  return nullptr;
+}
 
 struct SubtreeInfo {
   uint64_t est_rows = 0;   // estimated output cardinality
@@ -177,10 +221,21 @@ SubtreeInfo Walk(const PlanNode& node, const std::set<std::string>& required,
       SubtreeInfo build = Walk(*node.build, build_required, ctx);
       SubtreeInfo probe = Walk(*node.probe, probe_required, ctx);
       const int join_id = ctx.next_join_id++;
+      // Skew estimate: sample the build key's base column (fixed seed, so
+      // EXPLAIN and execute decide identically run after run).
+      SkewEstimate skew;
+      if (ctx.skew_sample_size > 0 && !node.keys.empty()) {
+        int key_col = -1;
+        const Table* table =
+            ResolveBaseColumn(*node.build, node.keys[0].first, &key_col);
+        if (table != nullptr) {
+          skew = SampleBuildColumn(*table, key_col, ctx.skew_sample_size);
+        }
+      }
       (*ctx.out)[join_id] = JoinAdvisor::Decide(
           node.join_kind, build.est_rows, build.base_rows, probe.est_rows,
           SumWidths(ctx, build_required), SumWidths(ctx, probe_required),
-          probe.joins, *ctx.options);
+          probe.joins, *ctx.options, skew.present ? &skew : nullptr);
       return SubtreeInfo{probe.est_rows, probe.base_rows,
                          build.joins + probe.joins + 1};
     }
@@ -199,6 +254,9 @@ std::map<int, JoinDecision> JoinAdvisor::AdvisePlan(
   WalkContext ctx;
   ctx.options = &options;
   ctx.out = &decisions;
+  ctx.skew_sample_size = options.skew_sample_size == UINT64_MAX
+                             ? SkewSampleSize()
+                             : options.skew_sample_size;
   CollectWidths(root, &ctx.width);
 
   std::set<std::string> root_required;
@@ -210,11 +268,24 @@ std::map<int, JoinDecision> JoinAdvisor::AdvisePlan(
   return decisions;
 }
 
+double JoinAdvisor::PartitionOverflowShare(uint64_t est_build_rows,
+                                           uint32_t build_width,
+                                           const AdvisorOptions& options) {
+  const uint64_t l2 =
+      options.l2_bytes > 0 ? options.l2_bytes : GetCpuInfo().l2_bytes;
+  const double per_tuple = PaddedPartitionStride(build_width) + 24.0;
+  const double build =
+      static_cast<double>(std::max<uint64_t>(1, est_build_rows));
+  return std::min(1.0, options.partition_margin * static_cast<double>(l2) /
+                           (build * per_tuple));
+}
+
 JoinDecision JoinAdvisor::Decide(JoinKind kind, uint64_t est_build_rows,
                                  uint64_t build_base_rows,
                                  uint64_t est_probe_rows, uint32_t build_width,
                                  uint32_t probe_width, int probe_depth,
-                                 const AdvisorOptions& options) {
+                                 const AdvisorOptions& options,
+                                 const SkewEstimate* skew) {
   const CpuInfo& cpu = GetCpuInfo();
   const uint64_t l2 = options.l2_bytes > 0 ? options.l2_bytes : cpu.l2_bytes;
   const uint64_t llc =
@@ -302,6 +373,40 @@ JoinDecision JoinAdvisor::Decide(JoinKind kind, uint64_t est_build_rows,
     }
   }
 
+  // Skew term. A radix join's hottest final partition holds at least the
+  // hottest key's share of the build side; when that share overflows the
+  // margin-scaled L2 target the per-partition table degenerates (Table 4's
+  // collapse), so RJ/BRJ pay that share of the probe side at DRAM-miss cost
+  // plus a re-split pass over the oversized build fraction. Uniform inputs
+  // never trip this: an even 1/P spread is below the overflow share by
+  // construction of the fan-out. Any partitioned strategy that still wins is
+  // armed with the runtime defense (heavy-hitter bypass + re-split).
+  d.est_max_partition_share = EvenPartitionShare(est_build_rows, build_width, l2);
+  if (skew != nullptr && skew->present) {
+    d.skew_sampled = true;
+    d.skew_sample_rows = skew->sample_rows;
+    d.est_top_share = skew->top_share;
+    d.est_topk_share = skew->topk_share;
+    d.est_key_payload_corr = skew->key_payload_corr;
+    d.est_max_partition_share =
+        std::max(d.est_max_partition_share, skew->top_share);
+  }
+  const double overflow_share =
+      PartitionOverflowShare(est_build_rows, build_width, options);
+  if (d.est_max_partition_share > overflow_share) {
+    d.skew_overflow = true;
+    const double share = d.est_max_partition_share;
+    const double skew_penalty =
+        share * probe * kDramMissBytes * depth_penalty +
+        share * build * (sb + kPartitionInsertBytes);
+    d.cost_rj += skew_penalty;
+    if (bloomable) {
+      d.cost_brj += skew_penalty;
+    } else {
+      d.cost_brj = d.cost_rj;
+    }
+  }
+
   // Decision. Hard rule first: a build side that fits L2 never partitions
   // (the paper's headline case — 58 of 59 TPC-H joins). Suspended when the
   // budget is below even that table: the decision must weigh spill I/O.
@@ -333,7 +438,13 @@ JoinDecision JoinAdvisor::Decide(JoinKind kind, uint64_t est_build_rows,
   } else {
     d.choice = JoinStrategy::kBHJ;
     d.reason = d.spill_expected ? "spill inevitable; hybrid hash still cheaper"
-                                : "partitioning not worth the bandwidth";
+                                : d.skew_overflow
+                                      ? "skewed build; partitioning collapses"
+                                      : "partitioning not worth the bandwidth";
+  }
+  if (d.skew_overflow && d.choice != JoinStrategy::kBHJ) {
+    d.skew_defense = true;
+    d.reason = "skewed build; partitioned with skew defense";
   }
   return d;
 }
@@ -378,6 +489,11 @@ JoinMetrics AutoJoinRuntime::CollectMetrics() const {
   m.advisor.cost_brj = decision_.cost_brj;
   m.advisor.fell_back = fell_back_;
   m.advisor.reason = decision_.reason;
+  m.advisor.skew_sampled = decision_.skew_sampled;
+  m.advisor.est_top_share = decision_.est_top_share;
+  m.advisor.est_max_partition_share = decision_.est_max_partition_share;
+  m.advisor.est_key_payload_corr = decision_.est_key_payload_corr;
+  m.advisor.skew_defense = decision_.skew_defense;
   return m;
 }
 

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "engine/plan.h"
+#include "engine/sampler.h"
 #include "exec/pipeline.h"
 #include "join/hash_join.h"
 #include "join/radix_join.h"
@@ -60,6 +61,12 @@ struct AdvisorOptions {
   // pays an extra re-pack pass on top, so inevitable spilling tilts the
   // decision toward partitioning (the NOCAP observation).
   uint64_t memory_budget = 0;
+
+  // Build-side reservoir sample size for the skew estimate. The default
+  // sentinel reads PJOIN_SKEW_SAMPLE (1024 unless overridden); 0 disables
+  // the sampling pass and every skew cost term. Sampling uses a fixed seed,
+  // so repeated plans of the same query decide identically.
+  uint64_t skew_sample_size = UINT64_MAX;
 };
 
 // One join's scored decision. Costs are modeled bytes of memory traffic.
@@ -76,6 +83,15 @@ struct JoinDecision {
   double cost_rj = 0;
   double cost_brj = 0;
   bool spill_expected = false;  // budgeted run: some strategy must spill
+  // Skew estimate (populated when a build-side sample informed the costs).
+  bool skew_sampled = false;
+  uint64_t skew_sample_rows = 0;
+  double est_top_share = 0;        // sampled share of the hottest key
+  double est_topk_share = 0;       // sampled share of the top-16 keys
+  double est_key_payload_corr = 0; // |Pearson r| of (key, payload) sample
+  double est_max_partition_share = 0;  // max(hottest key, even 1/P spread)
+  bool skew_overflow = false;  // share overflows one margin-scaled partition
+  bool skew_defense = false;   // partitioned pick runs the runtime defense
   const char* reason = "";  // static string, stable across runs
 };
 
@@ -91,12 +107,23 @@ class JoinAdvisor {
   // The cost model proper, exposed for decision-surface tests.
   // `build_base_rows` is the unfiltered cardinality of the build subtree's
   // base table; est_build / base bounds the Bloom filter's pass rate under
-  // the FK-containment assumption.
+  // the FK-containment assumption. `skew`, when present, is a build-side
+  // sample summary that penalizes the partitioned strategies for the share
+  // their hottest partition would absorb.
   static JoinDecision Decide(JoinKind kind, uint64_t est_build_rows,
                              uint64_t build_base_rows,
                              uint64_t est_probe_rows, uint32_t build_width,
                              uint32_t probe_width, int probe_depth,
-                             const AdvisorOptions& options);
+                             const AdvisorOptions& options,
+                             const SkewEstimate* skew = nullptr);
+
+  // Largest build-side share one final partition can absorb before its
+  // robin-hood table overflows the margin-scaled L2 target. Shares above it
+  // mark the decision skew_overflow, penalize RJ/BRJ, and arm the runtime
+  // defense on any partitioned pick.
+  static double PartitionOverflowShare(uint64_t est_build_rows,
+                                       uint32_t build_width,
+                                       const AdvisorOptions& options);
 };
 
 // Shared state of one advisor-chosen radix join running under the build

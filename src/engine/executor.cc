@@ -118,6 +118,11 @@ void AttachAdvisorMetrics(JoinMetrics& m, const JoinDecision& d) {
   m.advisor.cost_rj = d.cost_rj;
   m.advisor.cost_brj = d.cost_brj;
   m.advisor.reason = d.reason;
+  m.advisor.skew_sampled = d.skew_sampled;
+  m.advisor.est_top_share = d.est_top_share;
+  m.advisor.est_max_partition_share = d.est_max_partition_share;
+  m.advisor.est_key_payload_corr = d.est_key_payload_corr;
+  m.advisor.skew_defense = d.skew_defense;
 }
 
 class Lowerer {
@@ -364,6 +369,9 @@ Lowerer::Stream Lowerer::LowerJoin(const PlanNode& node,
   radix_options.bits2 = options_.radix_bits2;
   radix_options.use_swwcb = options_.use_swwcb;
   radix_options.use_streaming = options_.use_streaming;
+  // A sampled-skew overflow arms the runtime defense on the partitioned
+  // pick: heavy-hitter bypass plus per-partition re-split.
+  if (advised && adv.skew_defense) radix_options.skew_defense = true;
 
   if (advised) {
     // Advisor-chosen radix joins run under the build-overflow guardrail:

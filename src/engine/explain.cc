@@ -100,6 +100,15 @@ void RenderAdvisorLine(const JoinDecision& d, int depth, bool fell_back,
        << "] -- " << d.reason;
   if (fell_back) *out << " [fell back to BHJ: build overflowed estimate]";
   *out << "\n";
+  if (d.skew_sampled) {
+    for (int i = 0; i < depth + 1; ++i) *out << "  ";
+    *out << "skew: sample=" << d.skew_sample_rows
+         << " top_share=" << Fixed(d.est_top_share, 3)
+         << " topk_share=" << Fixed(d.est_topk_share, 3)
+         << " max_part_share=" << Fixed(d.est_max_partition_share, 3)
+         << " corr=" << Fixed(d.est_key_payload_corr, 3)
+         << " defense=" << (d.skew_defense ? "on" : "off") << "\n";
+  }
 }
 
 void Render(const PlanNode& node, const ExecOptions& options,
@@ -288,6 +297,15 @@ void RenderAnalyze(const PlanNode& node, const ExecOptions& options,
                << " samples=" << bl.adaptive_samples;
         }
         *out << "\n";
+      }
+      if (jm != nullptr && jm->skew.enabled) {
+        const SkewDefenseMetrics& sk = jm->skew;
+        indent(1);
+        *out << "skew_defense: heavy=" << sk.heavy_hitters
+             << " bypass_build=" << sk.bypass_build_tuples
+             << " bypass_probe=" << sk.bypass_probe_tuples
+             << " resplit=" << sk.partitions_resplit
+             << " dense=" << sk.dense_fallbacks << "\n";
       }
       if (jm != nullptr && jm->spill.spilled) {
         const SpillMetrics& sp = jm->spill;

@@ -1,0 +1,129 @@
+#include "engine/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "storage/table.h"
+
+namespace pjoin {
+namespace {
+
+bool IsIntegerType(DataType type) {
+  return type == DataType::kInt64 || type == DataType::kInt32 ||
+         type == DataType::kDate;
+}
+
+bool IsNumericType(DataType type) {
+  return IsIntegerType(type) || type == DataType::kFloat64;
+}
+
+double NumericValue(const Column& col, uint64_t row) {
+  switch (col.type()) {
+    case DataType::kInt64:
+      return static_cast<double>(col.GetInt64(row));
+    case DataType::kInt32:
+    case DataType::kDate:
+      return static_cast<double>(col.GetInt32(row));
+    case DataType::kFloat64:
+      return col.GetFloat64(row);
+    default:
+      return 0.0;
+  }
+}
+
+int64_t IntegerValue(const Column& col, uint64_t row) {
+  return col.type() == DataType::kInt64
+             ? col.GetInt64(row)
+             : static_cast<int64_t>(col.GetInt32(row));
+}
+
+}  // namespace
+
+SkewEstimate ReservoirSampler::Estimate() const {
+  SkewEstimate est;
+  if (sample_.empty()) return est;
+  est.present = true;
+  est.table_rows = rows_seen_;
+  est.sample_rows = sample_.size();
+
+  // Key frequencies: sort a copy and walk runs.
+  std::vector<int64_t> keys;
+  keys.reserve(sample_.size());
+  for (const auto& [k, p] : sample_) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  std::vector<std::pair<uint64_t, int64_t>> counts;  // (count, key)
+  for (size_t i = 0; i < keys.size();) {
+    size_t j = i;
+    while (j < keys.size() && keys[j] == keys[i]) ++j;
+    counts.emplace_back(j - i, keys[i]);
+    i = j;
+  }
+  est.distinct_keys = counts.size();
+  // Hottest first; ties broken by key value so the estimate is deterministic.
+  std::sort(counts.begin(), counts.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first > b.first
+                                        : a.second < b.second;
+            });
+  const double n = static_cast<double>(sample_.size());
+  est.top_share = static_cast<double>(counts[0].first) / n;
+  const size_t k = std::min<size_t>(counts.size(), kSkewTopK);
+  for (size_t i = 0; i < k; ++i) {
+    const double share = static_cast<double>(counts[i].first) / n;
+    est.topk_share += share;
+    est.top.push_back(SkewHeavyKey{counts[i].second, share});
+  }
+
+  // |Pearson r| between key and payload over the sample; zero variance on
+  // either axis (constant column, or no payload column at all) yields 0.
+  double sx = 0, sy = 0;
+  for (const auto& [kx, py] : sample_) {
+    sx += static_cast<double>(kx);
+    sy += py;
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double cov = 0, vx = 0, vy = 0;
+  for (const auto& [kx, py] : sample_) {
+    const double dx = static_cast<double>(kx) - mx;
+    const double dy = py - my;
+    cov += dx * dy;
+    vx += dx * dx;
+    vy += dy * dy;
+  }
+  if (vx > 0 && vy > 0) {
+    est.key_payload_corr = std::fabs(cov / std::sqrt(vx * vy));
+  }
+  return est;
+}
+
+SkewEstimate SampleBuildColumn(const Table& table, int key_col,
+                               uint64_t sample_size, uint64_t seed) {
+  SkewEstimate empty;
+  if (sample_size == 0 || table.num_rows() == 0) return empty;
+  if (key_col < 0 ||
+      key_col >= static_cast<int>(table.schema().num_columns())) {
+    return empty;
+  }
+  const Column& keys = table.column(static_cast<uint32_t>(key_col));
+  if (!IsIntegerType(keys.type())) return empty;
+
+  const Column* payload = nullptr;
+  for (uint32_t c = 0; c < table.schema().num_columns(); ++c) {
+    if (static_cast<int>(c) == key_col) continue;
+    if (IsNumericType(table.column(c).type())) {
+      payload = &table.column(c);
+      break;
+    }
+  }
+
+  ReservoirSampler sampler(sample_size, seed);
+  const uint64_t rows = table.num_rows();
+  for (uint64_t r = 0; r < rows; ++r) {
+    const double p = payload != nullptr ? NumericValue(*payload, r) : 0.0;
+    sampler.Add(IntegerValue(keys, r), p);
+  }
+  return sampler.Estimate();
+}
+
+}  // namespace pjoin

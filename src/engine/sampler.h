@@ -1,0 +1,87 @@
+// Build-side reservoir sampling for the join advisor's skew estimate.
+//
+// The paper's cost model (and ours, until this pass existed) scores the
+// partitioned strategies as if keys were uniform; Table 4 shows the radix
+// join collapsing when they are not. Following the NOCAP/JSPIM recipe, a
+// ~1k-row reservoir sample (Vitter's algorithm R, fixed seed so repeated
+// EXPLAIN/metrics runs are byte-identical) estimates the heavy-hitter shares
+// and the key–payload correlation before any strategy is chosen.
+#ifndef PJOIN_ENGINE_SAMPLER_H_
+#define PJOIN_ENGINE_SAMPLER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace pjoin {
+
+class Table;
+
+// One estimated heavy key: its value and its share of the sampled rows.
+struct SkewHeavyKey {
+  int64_t key = 0;
+  double share = 0.0;
+};
+
+// How many of the hottest keys the estimate keeps (and `topk_share` covers).
+inline constexpr int kSkewTopK = 16;
+
+// Fixed sampling seed: the advisor runs once per EXPLAIN/execute and its
+// output must not change between identical runs.
+inline constexpr uint64_t kSkewSampleSeed = 0x5eed5a11u;
+
+// Summary statistics of a sampled build-side key column.
+struct SkewEstimate {
+  bool present = false;       // a sample was actually taken
+  uint64_t table_rows = 0;    // rows the sampler saw (reservoir input size)
+  uint64_t sample_rows = 0;   // rows kept in the reservoir
+  uint64_t distinct_keys = 0; // distinct keys within the sample
+  double top_share = 0.0;     // sampled share of the single hottest key
+  double topk_share = 0.0;    // sampled share of the kSkewTopK hottest keys
+  double key_payload_corr = 0.0;  // |Pearson r| of (key, payload); 0 if none
+  std::vector<SkewHeavyKey> top;  // hottest keys, descending share
+};
+
+// Fixed-capacity reservoir over (key, payload) pairs — algorithm R.
+class ReservoirSampler {
+ public:
+  explicit ReservoirSampler(uint64_t capacity, uint64_t seed = kSkewSampleSeed)
+      : capacity_(capacity), rng_(seed) {}
+
+  void Add(int64_t key, double payload) {
+    ++rows_seen_;
+    if (sample_.size() < capacity_) {
+      sample_.emplace_back(key, payload);
+      return;
+    }
+    const uint64_t slot = rng_.Below(rows_seen_);
+    if (slot < capacity_) sample_[slot] = {key, payload};
+  }
+
+  uint64_t rows_seen() const { return rows_seen_; }
+  uint64_t sample_size() const { return sample_.size(); }
+
+  // Summarizes the reservoir: heavy-key shares, distinct count, and the
+  // absolute Pearson correlation between key and payload values.
+  SkewEstimate Estimate() const;
+
+ private:
+  uint64_t capacity_;
+  Rng rng_;
+  uint64_t rows_seen_ = 0;
+  std::vector<std::pair<int64_t, double>> sample_;
+};
+
+// Reservoir-samples column `key_col` of `table` (must be an integer-typed
+// column; the first *other* numeric column, if any, supplies the correlation
+// payload). Returns present = false for empty tables, non-integer keys, or
+// sample_size == 0.
+SkewEstimate SampleBuildColumn(const Table& table, int key_col,
+                               uint64_t sample_size,
+                               uint64_t seed = kSkewSampleSeed);
+
+}  // namespace pjoin
+
+#endif  // PJOIN_ENGINE_SAMPLER_H_

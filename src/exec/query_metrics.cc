@@ -235,6 +235,14 @@ std::string QueryMetrics::ToJson(bool include_timings) const {
           << ",\"bytes_read\":" << s.bytes_read
           << ",\"max_recursion_depth\":" << s.max_recursion_depth << "}";
     }
+    if (j.skew.enabled) {
+      const SkewDefenseMetrics& sk = j.skew;
+      out << ",\"skew\":{\"heavy_hitters\":" << sk.heavy_hitters
+          << ",\"bypass_build_tuples\":" << sk.bypass_build_tuples
+          << ",\"bypass_probe_tuples\":" << sk.bypass_probe_tuples
+          << ",\"partitions_resplit\":" << sk.partitions_resplit
+          << ",\"dense_fallbacks\":" << sk.dense_fallbacks << "}";
+    }
     if (j.advisor.present) {
       out << ",\"advisor\":{\"choice\":\""
           << JoinStrategyName(j.advisor.choice)
@@ -249,6 +257,16 @@ std::string QueryMetrics::ToJson(bool include_timings) const {
       out << ",\"fell_back\":" << (j.advisor.fell_back ? "true" : "false")
           << ",\"reason\":";
       AppendString(out, j.advisor.reason);
+      if (j.advisor.skew_sampled) {
+        out << ",\"est_top_share\":";
+        AppendDouble(out, j.advisor.est_top_share);
+        out << ",\"est_max_partition_share\":";
+        AppendDouble(out, j.advisor.est_max_partition_share);
+        out << ",\"est_key_payload_corr\":";
+        AppendDouble(out, j.advisor.est_key_payload_corr);
+        out << ",\"skew_defense\":"
+            << (j.advisor.skew_defense ? "true" : "false");
+      }
       out << "}";
     }
     out << "}";

@@ -181,6 +181,18 @@ struct SpillMetrics {
   uint64_t max_recursion_depth = 0;  // 1 = joined on first re-read
 };
 
+// Runtime skew-defense activity of one radix join. `enabled` stays false
+// unless the advisor (or a test) armed the defense, and the JSON/EXPLAIN
+// layers omit the record, so undefended runs are byte-identical.
+struct SkewDefenseMetrics {
+  bool enabled = false;
+  uint32_t heavy_hitters = 0;          // keys routed around partitioning
+  uint64_t bypass_build_tuples = 0;    // build tuples in the dense-array join
+  uint64_t bypass_probe_tuples = 0;    // probe tuples bypassing partitioning
+  uint32_t partitions_resplit = 0;     // oversized partitions re-split 16-way
+  uint32_t dense_fallbacks = 0;        // same-hash clusters joined densely
+};
+
 // Decision record of the cost-based join advisor (JoinStrategy::kAuto).
 // `present` stays false for manually chosen strategies so pre-advisor JSON
 // and EXPLAIN output are unchanged.
@@ -194,6 +206,13 @@ struct AdvisorMetrics {
   double cost_brj = 0;
   bool fell_back = false;  // runtime guardrail demoted a radix pick to BHJ
   const char* reason = "";  // static string from the advisor
+  // Skew estimate from the build-side sample (omitted from JSON when the
+  // sampling pass was disabled, keeping pre-sampler output stable).
+  bool skew_sampled = false;
+  double est_top_share = 0;
+  double est_max_partition_share = 0;
+  double est_key_payload_corr = 0;
+  bool skew_defense = false;  // partitioned pick armed the runtime defense
 };
 
 // Everything one join reports, keyed by the executor's post-order join id
@@ -215,6 +234,7 @@ struct JoinMetrics {
   uint64_t partition_ht_grows = 0;      // robin-hood segment regrowths
   uint64_t partition_ht_peak_bytes = 0; // largest per-partition table
   SpillMetrics spill;                   // only meaningful when spilled
+  SkewDefenseMetrics skew;              // only meaningful when defense armed
   AdvisorMetrics advisor;               // only meaningful under kAuto
 };
 

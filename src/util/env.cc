@@ -106,6 +106,11 @@ int BenchRepetitions() {
   return static_cast<int>(GetEnvInt64("PJOIN_REPS", 3));
 }
 
+uint64_t SkewSampleSize() {
+  int64_t v = GetEnvInt64("PJOIN_SKEW_SAMPLE", 1024);
+  return v < 0 ? 0 : static_cast<uint64_t>(v);
+}
+
 SimdTier RequestedSimdTier(SimdTier def) {
   const char* v = std::getenv("PJOIN_SIMD");
   if (v == nullptr || *v == '\0') return def;

@@ -16,6 +16,7 @@
 #include "join/hash_join.h"
 #include "join/join_types.h"
 #include "join/radix_join.h"
+#include "spill/memory_governor.h"
 #include "tests/test_util.h"
 #include "util/rng.h"
 #include "util/zipf.h"
@@ -138,10 +139,15 @@ RowLayout MakeOutputLayout(JoinKind kind, int build_cols, int probe_cols) {
 }
 
 // Runs one join through real pipelines (the join_test.cc harness generalized
-// to arbitrary column counts) and returns sorted output rows.
+// to arbitrary column counts) and returns sorted output rows. When
+// `skew_defense` is set, the radix strategies run with the heavy-hitter
+// bypass armed and an artificially tiny re-split threshold, so the
+// dense-array join and the 16-way partition re-split both execute.
+// `metrics_out`, when non-null, receives the radix join's metrics.
 IntRows RunJoin(JoinStrategy strategy, JoinKind kind, const IntRows& build,
                 const IntRows& probe, int build_cols, int probe_cols,
-                int threads) {
+                int threads, bool skew_defense = false,
+                JoinMetrics* metrics_out = nullptr) {
   RowLayout build_layout = MakeLayout("b", build_cols);
   RowLayout probe_layout = MakeLayout("p", probe_cols);
   RowLayout out_layout = MakeOutputLayout(kind, build_cols, probe_cols);
@@ -189,6 +195,12 @@ IntRows RunJoin(JoinStrategy strategy, JoinKind kind, const IntRows& build,
     options.strategy = strategy;
     options.expected_build_tuples = build.size() | 1;
     options.num_threads = threads;
+    if (skew_defense) {
+      options.skew_defense = true;
+      options.heavy_hitter_share = 0.04;
+      options.max_heavy_hitters = 8;
+      options.resplit_partition_bytes = 1024;  // force the re-split path
+    }
     RadixJoin join(kind, &build_layout, {0}, &probe_layout, {0}, projection,
                    options);
     RadixBuildSink build_sink(&join);
@@ -206,6 +218,7 @@ IntRows RunJoin(JoinStrategy strategy, JoinKind kind, const IntRows& build,
     join_pipe.set_source(&join_src);
     join_pipe.AddOperator(&sink);
     join_pipe.Run(exec);
+    if (metrics_out != nullptr) *metrics_out = join.CollectMetrics();
   }
   return sink.SortedRows();
 }
@@ -238,6 +251,169 @@ TEST_P(JoinDifferentialTest, AllStrategiesMatchReference) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllKinds, JoinDifferentialTest, ::testing::ValuesIn(kKinds),
+    [](const ::testing::TestParamInfo<JoinKind>& info) {
+      std::string name = JoinKindName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---- Skewed slice: build-side Zipf and heavy-hitter workloads ------------
+//
+// The sweep above skews only the probe keys; here the *build* side is
+// skewed, which is what breaks partitioned joins (one partition absorbs the
+// hot key's entire chain). Every strategy — including the radix joins with
+// the skew defense forced on, so heavy-hitter bypass, partition re-split,
+// and the dense-array fallback all execute — must stay bit-identical to the
+// nested-loop oracle. Run under ctest label `skew`.
+
+struct SkewDataConfig {
+  const char* name;
+  uint64_t build_rows;
+  uint64_t probe_rows;
+  double build_theta;     // Zipf exponent of build keys (0 = heavy hitter)
+  double heavy_fraction;  // single-key share when build_theta == 0
+  uint64_t universe;      // key universe of the skewed build side
+  double probe_theta;     // Zipf exponent of probe keys (0 = uniform)
+  int build_cols;
+  int probe_cols;
+};
+
+const SkewDataConfig kSkewConfigs[] = {
+    // The ISSUE's Zipf ladder on the build side, s in {0.5, 1.0, 1.5}.
+    {"build_zipf_05", 2000, 4000, 0.5, 0.0, 500, 0.0, 2, 2},
+    {"build_zipf_10", 2000, 4000, 1.0, 0.0, 500, 0.0, 2, 2},
+    {"build_zipf_15", 2000, 4000, 1.5, 0.0, 500, 0.0, 2, 2},
+    // Single heavy hitter absorbing a fixed share of the build side.
+    {"heavy_quarter", 2000, 4000, 0.0, 0.25, 500, 0.0, 2, 2},
+    {"heavy_half", 2000, 4000, 0.0, 0.5, 500, 0.0, 2, 2},
+    {"heavy_nine_tenths", 2000, 4000, 0.0, 0.9, 500, 0.0, 2, 2},
+    // Correlated skew: both sides hammer the same hot keys.
+    {"both_sides_zipf", 2000, 4000, 1.0, 0.0, 500, 1.0, 2, 2},
+    // Wide payloads push per-partition bytes over the re-split threshold.
+    {"skew_wide", 1000, 2000, 1.0, 0.0, 250, 0.0, 4, 3},
+};
+
+IntRows MakeSkewBuild(const SkewDataConfig& cfg, uint64_t seed) {
+  Rng rng(seed);
+  ZipfGenerator zipf(cfg.universe, cfg.build_theta);
+  const uint64_t heavy_threshold =
+      static_cast<uint64_t>(cfg.heavy_fraction * 1000000.0);
+  IntRows out;
+  out.reserve(cfg.build_rows);
+  for (uint64_t i = 0; i < cfg.build_rows; ++i) {
+    std::vector<int64_t> row(cfg.build_cols);
+    if (cfg.build_theta > 0) {
+      row[0] = static_cast<int64_t>(zipf.Next(rng) - 1);
+    } else {
+      row[0] = rng.Below(1000000) < heavy_threshold
+                   ? int64_t{0}
+                   : static_cast<int64_t>(1 + rng.Below(cfg.universe));
+    }
+    for (int c = 1; c < cfg.build_cols; ++c) {
+      row[c] = static_cast<int64_t>(rng.Next() & 0xFFFF);
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+IntRows MakeSkewProbe(const SkewDataConfig& cfg, uint64_t seed) {
+  Rng rng(seed);
+  // Probe universe is twice the build universe, so outer/anti kinds see
+  // non-matching tuples too.
+  const uint64_t universe = cfg.universe * 2;
+  ZipfGenerator zipf(universe, cfg.probe_theta);
+  IntRows out;
+  out.reserve(cfg.probe_rows);
+  for (uint64_t i = 0; i < cfg.probe_rows; ++i) {
+    std::vector<int64_t> row(cfg.probe_cols);
+    row[0] = cfg.probe_theta > 0
+                 ? static_cast<int64_t>(zipf.Next(rng) - 1)
+                 : static_cast<int64_t>(rng.Below(universe));
+    for (int c = 1; c < cfg.probe_cols; ++c) {
+      row[c] = static_cast<int64_t>(rng.Next() & 0xFFFF);
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+class SkewDifferentialTest : public ::testing::TestWithParam<JoinKind> {};
+
+TEST_P(SkewDifferentialTest, AllStrategiesMatchReferenceOnSkewedBuilds) {
+  const JoinKind kind = GetParam();
+  const JoinStrategy strategies[] = {JoinStrategy::kBHJ, JoinStrategy::kRJ,
+                                     JoinStrategy::kBRJ};
+  uint64_t seed = 7000 + static_cast<uint64_t>(kind) * 131;
+  size_t idx = 0;
+  for (const SkewDataConfig& cfg : kSkewConfigs) {
+    SCOPED_TRACE(std::string("config=") + cfg.name);
+    IntRows build = MakeSkewBuild(cfg, seed + idx * 2);
+    IntRows probe = MakeSkewProbe(cfg, seed + idx * 2 + 1);
+    IntRows expected =
+        ReferenceJoin(build, probe, 0, kind, cfg.build_cols, cfg.probe_cols);
+    const int threads = 1 + static_cast<int>(idx % 3);
+    // Undefended: the baseline joins must already be correct under skew.
+    for (JoinStrategy strategy : strategies) {
+      SCOPED_TRACE(JoinStrategyName(strategy));
+      IntRows actual = RunJoin(strategy, kind, build, probe, cfg.build_cols,
+                               cfg.probe_cols, threads);
+      ASSERT_EQ(actual, expected);
+    }
+    // Defended: heavy-hitter bypass + forced re-split, same results.
+    for (JoinStrategy strategy : {JoinStrategy::kRJ, JoinStrategy::kBRJ}) {
+      SCOPED_TRACE(std::string(JoinStrategyName(strategy)) + "+defense");
+      JoinMetrics metrics;
+      IntRows actual =
+          RunJoin(strategy, kind, build, probe, cfg.build_cols, cfg.probe_cols,
+                  threads, /*skew_defense=*/true, &metrics);
+      ASSERT_EQ(actual, expected);
+      EXPECT_TRUE(metrics.skew.enabled);
+      // The 1 KiB threshold forces re-splits (or dense fallbacks) on every
+      // config; the bypass bar (4%) is only guaranteed to be cleared on the
+      // strongly skewed shapes.
+      EXPECT_GT(metrics.skew.partitions_resplit + metrics.skew.dense_fallbacks,
+                0u);
+      if (cfg.build_theta >= 1.0 || cfg.heavy_fraction >= 0.25) {
+        EXPECT_GE(metrics.skew.heavy_hitters, 1u);
+        EXPECT_GT(metrics.skew.bypass_build_tuples, 0u);
+      }
+    }
+    ++idx;
+  }
+}
+
+// The defended join under a 16 KiB budget: heavy-hitter extraction happens
+// before spill eviction, so the bypass, the re-split, and the out-of-core
+// pair loop must compose — and still match the in-memory defended run.
+TEST_P(SkewDifferentialTest, DefendedJoinSpillsUnderTinyBudget) {
+  const JoinKind kind = GetParam();
+  const SkewDataConfig& cfg = kSkewConfigs[4];  // heavy_half
+  const uint64_t seed = 8100 + static_cast<uint64_t>(kind) * 17;
+  IntRows build = MakeSkewBuild(cfg, seed);
+  IntRows probe = MakeSkewProbe(cfg, seed + 1);
+  IntRows expected =
+      ReferenceJoin(build, probe, 0, kind, cfg.build_cols, cfg.probe_cols);
+
+  IntRows actual;
+  JoinMetrics metrics;
+  {
+    ScopedMemoryBudget scoped(16 * 1024);
+    actual = RunJoin(JoinStrategy::kRJ, kind, build, probe, cfg.build_cols,
+                     cfg.probe_cols, /*threads=*/2, /*skew_defense=*/true,
+                     &metrics);
+  }
+  ASSERT_EQ(actual, expected);
+  EXPECT_TRUE(metrics.spill.spilled);
+  EXPECT_TRUE(metrics.skew.enabled);
+  EXPECT_GE(metrics.skew.heavy_hitters, 1u);
+  EXPECT_GT(metrics.skew.bypass_build_tuples, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, SkewDifferentialTest, ::testing::ValuesIn(kKinds),
     [](const ::testing::TestParamInfo<JoinKind>& info) {
       std::string name = JoinKindName(info.param);
       for (char& c : name) {
