@@ -1,0 +1,137 @@
+// Extension: closed-loop multi-client load against the query server.
+//
+// PJOIN_CLIENTS client threads (default 4) each open a Session and submit a
+// fixed per-client count (PJOIN_CLIENT_QUERIES, default 16) of queries drawn
+// round-robin from a three-class mix over the prior-work microbenchmark
+// tables: a small count join ("point"), a payload-sum join over the full
+// probe side ("scan"), and a build side sized to stress the per-query
+// fair-share grant ("heavy") — under a PJOIN_MEMORY_BUDGET the heavy class
+// is the one the governor pushes out-of-core. Each client waits for its
+// query before submitting the next (closed loop), so the measured latency
+// includes admission-queue wait. Reported: per-class p50/p99 latency, total
+// QPS, the server's admission counters, and the governor's arbitration
+// counters (denials / spill-pressure events).
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "server/query_server.h"
+#include "spill/memory_governor.h"
+#include "util/stopwatch.h"
+
+int main() {
+  using namespace pjoin;
+  const int clients =
+      std::max<int>(1, static_cast<int>(GetEnvInt64("PJOIN_CLIENTS", 4)));
+  const int per_client = std::max<int>(
+      1, static_cast<int>(GetEnvInt64("PJOIN_CLIENT_QUERIES", 16)));
+  const int64_t divisor = WorkloadScaleDivisor();
+  bench::PrintHeader(
+      "Extension: closed-loop server load (multi-query runtime)",
+      "server-mode extension of Bandle et al. (joins inside a real system "
+      "serving concurrent queries)",
+      "clients=" + std::to_string(clients) +
+          " queries/client=" + std::to_string(per_client) +
+          " max_concurrent=" + std::to_string(MaxConcurrentQueries()) +
+          " threads/query=" + std::to_string(ServerThreadsPerQuery()));
+
+  // The query mix. Tables are built once and shared read-only; the plans are
+  // likewise shared — execution never mutates a plan, so concurrent queries
+  // over one PlanNode are safe.
+  struct QueryClass {
+    const char* name;
+    MicroWorkload workload;
+    std::unique_ptr<PlanNode> plan;
+  };
+  QueryClass mix[3];
+  mix[0].name = "point";
+  mix[0].workload = MakeSizedWorkload(1 << 10, 1 << 13);
+  mix[0].plan = CountJoinPlan(mix[0].workload);
+  mix[1].name = "scan";
+  mix[1].workload = MakePayloadWorkload(divisor, 2);
+  mix[1].plan = SumPayloadPlan(mix[1].workload);
+  mix[2].name = "heavy";
+  mix[2].workload = MakeSizedWorkload(1 << 13, 1 << 15);
+  mix[2].plan = CountJoinPlan(mix[2].workload);
+  constexpr int kClasses = 3;
+
+  MemoryGovernor::Global().ResetCountersForTest();
+  QueryServer server;
+
+  ExecOptions eo;
+  eo.join_strategy = JoinStrategy::kAuto;
+  eo.num_threads = server.threads_per_query();
+
+  std::mutex mu;
+  std::vector<std::vector<double>> latency(kClasses);
+  std::atomic<uint64_t> rejected{0};
+
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Session session = server.OpenSession();
+      for (int q = 0; q < per_client; ++q) {
+        // Stagger the starting class per client so the mix interleaves.
+        const int cls = (c + q) % kClasses;
+        Stopwatch watch;
+        QueryHandlePtr handle = session.Submit(*mix[cls].plan, eo);
+        handle->Wait();
+        if (handle->state() == QueryState::kRejected) {
+          // Closed loop over a bounded queue: rejection is possible only if
+          // the queue bound is set below the client count. Count and retry.
+          rejected.fetch_add(1, std::memory_order_relaxed);
+          --q;
+          continue;
+        }
+        const double seconds = watch.ElapsedSeconds();
+        std::lock_guard<std::mutex> lock(mu);
+        latency[cls].push_back(seconds);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed = wall.ElapsedSeconds();
+
+  TablePrinter table(
+      {"class", "queries", "p50 [ms]", "p99 [ms]", "max [ms]"});
+  uint64_t completed = 0;
+  for (int cls = 0; cls < kClasses; ++cls) {
+    completed += latency[cls].size();
+    char buf[32];
+    std::vector<std::string> row;
+    row.push_back(mix[cls].name);
+    row.push_back(std::to_string(latency[cls].size()));
+    std::snprintf(buf, sizeof(buf), "%.2f",
+                  Percentile(latency[cls], 50.0) * 1e3);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.2f",
+                  Percentile(latency[cls], 99.0) * 1e3);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.2f",
+                  Percentile(latency[cls], 100.0) * 1e3);
+    row.push_back(buf);
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  const MemoryGovernor& governor = MemoryGovernor::Global();
+  std::printf("\n  total: %llu queries in %.2f s  (%.1f QPS)\n",
+              static_cast<unsigned long long>(completed), elapsed,
+              elapsed > 0 ? static_cast<double>(completed) / elapsed : 0.0);
+  std::printf(
+      "  server: submitted=%llu done=%llu rejected=%llu (retried)\n",
+      static_cast<unsigned long long>(server.queries_submitted()),
+      static_cast<unsigned long long>(server.queries_done()),
+      static_cast<unsigned long long>(rejected.load()));
+  std::printf(
+      "  governor: budget=%s denials=%llu spill_pressure=%llu\n",
+      governor.budget() == 0
+          ? "unlimited"
+          : TablePrinter::Mib(static_cast<double>(governor.budget())).c_str(),
+      static_cast<unsigned long long>(governor.denials()),
+      static_cast<unsigned long long>(governor.spill_pressure()));
+  return 0;
+}

@@ -417,6 +417,17 @@ std::string ExplainAnalyzePlan(const PlanNode& root, const ExecOptions& options,
   if (!qm.simd_tier().empty()) out << " simd=" << qm.simd_tier();
   out << "\n";
 
+  // Server-mode section (only for runs submitted through QueryServer):
+  // admission identity, queue wait, and the arbitration outcome.
+  if (qm.server_present()) {
+    out << "server: query=" << qm.server_query_id()
+        << " session=" << qm.server_session_id()
+        << " state=" << qm.server_state()
+        << " queued=" << Fixed(qm.server_queue_seconds() * 1e3, 3) << "ms"
+        << " granted_bytes=" << qm.server_granted_bytes()
+        << " spill_pressure=" << qm.server_spill_pressure() << "\n";
+  }
+
   out << "pipelines:\n";
   for (size_t i = 0; i < qm.pipelines().size(); ++i) {
     const PipelineMetrics& pm = qm.pipelines()[i];

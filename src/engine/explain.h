@@ -22,7 +22,9 @@ std::string ExplainPlan(const PlanNode& root, const ExecOptions& options);
 // build/probe/matched/output cardinalities plus strategy internals (chaining
 // hash-table shape, radix fan-out and SWWCB traffic, Bloom pass rate and the
 // adaptive decision), and a trailing per-pipeline section with wall/CPU time,
-// morsel distribution, and per-operator row counts.
+// morsel distribution, and per-operator row counts. Runs submitted through
+// QueryServer additionally get a "server:" line (admission identity, queue
+// wait, memory grant, spill pressure).
 std::string ExplainAnalyzePlan(const PlanNode& root, const ExecOptions& options,
                                const QueryStats& stats);
 

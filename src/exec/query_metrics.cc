@@ -277,6 +277,18 @@ std::string QueryMetrics::ToJson(bool include_timings) const {
         << ",\"high_water\":" << governor_high_water_
         << ",\"denials\":" << governor_denials_ << "}";
   }
+  if (server_present_) {
+    out << ",\"server\":{\"query_id\":" << server_query_id_
+        << ",\"session\":" << server_session_id_ << ",\"state\":";
+    AppendString(out, server_state_);
+    out << ",\"granted_bytes\":" << server_granted_bytes_
+        << ",\"spill_pressure\":" << server_spill_pressure_;
+    if (include_timings) {
+      out << ",\"queue_seconds\":";
+      AppendDouble(out, server_queue_seconds_);
+    }
+    out << "}";
+  }
   out << "}";
   return out.str();
 }

@@ -275,6 +275,30 @@ class QueryMetrics {
   uint64_t governor_high_water() const { return governor_high_water_; }
   uint64_t governor_denials() const { return governor_denials_; }
 
+  // Server-mode per-query record (src/server/): admission identity, the
+  // fair-share memory grant, spill-pressure denials and queue wait. Set by
+  // QueryServer after the run; the JSON section and the EXPLAIN ANALYZE
+  // line are emitted only when present, so standalone-run output is
+  // byte-identical to the pre-server engine.
+  void SetServer(uint64_t query_id, uint64_t session_id, std::string state,
+                 uint64_t granted_bytes, uint64_t spill_pressure,
+                 double queue_seconds) {
+    server_present_ = true;
+    server_query_id_ = query_id;
+    server_session_id_ = session_id;
+    server_state_ = std::move(state);
+    server_granted_bytes_ = granted_bytes;
+    server_spill_pressure_ = spill_pressure;
+    server_queue_seconds_ = queue_seconds;
+  }
+  bool server_present() const { return server_present_; }
+  uint64_t server_query_id() const { return server_query_id_; }
+  uint64_t server_session_id() const { return server_session_id_; }
+  const std::string& server_state() const { return server_state_; }
+  uint64_t server_granted_bytes() const { return server_granted_bytes_; }
+  uint64_t server_spill_pressure() const { return server_spill_pressure_; }
+  double server_queue_seconds() const { return server_queue_seconds_; }
+
   // Dispatched SIMD kernel tier ("scalar"|"avx2"|"avx512"), set by the
   // executor so benches can attribute kernel-level wins. Deterministic on a
   // given host+environment, so it is safe in the stable JSON.
@@ -322,6 +346,13 @@ class QueryMetrics {
   uint64_t governor_budget_ = 0;
   uint64_t governor_high_water_ = 0;
   uint64_t governor_denials_ = 0;
+  bool server_present_ = false;
+  uint64_t server_query_id_ = 0;
+  uint64_t server_session_id_ = 0;
+  std::string server_state_;
+  uint64_t server_granted_bytes_ = 0;
+  uint64_t server_spill_pressure_ = 0;
+  double server_queue_seconds_ = 0;
   std::string simd_tier_;
   PhaseTimer timer_;
   ByteCounter bytes_;

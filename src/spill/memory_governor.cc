@@ -1,12 +1,99 @@
 #include "spill/memory_governor.h"
 
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/check.h"
 #include "util/env.h"
 
 namespace pjoin {
+
+namespace {
+
+// The calling thread's query context. Worker threads belong to exactly one
+// query at a time (the server installs the grant on every pool worker before
+// running a query and clears it after), so a plain thread-local is enough —
+// no lookup, no locking on the accounting hot path.
+thread_local MemoryGovernor::QueryGrant* t_grant = nullptr;
+
+}  // namespace
+
+// Cold-path arbiter state: the table of active grants. Queries join and
+// leave a few times per second at most; a mutex is fine here.
+struct MemoryGovernor::Arbiter {
+  std::mutex mu;
+  std::vector<std::unique_ptr<QueryGrant>> active;
+  uint64_t next_query_id = 1;
+};
+
+MemoryGovernor::MemoryGovernor(uint64_t budget)
+    : budget_(budget), arbiter_(new Arbiter) {}
+
+MemoryGovernor::~MemoryGovernor() { delete arbiter_; }
 
 MemoryGovernor& MemoryGovernor::Global() {
   static MemoryGovernor governor(MemoryBudgetBytes());
   return governor;
 }
+
+void MemoryGovernor::set_budget(uint64_t budget) {
+  std::lock_guard<std::mutex> lock(arbiter_->mu);
+  budget_.store(budget, std::memory_order_relaxed);
+  RecomputeSharesLocked();
+}
+
+MemoryGovernor::QueryGrant* MemoryGovernor::BeginQuery() {
+  std::lock_guard<std::mutex> lock(arbiter_->mu);
+  arbiter_->active.push_back(std::make_unique<QueryGrant>());
+  QueryGrant* grant = arbiter_->active.back().get();
+  grant->query_id = arbiter_->next_query_id++;
+  active_count_.store(static_cast<int>(arbiter_->active.size()),
+                      std::memory_order_relaxed);
+  RecomputeSharesLocked();
+  return grant;
+}
+
+void MemoryGovernor::EndQuery(QueryGrant* grant) {
+  PJOIN_CHECK(grant != nullptr);
+  std::lock_guard<std::mutex> lock(arbiter_->mu);
+  for (auto it = arbiter_->active.begin(); it != arbiter_->active.end();
+       ++it) {
+    if (it->get() != grant) continue;
+    // Return anything the query failed to release: a leak in one query must
+    // not shrink the pool for everyone that comes after it.
+    uint64_t leaked = grant->used.load(std::memory_order_relaxed);
+    if (leaked > 0) SubClamped(reserved_, leaked);
+    arbiter_->active.erase(it);
+    active_count_.store(static_cast<int>(arbiter_->active.size()),
+                        std::memory_order_relaxed);
+    RecomputeSharesLocked();
+    return;
+  }
+  PJOIN_CHECK_MSG(false, "EndQuery: grant not active");
+}
+
+void MemoryGovernor::RecomputeSharesLocked() {
+  uint64_t b = budget_.load(std::memory_order_relaxed);
+  size_t n = arbiter_->active.size();
+  // Unlimited budget: every query is unlimited. Otherwise an equal split,
+  // never rounded to zero — a starved grant would deny even the first page
+  // and the query could not stage its spill partitions.
+  uint64_t share = UINT64_MAX;
+  if (b != 0 && n > 0) {
+    share = b / static_cast<uint64_t>(n);
+    if (share == 0) share = 1;
+  }
+  for (auto& grant : arbiter_->active) {
+    grant->granted.store(share, std::memory_order_relaxed);
+    if (share < grant->min_granted.load(std::memory_order_relaxed)) {
+      grant->min_granted.store(share, std::memory_order_relaxed);
+    }
+  }
+}
+
+void MemoryGovernor::SetThreadGrant(QueryGrant* grant) { t_grant = grant; }
+
+MemoryGovernor::QueryGrant* MemoryGovernor::ThreadGrant() { return t_grant; }
 
 }  // namespace pjoin

@@ -1,4 +1,4 @@
-// Process-wide memory budget for join state.
+// Process-wide memory budget for join state, arbitrated across queries.
 //
 // The governor is the single decision point that turns the in-memory joins
 // into hybrid-hash joins: storage layers *account* the bytes they actually
@@ -7,9 +7,26 @@
 // plan. A denied probe does not fail the query -- it flips the operator into
 // its spill path (see join/hash_join.cc and join/radix_join.cc).
 //
+// Server mode (src/server/) turns the single global budget into a
+// cross-query arbiter: every admitted query registers a QueryGrant
+// (BeginQuery/EndQuery) and receives a fair share of the budget --
+// budget / active_queries, recomputed whenever a query joins or leaves.
+// The grant is installed as a thread-local on each of the query's worker
+// threads, so the existing WouldFit/Account/Release call sites need no
+// query parameter. A probe that exceeds the caller's own grant while other
+// queries are active is denied as *spill pressure*: the contended query
+// goes out-of-core early instead of starving its neighbors, which is the
+// "spill earlier when oversubscribed" half of the admission policy (the
+// other half -- queueing -- lives in server/query_server). A query running
+// alone holds a grant equal to the whole budget, so single-query behavior
+// is unchanged.
+//
 // Accounting is amortized: callers report per-chunk / per-page allocations
-// (16 KiB..1 MiB), never per-tuple, so an unlimited budget adds two relaxed
-// atomic adds per page to the hot path and nothing else.
+// (16 KiB..1 MiB), never per-tuple, so an unlimited budget adds a few
+// relaxed atomic adds per page to the hot path and nothing else. All
+// counters are safe to drive from any number of concurrently executing
+// queries; Release clamps at zero instead of wrapping, so a misbehaving
+// caller can never poison the shared pool for everyone else.
 #ifndef PJOIN_SPILL_MEMORY_GOVERNOR_H_
 #define PJOIN_SPILL_MEMORY_GOVERNOR_H_
 
@@ -20,8 +37,29 @@ namespace pjoin {
 
 class MemoryGovernor {
  public:
+  // Per-query reservation record. `granted` is this query's fair share of
+  // the budget (UINT64_MAX when the budget is unlimited); `used` the bytes
+  // the query has accounted and not yet released; `pressure_events` the
+  // denials charged to the per-query grant rather than the global budget.
+  // Instances are owned by the governor; pointers stay valid from
+  // BeginQuery until the matching EndQuery.
+  struct QueryGrant {
+    uint64_t query_id = 0;
+    std::atomic<uint64_t> granted{UINT64_MAX};
+    // Tightest share this grant ever held (fair shares shrink while other
+    // queries are admitted and grow back as they finish); this is the
+    // number the server reports as the query's effective grant.
+    std::atomic<uint64_t> min_granted{UINT64_MAX};
+    std::atomic<uint64_t> used{0};
+    std::atomic<uint64_t> pressure_events{0};
+  };
+
   // budget of 0 means unlimited (track usage, never deny).
-  explicit MemoryGovernor(uint64_t budget = 0) : budget_(budget) {}
+  explicit MemoryGovernor(uint64_t budget = 0);
+  ~MemoryGovernor();
+
+  MemoryGovernor(const MemoryGovernor&) = delete;
+  MemoryGovernor& operator=(const MemoryGovernor&) = delete;
 
   // The process-wide instance; budget initialized once from
   // PJOIN_MEMORY_BUDGET (size suffixes allowed, see util/env.h).
@@ -30,15 +68,51 @@ class MemoryGovernor {
   uint64_t budget() const { return budget_.load(std::memory_order_relaxed); }
 
   // Test/bench hook: swap the budget at runtime (counters are untouched).
-  void set_budget(uint64_t budget) {
-    budget_.store(budget, std::memory_order_relaxed);
+  // Active query grants are re-split over the new budget.
+  void set_budget(uint64_t budget);
+
+  // --- cross-query arbitration --------------------------------------------
+
+  // Registers a query with the arbiter and returns its grant. Every active
+  // grant (including the new one) is re-split to budget / active_queries.
+  QueryGrant* BeginQuery();
+
+  // Deregisters a query. Any bytes the query failed to release are returned
+  // to the pool (the clamp that makes a leaky query survivable), and the
+  // remaining queries' shares grow back.
+  void EndQuery(QueryGrant* grant);
+
+  int active_queries() const {
+    return active_count_.load(std::memory_order_relaxed);
   }
+
+  // Installs `grant` as the calling thread's query context; WouldFit /
+  // Account / Release charge this grant until it is reset. The server runs
+  // this on every worker of a query's pool before execution and clears it
+  // after; standalone ExecuteQuery never sets it and sees the pre-server
+  // global-budget behavior unchanged.
+  static void SetThreadGrant(QueryGrant* grant);
+  static QueryGrant* ThreadGrant();
+
+  // --- probe / account / release ------------------------------------------
 
   // Probe: would `bytes` more fit in the budget? Counts a denial when not.
   // Does NOT reserve -- callers that proceed account the real allocation.
+  // With a thread grant installed, the caller's own share is checked first;
+  // a share overrun while other queries are active is counted as spill
+  // pressure (the arbiter telling this query to go out-of-core early).
   bool WouldFit(uint64_t bytes) {
     uint64_t b = budget();
     if (b == 0) return true;
+    if (QueryGrant* g = ThreadGrant()) {
+      if (g->used.load(std::memory_order_relaxed) + bytes >
+          g->granted.load(std::memory_order_relaxed)) {
+        g->pressure_events.fetch_add(1, std::memory_order_relaxed);
+        spill_pressure_.fetch_add(1, std::memory_order_relaxed);
+        denials_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
     if (reserved_.load(std::memory_order_relaxed) + bytes <= b) return true;
     denials_.fetch_add(1, std::memory_order_relaxed);
     return false;
@@ -47,6 +121,9 @@ class MemoryGovernor {
   // Forced accounting of a committed allocation. Never fails: the bytes are
   // already allocated, the governor just has to know about them.
   void Account(uint64_t bytes) {
+    if (QueryGrant* g = ThreadGrant()) {
+      g->used.fetch_add(bytes, std::memory_order_relaxed);
+    }
     uint64_t now = reserved_.fetch_add(bytes, std::memory_order_relaxed) +
                    bytes;
     uint64_t hw = high_water_.load(std::memory_order_relaxed);
@@ -55,8 +132,14 @@ class MemoryGovernor {
     }
   }
 
+  // Releases previously accounted bytes. Clamped at zero: with many owners
+  // a double-release must not wrap the shared counter into "budget full
+  // forever" (2^64 - n reserved would deny every query in the process).
   void Release(uint64_t bytes) {
-    reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+    if (QueryGrant* g = ThreadGrant()) {
+      SubClamped(g->used, bytes);
+    }
+    SubClamped(reserved_, bytes);
   }
 
   uint64_t reserved() const {
@@ -66,6 +149,12 @@ class MemoryGovernor {
     return high_water_.load(std::memory_order_relaxed);
   }
   uint64_t denials() const { return denials_.load(std::memory_order_relaxed); }
+
+  // Denials charged to a per-query grant (subset of denials()): how often
+  // the arbiter pushed a contended query toward its spill path.
+  uint64_t spill_pressure() const {
+    return spill_pressure_.load(std::memory_order_relaxed);
+  }
 
   // Bytes still available under the budget (UINT64_MAX when unlimited).
   uint64_t Available() const {
@@ -80,13 +169,32 @@ class MemoryGovernor {
     high_water_.store(reserved_.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
     denials_.store(0, std::memory_order_relaxed);
+    spill_pressure_.store(0, std::memory_order_relaxed);
   }
 
  private:
+  static void SubClamped(std::atomic<uint64_t>& counter, uint64_t bytes) {
+    uint64_t cur = counter.load(std::memory_order_relaxed);
+    while (!counter.compare_exchange_weak(cur,
+                                          cur >= bytes ? cur - bytes : 0,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+
+  // Re-splits the budget over the active grants; arbiter_mu_ must be held.
+  void RecomputeSharesLocked();
+
   std::atomic<uint64_t> budget_;
   std::atomic<uint64_t> reserved_{0};
   std::atomic<uint64_t> high_water_{0};
   std::atomic<uint64_t> denials_{0};
+  std::atomic<uint64_t> spill_pressure_{0};
+  std::atomic<int> active_count_{0};
+
+  // Arbiter table (cold path: queries joining/leaving, budget swaps).
+  // Defined in the .cc to keep <mutex>/<vector> out of this hot header.
+  struct Arbiter;
+  Arbiter* arbiter_;
 };
 
 // RAII budget override for tests/benches: sets the global budget on entry,

@@ -98,6 +98,25 @@ int DefaultThreads() {
   return threads < 1 ? 1 : threads;
 }
 
+int MaxConcurrentQueries() {
+  int64_t v = GetEnvInt64("PJOIN_MAX_CONCURRENT", 4);
+  return v < 1 ? 1 : static_cast<int>(v);
+}
+
+int AdmitQueueCapacity() {
+  int64_t v = GetEnvInt64("PJOIN_ADMIT_QUEUE", 32);
+  return v < 1 ? 1 : static_cast<int>(v);
+}
+
+int ServerThreadsPerQuery() {
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw <= 0) hw = 1;
+  int def = hw / MaxConcurrentQueries();
+  if (def < 1) def = 1;
+  int64_t v = GetEnvInt64("PJOIN_SERVER_THREADS", def);
+  return v < 1 ? 1 : static_cast<int>(v);
+}
+
 int64_t WorkloadScaleDivisor() { return GetEnvInt64("PJOIN_SCALE", 64); }
 
 double BenchScaleFactor() { return GetEnvDouble("PJOIN_SF", 0.1); }

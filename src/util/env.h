@@ -37,6 +37,21 @@ uint64_t MemoryBudgetBytes();
 // concurrency of this machine. Always >= 1, whatever the variable says.
 int DefaultThreads();
 
+// Server mode: maximum queries executing at once (PJOIN_MAX_CONCURRENT,
+// default 4, clamped >= 1). Each concurrent query gets its own worker set,
+// so total thread demand is roughly this times ServerThreadsPerQuery().
+int MaxConcurrentQueries();
+
+// Server mode: bounded admission-queue capacity (PJOIN_ADMIT_QUEUE, default
+// 32, clamped >= 1). Submissions beyond max-concurrent running plus this
+// many queued are rejected instead of buffered without bound.
+int AdmitQueueCapacity();
+
+// Server mode: worker threads per admitted query (PJOIN_SERVER_THREADS,
+// default: hardware concurrency / PJOIN_MAX_CONCURRENT, clamped >= 1), so
+// a fully loaded server oversubscribes no cores by default.
+int ServerThreadsPerQuery();
+
 // Scale divisor applied to the prior-work microbenchmark workloads
 // (PJOIN_SCALE, default 64). The paper's workload A is 256 MiB x 4096 MiB,
 // which does not fit a laptop-scale benchmarking budget; the divisor keeps

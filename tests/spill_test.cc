@@ -3,13 +3,17 @@
 // SpillFile / SpillPartition byte-roundtrip guarantees.
 #include <gtest/gtest.h>
 
+#include <condition_variable>
 #include <cstdint>
 #include <cstring>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "spill/memory_governor.h"
 #include "spill/spill_file.h"
 #include "spill/spill_join.h"
+#include "util/rng.h"
 
 namespace pjoin {
 namespace {
@@ -64,6 +68,231 @@ TEST(MemoryGovernor, ScopedBudgetRestores) {
   }
   EXPECT_EQ(gov.budget(), before);
   EXPECT_EQ(gov.denials(), 0u);  // counters reset on scope exit
+}
+
+// --- cross-query arbitration (server mode, see src/server/) ---------------
+
+// Restores the calling thread's grant to "no query" on scope exit, so a
+// failing assertion can never leak a dangling grant into later tests.
+struct ScopedThreadGrant {
+  explicit ScopedThreadGrant(MemoryGovernor::QueryGrant* grant) {
+    MemoryGovernor::SetThreadGrant(grant);
+  }
+  ~ScopedThreadGrant() { MemoryGovernor::SetThreadGrant(nullptr); }
+};
+
+TEST(MemoryGovernor, FairShareSplitsAcrossActiveQueries) {
+  MemoryGovernor gov(1200);
+  MemoryGovernor::QueryGrant* g1 = gov.BeginQuery();
+  EXPECT_EQ(gov.active_queries(), 1);
+  EXPECT_EQ(g1->granted.load(), 1200u);  // alone: the whole budget
+
+  MemoryGovernor::QueryGrant* g2 = gov.BeginQuery();
+  EXPECT_EQ(gov.active_queries(), 2);
+  EXPECT_EQ(g1->granted.load(), 600u);
+  EXPECT_EQ(g2->granted.load(), 600u);
+
+  MemoryGovernor::QueryGrant* g3 = gov.BeginQuery();
+  EXPECT_EQ(g1->granted.load(), 400u);
+  EXPECT_EQ(g2->granted.load(), 400u);
+  EXPECT_EQ(g3->granted.load(), 400u);
+
+  gov.EndQuery(g2);
+  EXPECT_EQ(gov.active_queries(), 2);
+  EXPECT_EQ(g1->granted.load(), 600u);  // shares grow back
+  EXPECT_EQ(g3->granted.load(), 600u);
+  // min_granted keeps the tightest share ever held.
+  EXPECT_EQ(g1->min_granted.load(), 400u);
+  EXPECT_EQ(g3->min_granted.load(), 400u);
+
+  gov.EndQuery(g1);
+  gov.EndQuery(g3);
+  EXPECT_EQ(gov.active_queries(), 0);
+}
+
+TEST(MemoryGovernor, UnlimitedBudgetGrantsUnlimited) {
+  MemoryGovernor gov(0);
+  MemoryGovernor::QueryGrant* g = gov.BeginQuery();
+  EXPECT_EQ(g->granted.load(), UINT64_MAX);
+  ScopedThreadGrant scoped(g);
+  EXPECT_TRUE(gov.WouldFit(1ull << 40));
+  EXPECT_EQ(gov.spill_pressure(), 0u);
+  gov.EndQuery(g);
+}
+
+TEST(MemoryGovernor, BudgetSwapRecomputesShares) {
+  MemoryGovernor gov(1000);
+  MemoryGovernor::QueryGrant* g1 = gov.BeginQuery();
+  MemoryGovernor::QueryGrant* g2 = gov.BeginQuery();
+  EXPECT_EQ(g1->granted.load(), 500u);
+  gov.set_budget(2000);
+  EXPECT_EQ(g1->granted.load(), 1000u);
+  EXPECT_EQ(g2->granted.load(), 1000u);
+  gov.set_budget(0);
+  EXPECT_EQ(g1->granted.load(), UINT64_MAX);
+  gov.EndQuery(g1);
+  gov.EndQuery(g2);
+}
+
+TEST(MemoryGovernor, GrantOverrunSignalsSpillPressure) {
+  MemoryGovernor gov(1000);
+  MemoryGovernor::QueryGrant* mine = gov.BeginQuery();
+  MemoryGovernor::QueryGrant* other = gov.BeginQuery();  // contends: 500 each
+  {
+    ScopedThreadGrant scoped(mine);
+    gov.Account(400);
+    EXPECT_EQ(mine->used.load(), 400u);
+    EXPECT_EQ(gov.reserved(), 400u);
+
+    // Over the fair share but under the global budget: denied as pressure —
+    // the arbiter pushing this query toward its spill path early.
+    EXPECT_FALSE(gov.WouldFit(200));
+    EXPECT_EQ(mine->pressure_events.load(), 1u);
+    EXPECT_EQ(gov.spill_pressure(), 1u);
+    EXPECT_EQ(gov.denials(), 1u);
+
+    EXPECT_TRUE(gov.WouldFit(100));  // inside the share: fine
+    gov.Release(400);
+    EXPECT_EQ(mine->used.load(), 0u);
+  }
+  // Without a thread grant the same probe sees only the global budget.
+  EXPECT_TRUE(gov.WouldFit(600));
+  gov.EndQuery(mine);
+  gov.EndQuery(other);
+  EXPECT_EQ(gov.reserved(), 0u);
+}
+
+TEST(MemoryGovernor, EndQueryReturnsLeakedBytes) {
+  MemoryGovernor gov(1000);
+  MemoryGovernor::QueryGrant* g = gov.BeginQuery();
+  {
+    ScopedThreadGrant scoped(g);
+    gov.Account(300);
+  }
+  EXPECT_EQ(gov.reserved(), 300u);
+  gov.EndQuery(g);  // query "forgot" to release: pool must recover
+  EXPECT_EQ(gov.reserved(), 0u);
+}
+
+TEST(MemoryGovernor, ReleaseClampsInsteadOfWrapping) {
+  MemoryGovernor gov(1000);
+  gov.Account(50);
+  gov.Release(100);  // over-release from a second owner must not wrap
+  EXPECT_EQ(gov.reserved(), 0u);
+  EXPECT_TRUE(gov.WouldFit(900));
+}
+
+// Deterministic two-thread interleaving: a barrier drives the exact
+// account/probe/release schedule of two contending queries.
+class TestBarrier {
+ public:
+  explicit TestBarrier(int parties) : parties_(parties) {}
+  void Arrive() {
+    std::unique_lock<std::mutex> lock(mu_);
+    int gen = generation_;
+    if (++waiting_ == parties_) {
+      waiting_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return generation_ != gen; });
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int parties_;
+  int waiting_ = 0;
+  int generation_ = 0;
+};
+
+TEST(MemoryGovernor, DeterministicTwoQueryInterleaving) {
+  MemoryGovernor gov(1000);
+  TestBarrier barrier(2);
+  bool a_fit_over = true, a_fit_within = false, b_fit = false;
+
+  std::thread a([&] {
+    MemoryGovernor::QueryGrant* g = gov.BeginQuery();
+    barrier.Arrive();  // both queries registered: 500 each
+    ScopedThreadGrant scoped(g);
+    gov.Account(400);
+    barrier.Arrive();  // step 1: A holds 400
+    a_fit_over = gov.WouldFit(200);     // 600 > 500: pressure denial
+    a_fit_within = gov.WouldFit(50);    // 450 <= 500: fits
+    barrier.Arrive();  // step 2: both probed
+    gov.Release(400);
+    barrier.Arrive();  // step 3: drained
+    gov.EndQuery(g);
+  });
+  std::thread b([&] {
+    MemoryGovernor::QueryGrant* g = gov.BeginQuery();
+    barrier.Arrive();  // both queries registered
+    ScopedThreadGrant scoped(g);
+    gov.Account(300);
+    barrier.Arrive();  // step 1: B holds 300, global 700
+    b_fit = gov.WouldFit(100);          // 400 <= 500 and 800 <= 1000: fits
+    barrier.Arrive();  // step 2
+    gov.Release(300);
+    barrier.Arrive();  // step 3
+    gov.EndQuery(g);
+  });
+  a.join();
+  b.join();
+
+  EXPECT_FALSE(a_fit_over);
+  EXPECT_TRUE(a_fit_within);
+  EXPECT_TRUE(b_fit);
+  EXPECT_EQ(gov.reserved(), 0u);
+  EXPECT_EQ(gov.spill_pressure(), 1u);
+  EXPECT_EQ(gov.active_queries(), 0);
+}
+
+// Regression for the single-owner assumption: reserve/release hammered from
+// 8 threads (with query churn) must balance to zero and never wrap. Run
+// under TSan (PJOIN_SANITIZE=tsan) this is the governor's race detector.
+TEST(MemoryGovernor, ConcurrentReserveReleaseHammer) {
+  MemoryGovernor gov(1 << 20);
+  const int kThreads = 8;
+  const int kIters = 4000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gov, t] {
+      Rng rng(1000 + t);
+      MemoryGovernor::QueryGrant* g = gov.BeginQuery();
+      ScopedThreadGrant scoped(g);
+      uint64_t held = 0;
+      for (int i = 0; i < kIters; ++i) {
+        uint64_t bytes = 64 + rng.Below(4096);
+        if (gov.WouldFit(bytes)) {
+          gov.Account(bytes);
+          held += bytes;
+        }
+        if ((i & 7) == 7 && held > 0) {
+          gov.Release(held);
+          held = 0;
+        }
+        // Query churn: re-register mid-stream so shares recompute while
+        // other threads are accounting.
+        if ((i & 1023) == 1023) {
+          gov.Release(held);
+          held = 0;
+          MemoryGovernor::SetThreadGrant(nullptr);
+          gov.EndQuery(g);
+          g = gov.BeginQuery();
+          MemoryGovernor::SetThreadGrant(g);
+        }
+      }
+      gov.Release(held);
+      MemoryGovernor::SetThreadGrant(nullptr);
+      gov.EndQuery(g);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(gov.reserved(), 0u);
+  EXPECT_EQ(gov.active_queries(), 0);
+  EXPECT_LE(gov.high_water(), gov.budget() + kThreads * 4160u);
 }
 
 TEST(SpillFile, RoundtripsSequentialWrites) {
