@@ -84,35 +84,11 @@ struct WalkContext {
   std::map<int, JoinDecision>* out = nullptr;
   int next_join_id = 0;
   uint64_t skew_sample_size = 0;  // resolved: 0 disables sampling
+  double est_scale = 1.0;         // resolved fault-injection factor
 };
 
-// Traces a join-key name back to the base-table column it scans from, so the
-// build side can be sampled for skew. Computed (mapped) columns and names
-// that never reach a scan return null — those joins keep the uniform model.
-const Table* ResolveBaseColumn(const PlanNode& node, const std::string& name,
-                               int* col) {
-  switch (node.kind) {
-    case PlanNode::Kind::kScan: {
-      const int idx = node.table->schema().Find(name);
-      if (idx < 0) return nullptr;
-      *col = idx;
-      return node.table;
-    }
-    case PlanNode::Kind::kFilter:
-    case PlanNode::Kind::kAgg:
-      return ResolveBaseColumn(*node.child, name, col);
-    case PlanNode::Kind::kMap:
-      for (const auto& map : node.maps) {
-        if (map.name == name) return nullptr;  // computed, not sampleable
-      }
-      return ResolveBaseColumn(*node.child, name, col);
-    case PlanNode::Kind::kJoin: {
-      const Table* t = ResolveBaseColumn(*node.build, name, col);
-      return t != nullptr ? t : ResolveBaseColumn(*node.probe, name, col);
-    }
-  }
-  return nullptr;
-}
+// (The base-column trace the skew sampler uses lives in plan.cc now —
+// ResolveBaseColumn — shared with the statistics-backed join estimate.)
 
 struct SubtreeInfo {
   uint64_t est_rows = 0;   // estimated output cardinality
@@ -221,6 +197,16 @@ SubtreeInfo Walk(const PlanNode& node, const std::set<std::string>& required,
       SubtreeInfo build = Walk(*node.build, build_required, ctx);
       SubtreeInfo probe = Walk(*node.probe, probe_required, ctx);
       const int join_id = ctx.next_join_id++;
+      // Fault injection (PJOIN_EST_SCALE / AdvisorOptions::est_scale):
+      // corrupt the build-side estimate before costing. The corruption also
+      // feeds the join-output estimate below, so it compounds up the chain
+      // the way a real base-table misestimate would.
+      uint64_t est_build = build.est_rows;
+      if (ctx.est_scale != 1.0) {
+        est_build = std::max<uint64_t>(
+            1, static_cast<uint64_t>(std::llround(
+                   static_cast<double>(build.est_rows) * ctx.est_scale)));
+      }
       // Skew estimate: sample the build key's base column (fixed seed, so
       // EXPLAIN and execute decide identically run after run).
       SkewEstimate skew;
@@ -232,11 +218,15 @@ SubtreeInfo Walk(const PlanNode& node, const std::set<std::string>& required,
           skew = SampleBuildColumn(*table, key_col, ctx.skew_sample_size);
         }
       }
-      (*ctx.out)[join_id] = JoinAdvisor::Decide(
-          node.join_kind, build.est_rows, build.base_rows, probe.est_rows,
+      JoinDecision d = JoinAdvisor::Decide(
+          node.join_kind, est_build, build.base_rows, probe.est_rows,
           SumWidths(ctx, build_required), SumWidths(ctx, probe_required),
           probe.joins, *ctx.options, skew.present ? &skew : nullptr);
-      return SubtreeInfo{probe.est_rows, probe.base_rows,
+      d.skew_sample_rows = skew.present ? skew.sample_rows : 0;
+      d.est_build_base_rows = build.base_rows;
+      d.est_out_rows = EstimateJoinOutputRows(node, est_build, probe.est_rows);
+      (*ctx.out)[join_id] = d;
+      return SubtreeInfo{d.est_out_rows, probe.base_rows,
                          build.joins + probe.joins + 1};
     }
     case PlanNode::Kind::kAgg:
@@ -257,6 +247,7 @@ std::map<int, JoinDecision> JoinAdvisor::AdvisePlan(
   ctx.skew_sample_size = options.skew_sample_size == UINT64_MAX
                              ? SkewSampleSize()
                              : options.skew_sample_size;
+  ctx.est_scale = ResolvedEstimateScale(options);
   CollectWidths(root, &ctx.width);
 
   std::set<std::string> root_required;
@@ -278,6 +269,15 @@ double JoinAdvisor::PartitionOverflowShare(uint64_t est_build_rows,
       static_cast<double>(std::max<uint64_t>(1, est_build_rows));
   return std::min(1.0, options.partition_margin * static_cast<double>(l2) /
                            (build * per_tuple));
+}
+
+double JoinAdvisor::ResolvedReplanThreshold(const AdvisorOptions& options) {
+  return options.replan_qerror < 0 ? ReplanQErrorThreshold()
+                                   : options.replan_qerror;
+}
+
+double JoinAdvisor::ResolvedEstimateScale(const AdvisorOptions& options) {
+  return options.est_scale <= 0 ? EstimateScale() : options.est_scale;
 }
 
 JoinDecision JoinAdvisor::Decide(JoinKind kind, uint64_t est_build_rows,
@@ -459,7 +459,9 @@ AutoJoinRuntime::AutoJoinRuntime(JoinKind kind, const RowLayout* build_layout,
                                  const RadixJoin::Options& radix_options,
                                  const JoinDecision& decision,
                                  double overflow_factor)
-    : kind_(kind), decision_(decision) {
+    : kind_(kind),
+      decision_(decision),
+      radix_strategy_(radix_options.strategy) {
   const double estimate =
       static_cast<double>(std::max<uint64_t>(1, decision.est_build_rows));
   build_limit_ = static_cast<uint64_t>(
@@ -487,13 +489,15 @@ JoinMetrics AutoJoinRuntime::CollectMetrics() const {
   m.advisor.cost_bhj = decision_.cost_bhj;
   m.advisor.cost_rj = decision_.cost_rj;
   m.advisor.cost_brj = decision_.cost_brj;
-  m.advisor.fell_back = fell_back_;
+  m.advisor.fell_back = overflow_demoted_;
   m.advisor.reason = decision_.reason;
   m.advisor.skew_sampled = decision_.skew_sampled;
   m.advisor.est_top_share = decision_.est_top_share;
   m.advisor.est_max_partition_share = decision_.est_max_partition_share;
   m.advisor.est_key_payload_corr = decision_.est_key_payload_corr;
   m.advisor.skew_defense = decision_.skew_defense;
+  m.advisor.quality = StatsEnabled();
+  m.replan = replan_;
   return m;
 }
 
@@ -507,7 +511,151 @@ JoinAudit AutoJoinRuntime::Audit(int join_id) const {
 void AutoJoinRuntime::PrepareSpill(int num_threads, uint32_t out_stride) {
   if (!spill_.empty()) return;
   spill_.reserve(num_threads);
-  for (int i = 0; i < num_threads; ++i) spill_.emplace_back(out_stride);
+  // A count(*)-only query projects zero columns out of the join; the spill
+  // buffers then only track row counts (RowBuffer requires stride >= 1).
+  const uint32_t stride = std::max<uint32_t>(1, out_stride);
+  for (int i = 0; i < num_threads; ++i) spill_.emplace_back(stride);
+}
+
+void AutoJoinRuntime::ArmReplan(double qerror_threshold,
+                                const AdvisorOptions& options,
+                                int feedback_begin, int feedback_end) {
+  replan_qerror_ = qerror_threshold;
+  replan_options_ = options;
+  feedback_begin_ = feedback_begin;
+  feedback_end_ = feedback_end;
+}
+
+void AutoJoinRuntime::RouteStagedToHashTable(ExecContext& exec) {
+  RadixPartitioner& part = radix_->build_partitioner();
+  ChainingHashTable& ht = hash_->table();
+  const uint32_t row_stride = radix_->build_layout()->stride();
+  part.ForEachStagedTuple([&](uint64_t hash, const std::byte* row) {
+    ht.MaterializeEntry(0, hash, row, row_stride);
+  });
+  // FinishBuild, not a raw Build: under a memory budget the re-routed BHJ
+  // must be able to go hybrid (spill partitions) like a planned BHJ would.
+  hash_->FinishBuild(exec);
+}
+
+void AutoJoinRuntime::DeferDecision(ExecContext& exec,
+                                    RadixBuildSink* build_sink,
+                                    uint64_t staged) {
+  decision_pending_ = true;
+  deferred_build_sink_ = build_sink;
+  staged_build_ = staged;
+  // Publish this join's corrected output estimate: downstream joins in the
+  // same chain resolve after us and scale their probe estimate by the same
+  // ratio the build side was off by.
+  ExecContext::CardFeedback fb;
+  fb.est_rows = decision_.est_out_rows;
+  const double ratio =
+      static_cast<double>(std::max<uint64_t>(1, staged)) /
+      static_cast<double>(std::max<uint64_t>(1, decision_.est_build_rows));
+  fb.corrected_rows = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::llround(
+             static_cast<double>(std::max<uint64_t>(
+                 1, decision_.est_out_rows)) *
+             ratio)));
+  exec.RecordCardFeedback(join_id(), fb);
+}
+
+void AutoJoinRuntime::ResolveDeferred(ExecContext& exec) {
+  if (!decision_pending_) return;
+  decision_pending_ = false;
+  Stopwatch watch;
+  // Correct the probe estimate from the nearest upstream join that already
+  // published feedback (post-order: the probe subtree's top join has the
+  // highest id below ours).
+  const uint64_t est_probe =
+      std::max<uint64_t>(1, decision_.est_probe_rows);
+  uint64_t corrected_probe = est_probe;
+  for (int id = feedback_end_ - 1; id >= feedback_begin_; --id) {
+    const ExecContext::CardFeedback* fb = exec.FindCardFeedback(id);
+    if (fb == nullptr) continue;
+    const double ratio =
+        static_cast<double>(std::max<uint64_t>(1, fb->corrected_rows)) /
+        static_cast<double>(std::max<uint64_t>(1, fb->est_rows));
+    corrected_probe = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::llround(static_cast<double>(est_probe) * ratio)));
+    break;
+  }
+  replan_.enabled = true;
+  replan_.staged_build_tuples = staged_build_;
+  replan_.corrected_probe_tuples = corrected_probe;
+  replan_.qerror_build =
+      EstimateQError(decision_.est_build_rows, staged_build_);
+  replan_.qerror_probe =
+      EstimateQError(decision_.est_probe_rows, corrected_probe);
+
+  bool use_bhj = decision_.choice == JoinStrategy::kBHJ;
+  if (std::max(replan_.qerror_build, replan_.qerror_probe) >=
+      replan_qerror_) {
+    // Estimate wrong: re-cost the strategy with the observed build side and
+    // the corrected probe side. The skew sample survives from plan time (it
+    // sampled the base column, which did not change).
+    replan_.triggered = true;
+    SkewEstimate skew;
+    skew.present = decision_.skew_sampled;
+    skew.sample_rows = decision_.skew_sample_rows;
+    skew.top_share = decision_.est_top_share;
+    skew.topk_share = decision_.est_topk_share;
+    skew.key_payload_corr = decision_.est_key_payload_corr;
+    const uint64_t base =
+        std::max(decision_.est_build_base_rows, staged_build_);
+    JoinDecision re = JoinAdvisor::Decide(
+        kind_, staged_build_, base, corrected_probe, decision_.build_width,
+        decision_.probe_width, decision_.probe_depth, replan_options_,
+        skew.present ? &skew : nullptr);
+    replan_.recost_bhj = re.cost_bhj;
+    replan_.recost_rj = re.cost_rj;
+    replan_.recost_brj = re.cost_brj;
+    // The re-plan is the paper's binary question — partition or not. The
+    // partitioned variant (RJ/BRJ) stays whatever the engine was built as;
+    // the Bloom filter cannot be retrofitted mid-query.
+    use_bhj = re.choice == JoinStrategy::kBHJ;
+  } else if (!use_bhj && staged_build_ > build_limit_) {
+    // Untriggered path keeps the original overflow guardrail.
+    overflow_demoted_ = true;
+    use_bhj = true;
+  }
+  replan_.switched = use_bhj != (decision_.choice == JoinStrategy::kBHJ);
+  replan_.final_choice = use_bhj ? JoinStrategy::kBHJ : radix_strategy_;
+  if (use_bhj) {
+    fell_back_ = true;
+    RouteStagedToHashTable(exec);
+  } else {
+    deferred_build_sink_->Finish(exec);  // Bloom sizing + Finalize
+  }
+  exec.timer().Add(JoinPhase::kBuildPipeline, watch.ElapsedSeconds());
+}
+
+void AutoJoinRuntime::RecordProbeFeedback(ExecContext& exec,
+                                          uint64_t actual_probe) {
+  if (!replan_armed()) return;
+  // Refine this join's published output estimate with the observed probe
+  // count (build ratio was already folded in by DeferDecision).
+  const ExecContext::CardFeedback* prev = exec.FindCardFeedback(join_id());
+  if (prev == nullptr || prev->exact) return;
+  ExecContext::CardFeedback fb = *prev;
+  const double ratio =
+      static_cast<double>(std::max<uint64_t>(1, actual_probe)) /
+      static_cast<double>(std::max<uint64_t>(1, decision_.est_probe_rows));
+  fb.corrected_rows = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::llround(
+             static_cast<double>(fb.corrected_rows) * ratio)));
+  exec.RecordCardFeedback(join_id(), fb);
+}
+
+void AutoJoinRuntime::RecordOutputFeedback(ExecContext& exec,
+                                           uint64_t actual_out) {
+  if (!replan_armed()) return;
+  ExecContext::CardFeedback fb;
+  fb.est_rows = decision_.est_out_rows;
+  fb.corrected_rows = actual_out;
+  fb.exact = true;
+  exec.RecordCardFeedback(join_id(), fb);
 }
 
 void AutoBuildSink::Prepare(ExecContext& exec) {
@@ -524,6 +672,12 @@ void AutoBuildSink::Close(ThreadContext& ctx) { radix_sink_.Close(ctx); }
 void AutoBuildSink::Finish(ExecContext& exec) {
   RadixPartitioner& part = rt_->radix().build_partitioner();
   const uint64_t staged = part.PendingTuples();
+  if (rt_->replan_armed()) {
+    // Re-planning owns the decision: leave the build staged and resolve in
+    // the probe sink's Prepare, once upstream joins have reported actuals.
+    rt_->DeferDecision(exec, &radix_sink_, staged);
+    return;
+  }
   if (staged <= rt_->build_limit()) {
     radix_sink_.Finish(exec);  // Bloom sizing + Finalize: the radix path
     return;
@@ -552,6 +706,7 @@ AutoProbeSink::AutoProbeSink(AutoJoinRuntime* rt)
       spill_(rt) {}
 
 void AutoProbeSink::Prepare(ExecContext& exec) {
+  rt_->ResolveDeferred(exec);
   if (rt_->fell_back()) {
     rt_->PrepareSpill(exec.num_threads(),
                       rt_->hash().projection().output->stride());
@@ -591,10 +746,18 @@ void AutoProbeSink::Close(ThreadContext& ctx) {
 
 void AutoProbeSink::Finish(ExecContext& exec) {
   if (!rt_->fell_back()) radix_sink_.Finish(exec);
+  if (metrics_ != nullptr) {
+    rt_->RecordProbeFeedback(exec, metrics_->Totals().rows_in);
+  }
 }
 
 void AutoProbeSink::SpillSink::Consume(Batch& batch, ThreadContext& ctx) {
   RowBuffer& buf = rt_->spill(ctx.thread_id);
+  if (batch.layout->stride() == 0) {
+    // Zero-width output rows: record the count, there is nothing to copy.
+    for (uint32_t i = 0; i < batch.size; ++i) buf.AppendSlot();
+    return;
+  }
   for (uint32_t i = 0; i < batch.size; ++i) buf.Append(batch.Row(i));
 }
 
@@ -645,6 +808,12 @@ bool AutoJoinSource::ProduceMorsel(Operator& consumer, ThreadContext& ctx) {
 
 void AutoJoinSource::Close(ThreadContext& ctx) {
   if (!rt_->fell_back()) partition_src_.Close(ctx);
+}
+
+void AutoJoinSource::Finish(ExecContext& exec) {
+  if (metrics_ != nullptr) {
+    rt_->RecordOutputFeedback(exec, metrics_->Totals().rows_out);
+  }
 }
 
 }  // namespace pjoin

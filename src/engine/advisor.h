@@ -67,6 +67,20 @@ struct AdvisorOptions {
   // the sampling pass and every skew cost term. Sampling uses a fixed seed,
   // so repeated plans of the same query decide identically.
   uint64_t skew_sample_size = UINT64_MAX;
+
+  // Mid-query re-planning trigger. When the resolved value is > 0, every
+  // advised join defers its engine choice from the build sink's Finish to
+  // the probe sink's Prepare and re-costs the strategy when the observed
+  // build/probe q-error meets the threshold. 0 disables (the plan-time
+  // choice runs, guarded only by the overflow fallback); the default
+  // sentinel (-1) reads PJOIN_REPLAN_QERROR, which defaults to 0.
+  double replan_qerror = -1.0;
+
+  // Fault injection for re-planner tests and bench/ext_misestimate:
+  // multiplies every join's build-side cardinality estimate inside the
+  // advisor walk, compounding up the join chain. The default sentinel
+  // (<= 0) reads PJOIN_EST_SCALE, which defaults to 1 (no corruption).
+  double est_scale = 0.0;
 };
 
 // One join's scored decision. Costs are modeled bytes of memory traffic.
@@ -77,6 +91,8 @@ struct JoinDecision {
   uint32_t build_width = 0;  // materialized build row bytes
   uint32_t probe_width = 0;  // probe row bytes entering the join
   int probe_depth = 0;       // joins below the probe side (pipeline depth)
+  uint64_t est_out_rows = 0;        // estimated join output (AdvisePlan only)
+  uint64_t est_build_base_rows = 0; // unfiltered build base-table cardinality
   uint64_t est_ht_bytes = 0; // BHJ hash table: entries + directory
   double est_pass_rate = 1.0;  // modeled Bloom pass rate (BRJ)
   double cost_bhj = 0;
@@ -124,6 +140,14 @@ class JoinAdvisor {
   static double PartitionOverflowShare(uint64_t est_build_rows,
                                        uint32_t build_width,
                                        const AdvisorOptions& options);
+
+  // Resolved re-plan trigger: options.replan_qerror, or PJOIN_REPLAN_QERROR
+  // when the option holds the sentinel. > 0 arms deferred re-planning.
+  static double ResolvedReplanThreshold(const AdvisorOptions& options);
+
+  // Resolved estimate-corruption factor: options.est_scale, or
+  // PJOIN_EST_SCALE when the option holds the sentinel.
+  static double ResolvedEstimateScale(const AdvisorOptions& options);
 };
 
 // Shared state of one advisor-chosen radix join running under the build
@@ -143,8 +167,42 @@ class AutoJoinRuntime {
   const JoinDecision& decision() const { return decision_; }
 
   bool fell_back() const { return fell_back_; }
-  void set_fell_back() { fell_back_ = true; }
+  void set_fell_back() {
+    fell_back_ = true;
+    overflow_demoted_ = true;
+  }
   uint64_t build_limit() const { return build_limit_; }
+
+  // --- mid-query re-planning (PJOIN_REPLAN_QERROR > 0) ---------------------
+  // Arms deferred resolution: the engine decision moves from the build
+  // sink's Finish to the probe sink's Prepare, after every join in the probe
+  // subtree (post-order ids [feedback_begin, feedback_end)) has published
+  // its observed cardinality into ExecContext. The runtime then re-costs the
+  // strategy with the staged build count and the feedback-corrected probe
+  // estimate whenever either q-error reaches the threshold.
+  void ArmReplan(double qerror_threshold, const AdvisorOptions& options,
+                 int feedback_begin, int feedback_end);
+  bool replan_armed() const { return replan_qerror_ > 0; }
+
+  // Build pipeline finished with the decision still open: remember the
+  // staged tuple count and the sink that can finalize the radix build, and
+  // publish this join's corrected output estimate for downstream joins.
+  void DeferDecision(ExecContext& exec, RadixBuildSink* build_sink,
+                     uint64_t staged);
+
+  // Resolves a deferred decision (no-op otherwise): reads upstream
+  // cardinality feedback, re-costs if the q-error trigger fires, then either
+  // finalizes the radix build or re-routes the staged tuples into the BHJ
+  // table. Called from AutoProbeSink::Prepare — pipelines prepare and finish
+  // serially, so no synchronization is needed.
+  void ResolveDeferred(ExecContext& exec);
+
+  // Feedback refinements on the resolved path (observed probe count, exact
+  // join output); no-ops when re-planning is off.
+  void RecordProbeFeedback(ExecContext& exec, uint64_t actual_probe);
+  void RecordOutputFeedback(ExecContext& exec, uint64_t actual_out);
+
+  const ReplanMetrics& replan() const { return replan_; }
 
   void set_join_id(int id);
   int join_id() const { return radix_->join_id(); }
@@ -166,13 +224,30 @@ class AutoJoinRuntime {
   int num_spill_buffers() const { return static_cast<int>(spill_.size()); }
 
  private:
+  // Re-routes the staged pass-1 tuples into the chaining hash table and
+  // finishes the BHJ build (shared by the overflow guardrail and a re-plan
+  // switch to BHJ).
+  void RouteStagedToHashTable(ExecContext& exec);
+
   JoinKind kind_;
   JoinDecision decision_;
+  JoinStrategy radix_strategy_;  // partitioned variant the radix engine runs
   uint64_t build_limit_;
   std::unique_ptr<RadixJoin> radix_;
   std::unique_ptr<HashJoin> hash_;
-  bool fell_back_ = false;
+  bool fell_back_ = false;         // the hash engine executes this join
+  bool overflow_demoted_ = false;  // legacy guardrail demotion (metrics flag)
   std::vector<RowBuffer> spill_;
+
+  // Deferred-replan state.
+  double replan_qerror_ = 0;  // 0 = re-planning off
+  AdvisorOptions replan_options_;
+  int feedback_begin_ = 0;
+  int feedback_end_ = 0;
+  bool decision_pending_ = false;
+  uint64_t staged_build_ = 0;
+  RadixBuildSink* deferred_build_sink_ = nullptr;
+  ReplanMetrics replan_;
 };
 
 // Terminates the build pipeline of an advisor-chosen radix join. Stages
@@ -253,6 +328,7 @@ class AutoJoinSource : public Source {
   void Open(ThreadContext& ctx) override;
   bool ProduceMorsel(Operator& consumer, ThreadContext& ctx) override;
   void Close(ThreadContext& ctx) override;
+  void Finish(ExecContext& exec) override;
   const RowLayout* OutputLayout() const override {
     return rt_->radix().projection().output;
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "spill/memory_governor.h"
+#include "stats/stats_catalog.h"
 #include "util/check.h"
 #include "util/env.h"
 #include "util/stopwatch.h"
@@ -123,6 +124,7 @@ void AttachAdvisorMetrics(JoinMetrics& m, const JoinDecision& d) {
   m.advisor.est_max_partition_share = d.est_max_partition_share;
   m.advisor.est_key_payload_corr = d.est_key_payload_corr;
   m.advisor.skew_defense = d.skew_defense;
+  m.advisor.quality = StatsEnabled();
 }
 
 class Lowerer {
@@ -176,6 +178,7 @@ class Lowerer {
   std::vector<std::unique_ptr<Pipeline>> pipelines_;
   std::vector<Pipeline*> run_order_;
   std::vector<TableScanSource*> scans_;
+  std::set<const Table*> scanned_tables_;  // for the stats metrics snapshot
   std::vector<RadixProbeSink*> radix_probe_sinks_;
   std::vector<std::function<JoinAudit()>> audit_fns_;
   // Per-join observability collectors, invoked after the run (they read the
@@ -231,6 +234,7 @@ Lowerer::Stream Lowerer::LowerScan(const PlanNode& node,
                                                        node.predicates));
   auto* scan = static_cast<TableScanSource*>(sources_.back().get());
   scans_.push_back(scan);
+  scanned_tables_.insert(node.table);
   Pipeline* pipeline = NewPipeline(scan, JoinPhase::kProbePipeline,
                                    "scan " + node.table->name());
   return Stream{pipeline, layout};
@@ -260,6 +264,9 @@ Lowerer::Stream Lowerer::LowerJoin(const PlanNode& node,
   }
 
   Stream build = Lower(*node.build, build_required);
+  // Join ids assigned while lowering the probe subtree form the feedback
+  // range a replan-armed join reads its corrected probe estimate from.
+  const int probe_ids_begin = next_join_id_;
   Stream probe = Lower(*node.probe, probe_required);
 
   // Join id in post-order (children were lowered first) — the numbering of
@@ -311,7 +318,13 @@ Lowerer::Stream Lowerer::LowerJoin(const PlanNode& node,
   const bool advised = decision != nullptr;
   const JoinDecision adv = advised ? *decision : JoinDecision{};
 
-  if (strategy == JoinStrategy::kBHJ) {
+  // Mid-query re-planning keeps every advised join on the guarded Auto
+  // path — even an advised BHJ — because the staged pass-1 tuples can become
+  // either engine's build when the decision resolves at probe time.
+  const double replan_q =
+      advised ? JoinAdvisor::ResolvedReplanThreshold(options_.advisor) : 0.0;
+
+  if (strategy == JoinStrategy::kBHJ && replan_q <= 0) {
     hash_joins_.push_back(std::make_unique<HashJoin>(
         node.join_kind, build.layout, build_keys, probe.layout, probe_keys,
         *projection));
@@ -363,7 +376,17 @@ Lowerer::Stream Lowerer::LowerJoin(const PlanNode& node,
   // Radix joins (RJ / BRJ / adaptive BRJ).
   RadixJoin::Options radix_options;
   radix_options.strategy = strategy;
-  radix_options.expected_build_tuples = node.build->EstimateRows() | 1;
+  if (strategy == JoinStrategy::kBHJ) {
+    // Replan-armed advised BHJ: construct the radix engine as the cheaper
+    // partitioned variant in case the re-plan flips the decision (the Bloom
+    // filter cannot be retrofitted after construction).
+    radix_options.strategy =
+        RadixJoin::BloomApplicable(node.join_kind) && adv.cost_brj < adv.cost_rj
+            ? JoinStrategy::kBRJ
+            : JoinStrategy::kRJ;
+  }
+  radix_options.expected_build_tuples =
+      (advised ? adv.est_build_rows : node.build->EstimateRows()) | 1;
   radix_options.num_threads = num_threads_;
   radix_options.bits1 = options_.radix_bits1;
   radix_options.bits2 = options_.radix_bits2;
@@ -383,6 +406,9 @@ Lowerer::Stream Lowerer::LowerJoin(const PlanNode& node,
         options_.advisor.build_overflow_factor));
     AutoJoinRuntime* rt = auto_joins_.back().get();
     rt->set_join_id(join_id);
+    if (replan_q > 0) {
+      rt->ArmReplan(replan_q, options_.advisor, probe_ids_begin, join_id);
+    }
     audit_fns_.push_back([rt, join_id] { return rt->Audit(join_id); });
 
     operators_.push_back(std::make_unique<AutoBuildSink>(rt));
@@ -592,6 +618,19 @@ QueryResult Lowerer::Run(ThreadPool& pool, QueryStats* stats) {
     qm.SetGovernor(gov.budget(), gov.high_water(), gov.denials());
   }
   qm.SetSimdTier(SimdTierName(ActiveSimdTier()));
+  if (StatsEnabled()) {
+    uint64_t stat_tables = 0;
+    uint64_t stat_columns = 0;
+    for (const Table* table : scanned_tables_) {
+      const TableStats* ts = StatsCatalog::Global().Get(*table);
+      if (ts == nullptr) continue;
+      ++stat_tables;
+      for (const ColumnStats& cs : ts->columns) {
+        if (cs.distinct > 0 || cs.histogram.valid()) ++stat_columns;
+      }
+    }
+    qm.SetStats(stat_tables, stat_columns, StatsBuckets());
+  }
 
   if (stats != nullptr) {
     stats->metrics = qm;

@@ -88,7 +88,7 @@ std::string AutoLabel(const JoinDecision& d) {
 // The advisor sub-line: estimates, layout widths, modeled costs (rounded to
 // whole bytes so the line is stable across runs), and the decision reason.
 void RenderAdvisorLine(const JoinDecision& d, int depth, bool fell_back,
-                       std::ostringstream* out) {
+                       const JoinMetrics* jm, std::ostringstream* out) {
   for (int i = 0; i < depth + 1; ++i) *out << "  ";
   *out << "advisor: est_build=" << d.est_build_rows
        << " est_probe=" << d.est_probe_rows << " widths=" << d.build_width
@@ -98,6 +98,16 @@ void RenderAdvisorLine(const JoinDecision& d, int depth, bool fell_back,
        << " rj=" << static_cast<uint64_t>(std::llround(d.cost_rj))
        << " brj=" << static_cast<uint64_t>(std::llround(d.cost_brj))
        << "] -- " << d.reason;
+  if (jm != nullptr && jm->advisor.quality) {
+    // Estimate quality against the observed counts (stats subsystem on).
+    const double qb = EstimateQError(d.est_build_rows, jm->build_tuples);
+    const double qp = EstimateQError(d.est_probe_rows, jm->probe_tuples);
+    *out << " qerr[build=" << Fixed(qb, 3) << " probe=" << Fixed(qp, 3)
+         << "]";
+    if (qb >= kMispredictQError || qp >= kMispredictQError) {
+      *out << " MISPREDICT";
+    }
+  }
   if (fell_back) *out << " [fell back to BHJ: build overflowed estimate]";
   *out << "\n";
   if (d.skew_sampled) {
@@ -146,7 +156,8 @@ void Render(const PlanNode& node, const ExecOptions& options,
       }
       *out << "\n";
       if (adv != nullptr) {
-        RenderAdvisorLine(*adv, depth, /*fell_back=*/false, out);
+        RenderAdvisorLine(*adv, depth, /*fell_back=*/false, /*jm=*/nullptr,
+                          out);
       }
       Render(*node.build, options, ids, advice, depth + 1, out);
       Render(*node.probe, options, ids, advice, depth + 1, out);
@@ -259,7 +270,26 @@ void RenderAnalyze(const PlanNode& node, const ExecOptions& options,
         // are visible; a triggered guardrail is flagged inline.
         const bool fell_back =
             jm != nullptr && jm->advisor.present && jm->advisor.fell_back;
-        RenderAdvisorLine(*adv, depth, fell_back, out);
+        RenderAdvisorLine(*adv, depth, fell_back, jm, out);
+      }
+      if (jm != nullptr && jm->replan.enabled) {
+        const ReplanMetrics& r = jm->replan;
+        indent(1);
+        // Deliberately avoids the phrase "fell back": a replan switch is a
+        // re-costed decision, not the overflow guardrail tripping.
+        *out << "replan: plan=" << JoinStrategyName(jm->advisor.choice)
+             << " final=" << JoinStrategyName(r.final_choice)
+             << " qerr_build=" << Fixed(r.qerror_build, 3)
+             << " qerr_probe=" << Fixed(r.qerror_probe, 3)
+             << " staged=" << r.staged_build_tuples
+             << " probe_corrected=" << r.corrected_probe_tuples;
+        if (r.triggered) {
+          *out << " (triggered"
+               << (r.switched ? ", switched)" : ", confirmed)");
+        } else {
+          *out << " (not triggered)";
+        }
+        *out << "\n";
       }
       if (jm != nullptr && jm->has_hash_table) {
         const HashTableMetrics& ht = jm->hash_table;

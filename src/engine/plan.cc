@@ -1,5 +1,8 @@
 #include "engine/plan.h"
 
+#include <algorithm>
+
+#include "stats/stats_catalog.h"
 #include "util/check.h"
 
 namespace pjoin {
@@ -41,12 +44,8 @@ std::vector<PlanNode::ColumnRef> PlanNode::OutputColumns() const {
 uint64_t PlanNode::EstimateRows() const {
   switch (kind) {
     case Kind::kScan: {
-      // Conjunctive predicates combine multiplicatively (independence
-      // assumption); predicate-free scans stay exact.
-      double selectivity = 1.0;
-      for (const ScanPredicate& pred : predicates) {
-        selectivity *= EstimateSelectivity(pred, *table);
-      }
+      const double selectivity =
+          EstimateConjunctionSelectivity(predicates, *table);
       const double rows =
           static_cast<double>(table->num_rows()) * selectivity;
       return rows < 1.0 ? 1 : static_cast<uint64_t>(rows);
@@ -56,10 +55,80 @@ uint64_t PlanNode::EstimateRows() const {
     case Kind::kAgg:
       return child->EstimateRows();
     case Kind::kJoin:
-      // FK joins dominate TPC-H: output cardinality tracks the probe side.
-      return probe->EstimateRows();
+      return EstimateJoinOutputRows(*this, build->EstimateRows(),
+                                    probe->EstimateRows());
   }
   return 0;
+}
+
+const Table* ResolveBaseColumn(const PlanNode& node, const std::string& name,
+                               int* col) {
+  switch (node.kind) {
+    case PlanNode::Kind::kScan: {
+      const int idx = node.table->schema().Find(name);
+      if (idx < 0) return nullptr;
+      *col = idx;
+      return node.table;
+    }
+    case PlanNode::Kind::kFilter:
+    case PlanNode::Kind::kAgg:
+      return ResolveBaseColumn(*node.child, name, col);
+    case PlanNode::Kind::kMap:
+      for (const auto& map : node.maps) {
+        if (map.name == name) return nullptr;  // computed, not traceable
+      }
+      return ResolveBaseColumn(*node.child, name, col);
+    case PlanNode::Kind::kJoin: {
+      const Table* t = ResolveBaseColumn(*node.build, name, col);
+      return t != nullptr ? t : ResolveBaseColumn(*node.probe, name, col);
+    }
+  }
+  return nullptr;
+}
+
+uint64_t EstimateJoinOutputRows(const PlanNode& join, uint64_t build_rows,
+                                uint64_t probe_rows) {
+  PJOIN_CHECK(join.kind == PlanNode::Kind::kJoin);
+  switch (join.join_kind) {
+    case JoinKind::kInner:
+    case JoinKind::kLeftOuter:
+    case JoinKind::kRightOuter:
+      break;
+    default:
+      // Semi/anti/mark output at most one row per preserved-side input; the
+      // probe-side estimate is already the right order of magnitude.
+      return probe_rows;
+  }
+  if (join.keys.empty()) return probe_rows;
+  int build_col = -1;
+  int probe_col = -1;
+  const Table* build_table =
+      ResolveBaseColumn(*join.build, join.keys[0].first, &build_col);
+  const Table* probe_table =
+      ResolveBaseColumn(*join.probe, join.keys[0].second, &probe_col);
+  if (build_table == nullptr || probe_table == nullptr) return probe_rows;
+  // Distinct counts shrink at most linearly with filtering, so cap them by
+  // the estimated input cardinalities before taking the containment max.
+  const uint64_t d_build = std::min<uint64_t>(
+      std::max<uint64_t>(1, build_rows),
+      std::max<uint64_t>(1, ColumnDistinctCount(*build_table, build_col)));
+  const uint64_t d_probe = std::min<uint64_t>(
+      std::max<uint64_t>(1, probe_rows),
+      std::max<uint64_t>(1, ColumnDistinctCount(*probe_table, probe_col)));
+  if (ColumnDistinctCount(*build_table, build_col) == 0 ||
+      ColumnDistinctCount(*probe_table, probe_col) == 0) {
+    return probe_rows;  // statistics disabled or unavailable
+  }
+  const double d_max = static_cast<double>(std::max(d_build, d_probe));
+  double out = static_cast<double>(build_rows) *
+               static_cast<double>(probe_rows) / d_max;
+  // Outer joins preserve one side regardless of matches.
+  if (join.join_kind == JoinKind::kLeftOuter) {
+    out = std::max(out, static_cast<double>(probe_rows));
+  } else if (join.join_kind == JoinKind::kRightOuter) {
+    out = std::max(out, static_cast<double>(build_rows));
+  }
+  return out < 1.0 ? 1 : static_cast<uint64_t>(out);
 }
 
 int PlanNode::CountJoins() const {

@@ -57,14 +57,32 @@ struct PlanNode {
   };
   std::vector<ColumnRef> OutputColumns() const;
 
-  // Cardinality estimate used to size radix partitions (a real optimizer
-  // estimate in the paper's system; here: base-table sizes propagated up,
-  // FK joins estimated by their probe side).
+  // Cardinality estimate used to size radix partitions and feed the join
+  // advisor. With the statistics catalog enabled (PJOIN_STATS, default on)
+  // scans answer from per-column histograms with correlation-damped
+  // conjunctions and joins from distinct-count sketches; without it, base
+  // table sizes propagate up and FK joins are estimated by their probe side.
   uint64_t EstimateRows() const;
 
   // Number of join nodes in this subtree.
   int CountJoins() const;
 };
+
+// Traces output column `name` of the subtree at `node` back to the base
+// table column it was scanned from; sets *col and returns the table, or
+// returns null for computed columns and names that never reach a scan.
+// Shared by the advisor's skew sampler and the statistics-backed join
+// cardinality estimate.
+const Table* ResolveBaseColumn(const PlanNode& node, const std::string& name,
+                               int* col);
+
+// Estimated output cardinality of join node `join` given estimated input
+// cardinalities. With statistics, inner/outer joins use the textbook
+// containment estimate |B><P| ~= |B|*|P| / max(d_build, d_probe) over the
+// base-column distinct counts of the first key pair; semi/anti/mark kinds
+// and plans without statistics keep the probe-side (FK-join) estimate.
+uint64_t EstimateJoinOutputRows(const PlanNode& join, uint64_t build_rows,
+                                uint64_t probe_rows);
 
 // --- builder functions --------------------------------------------------
 

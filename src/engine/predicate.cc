@@ -1,9 +1,12 @@
 #include "engine/predicate.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <map>
 #include <string_view>
 
+#include "stats/stats_catalog.h"
 #include "util/check.h"
 
 namespace pjoin {
@@ -262,7 +265,95 @@ bool EvalPredicate(const ScanPredicate& pred, const Table& table,
   return false;
 }
 
+namespace {
+
+// Histogram-backed estimate for the numeric comparison ops. Returns false
+// when the column has no histogram (non-numeric, stats disabled) and the
+// caller should use the range heuristic instead.
+bool HistogramSelectivity(const ScanPredicate& pred, const ColumnStats& cs,
+                          double* out) {
+  if (!cs.numeric || !cs.histogram.valid()) return false;
+  const EqualHeightHistogram& h = cs.histogram;
+  const bool integral = h.integral();
+  const double ref =
+      pred.is_double ? pred.d0 : static_cast<double>(pred.i0);
+  switch (pred.op) {
+    case ScanPredicate::Op::kEq:
+      *out = h.EqFraction(ref);
+      return true;
+    case ScanPredicate::Op::kNe:
+      *out = 1.0 - h.EqFraction(ref);
+      return true;
+    case ScanPredicate::Op::kLt:
+      *out = integral ? h.LeFraction(ref - 1.0) : h.LeFraction(ref);
+      return true;
+    case ScanPredicate::Op::kLe:
+      *out = h.LeFraction(ref);
+      return true;
+    case ScanPredicate::Op::kGt:
+      *out = 1.0 - h.LeFraction(ref);
+      return true;
+    case ScanPredicate::Op::kGe:
+      *out = integral ? 1.0 - h.LeFraction(ref - 1.0)
+                      : 1.0 - h.LeFraction(ref);
+      return true;
+    case ScanPredicate::Op::kBetween: {
+      const double lo =
+          pred.is_double ? pred.d0 : static_cast<double>(pred.i0);
+      const double hi =
+          pred.is_double ? pred.d1 : static_cast<double>(pred.i1);
+      *out = h.BetweenFraction(lo, hi);
+      return true;
+    }
+    case ScanPredicate::Op::kInSet: {
+      double f = 0;
+      for (int64_t v : pred.iset) f += h.EqFraction(static_cast<double>(v));
+      *out = Clamp01(f);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+// Sketch-backed estimate for string equality/membership: 1/d per sought
+// value (uniform-over-distinct assumption).
+bool SketchStringSelectivity(const ScanPredicate& pred, const ColumnStats& cs,
+                             double* out) {
+  if (cs.distinct == 0) return false;
+  const double eq = 1.0 / static_cast<double>(cs.distinct);
+  switch (pred.op) {
+    case ScanPredicate::Op::kStrEq:
+      *out = Clamp01(eq);
+      return true;
+    case ScanPredicate::Op::kStrNe:
+      *out = Clamp01(1.0 - eq);
+      return true;
+    case ScanPredicate::Op::kStrIn:
+      *out = Clamp01(static_cast<double>(pred.sset.size()) * eq);
+      return true;
+    default:
+      return false;
+  }
+}
+
+const ColumnStats* LookupColumnStats(const Table& table,
+                                     const std::string& column) {
+  const TableStats* ts = StatsCatalog::Global().Get(table);
+  if (ts == nullptr) return nullptr;
+  const int idx = table.schema().Find(column);
+  if (idx < 0 || idx >= static_cast<int>(ts->columns.size())) return nullptr;
+  return &ts->columns[idx];
+}
+
+}  // namespace
+
 double EstimateSelectivity(const ScanPredicate& pred, const Table& table) {
+  if (const ColumnStats* cs = LookupColumnStats(table, pred.column)) {
+    double s;
+    if (HistogramSelectivity(pred, *cs, &s)) return Clamp01(s);
+    if (SketchStringSelectivity(pred, *cs, &s)) return Clamp01(s);
+  }
   const Column& col = table.column(pred.column);
   switch (pred.op) {
     case ScanPredicate::Op::kEq:
@@ -327,6 +418,71 @@ double EstimateSelectivity(const ScanPredicate& pred, const Table& table) {
       return 0.9;
   }
   return 0.5;
+}
+
+double EstimateConjunctionSelectivity(const std::vector<ScanPredicate>& preds,
+                                      const Table& table) {
+  if (preds.empty()) return 1.0;
+  const TableStats* ts = StatsCatalog::Global().Get(table);
+  if (ts == nullptr) {
+    // Pre-statistics behavior: plain multiplicative independence.
+    double s = 1.0;
+    for (const ScanPredicate& pred : preds) {
+      s *= EstimateSelectivity(pred, table);
+    }
+    return Clamp01(s);
+  }
+  // Per-column groups: conjunctions on one column (range pairs, eq + range)
+  // are never independent, so a group's selectivity is its minimum.
+  // std::map keeps the grouping order deterministic.
+  std::map<std::string, double> group;
+  for (const ScanPredicate& pred : preds) {
+    const double s = EstimateSelectivity(pred, table);
+    auto [it, inserted] = group.emplace(pred.column, s);
+    if (!inserted) it->second = std::min(it->second, s);
+  }
+  if (group.size() == 1) return Clamp01(group.begin()->second);
+
+  // Correlation evidence across columns: under independence the joint
+  // domain needs up to prod(d_i) distinct combinations; if that exceeds the
+  // table's row count, the columns cannot vary freely and the independence
+  // product would overshoot. Unknown distinct counts count as evidence too
+  // (we cannot rule correlation out).
+  double distinct_product = 1.0;
+  bool correlated = false;
+  for (const auto& [column, s] : group) {
+    const int idx = table.schema().Find(column);
+    const uint64_t d =
+        idx >= 0 && idx < static_cast<int>(ts->columns.size())
+            ? ts->columns[idx].distinct
+            : 0;
+    if (d == 0) {
+      correlated = true;
+      break;
+    }
+    distinct_product *= static_cast<double>(d);
+    if (distinct_product > static_cast<double>(ts->rows)) {
+      correlated = true;
+      break;
+    }
+  }
+  std::vector<double> sels;
+  sels.reserve(group.size());
+  for (const auto& [column, s] : group) sels.push_back(s);
+  std::sort(sels.begin(), sels.end());
+  double combined = sels[0];
+  if (correlated) {
+    // Exponential backoff (s0 * s1^1/2 * s2^1/4 ...): damps the tail
+    // instead of trusting it, and is <= s0 by construction.
+    double weight = 0.5;
+    for (size_t i = 1; i < sels.size(); ++i) {
+      combined *= std::pow(sels[i], weight);
+      weight *= 0.5;
+    }
+  } else {
+    for (size_t i = 1; i < sels.size(); ++i) combined *= sels[i];
+  }
+  return Clamp01(combined);
 }
 
 }  // namespace pjoin

@@ -78,12 +78,27 @@ struct ScanPredicate {
 bool EvalPredicate(const ScanPredicate& pred, const Table& table,
                    uint64_t row);
 
-// Estimated fraction of rows passing `pred`, in [0, 1]. Numeric comparisons
-// interpolate against a sampled column [min, max] range (uniformity
-// assumption); string and column-column predicates fall back to fixed
-// heuristics. Deterministic for a given table, so plan estimates — and the
-// join-advisor decisions built on them — are stable across runs.
+// Estimated fraction of rows passing `pred`, in [0, 1]. With the statistics
+// catalog enabled (PJOIN_STATS, default on) numeric comparisons answer from
+// per-column equal-height histograms and string equality/membership from
+// distinct-count sketches; otherwise numeric comparisons interpolate against
+// a sampled column [min, max] range (uniformity assumption) and strings fall
+// back to fixed heuristics. Deterministic for a given table, so plan
+// estimates — and the join-advisor decisions built on them — are stable
+// across runs.
 double EstimateSelectivity(const ScanPredicate& pred, const Table& table);
+
+// Combined selectivity of a predicate conjunction, in [0, 1]. Without
+// statistics this is the plain product over EstimateSelectivity
+// (independence assumption, the pre-statistics behavior). With statistics,
+// predicates on the same column combine by their minimum, and across
+// columns the distinct-count sketches arbitrate: when the product of the
+// involved columns' distinct counts exceeds the row count — evidence the
+// columns cannot vary independently — the per-column selectivities combine
+// with exponential backoff (s0 * s1^1/2 * s2^1/4 ... over ascending
+// values), which is always clamped by the most selective single column.
+double EstimateConjunctionSelectivity(const std::vector<ScanPredicate>& preds,
+                                      const Table& table);
 
 }  // namespace pjoin
 

@@ -267,11 +267,52 @@ std::string QueryMetrics::ToJson(bool include_timings) const {
         out << ",\"skew_defense\":"
             << (j.advisor.skew_defense ? "true" : "false");
       }
+      if (j.advisor.quality) {
+        // Estimate-quality report (stats subsystem on): symmetric q-errors
+        // of the cardinality estimates against the observed counts.
+        const double qb =
+            EstimateQError(j.advisor.est_build_tuples, j.build_tuples);
+        const double qp =
+            EstimateQError(j.advisor.est_probe_tuples, j.probe_tuples);
+        out << ",\"qerror_build\":";
+        AppendDouble(out, qb);
+        out << ",\"qerror_probe\":";
+        AppendDouble(out, qp);
+        out << ",\"mispredict\":"
+            << (qb >= kMispredictQError || qp >= kMispredictQError ? "true"
+                                                                   : "false");
+      }
+      out << "}";
+    }
+    if (j.replan.enabled) {
+      const ReplanMetrics& r = j.replan;
+      out << ",\"replan\":{\"triggered\":" << (r.triggered ? "true" : "false")
+          << ",\"switched\":" << (r.switched ? "true" : "false")
+          << ",\"qerror_build\":";
+      AppendDouble(out, r.qerror_build);
+      out << ",\"qerror_probe\":";
+      AppendDouble(out, r.qerror_probe);
+      out << ",\"staged_build_tuples\":" << r.staged_build_tuples
+          << ",\"corrected_probe_tuples\":" << r.corrected_probe_tuples
+          << ",\"final\":\"" << JoinStrategyName(r.final_choice) << "\"";
+      if (r.triggered) {
+        out << ",\"recost_bhj\":";
+        AppendDouble(out, r.recost_bhj);
+        out << ",\"recost_rj\":";
+        AppendDouble(out, r.recost_rj);
+        out << ",\"recost_brj\":";
+        AppendDouble(out, r.recost_brj);
+      }
       out << "}";
     }
     out << "}";
   }
   out << "]";
+  if (stats_present_) {
+    out << ",\"stats\":{\"tables\":" << stats_tables_
+        << ",\"columns\":" << stats_columns_
+        << ",\"buckets\":" << stats_buckets_ << "}";
+  }
   if (governor_budget_ > 0) {
     out << ",\"governor\":{\"budget\":" << governor_budget_
         << ",\"high_water\":" << governor_high_water_

@@ -213,7 +213,42 @@ struct AdvisorMetrics {
   double est_max_partition_share = 0;
   double est_key_payload_corr = 0;
   bool skew_defense = false;  // partitioned pick armed the runtime defense
+  // Estimation-quality reporting (q-error + mispredict flag in JSON and
+  // EXPLAIN ANALYZE). Set only when the statistics subsystem is enabled, so
+  // PJOIN_STATS=0 output is byte-identical to the pre-statistics engine.
+  bool quality = false;
 };
+
+// Mid-query re-planning record of one advisor-chosen join
+// (PJOIN_REPLAN_QERROR > 0). `enabled` stays false when the re-planner is
+// off — the default — and the JSON/EXPLAIN layers omit the record.
+struct ReplanMetrics {
+  bool enabled = false;    // decision was deferred to the probe phase
+  bool triggered = false;  // observed q-error crossed the threshold
+  bool switched = false;   // final strategy differs from the plan-time pick
+  double qerror_build = 1.0;  // staged build vs plan-time estimate
+  double qerror_probe = 1.0;  // feedback-corrected probe vs estimate
+  uint64_t staged_build_tuples = 0;
+  uint64_t corrected_probe_tuples = 0;
+  // Re-costed strategy surface (only meaningful when triggered).
+  double recost_bhj = 0;
+  double recost_rj = 0;
+  double recost_brj = 0;
+  JoinStrategy final_choice = JoinStrategy::kBHJ;  // what actually ran
+};
+
+// q-error of an estimate against an observation (>= 1; symmetric in
+// over/underestimation). Zero-valued sides count as 1 tuple so empty joins
+// do not divide by zero.
+inline double EstimateQError(uint64_t est, uint64_t actual) {
+  const double e = static_cast<double>(est == 0 ? 1 : est);
+  const double a = static_cast<double>(actual == 0 ? 1 : actual);
+  return e > a ? e / a : a / e;
+}
+
+// A plan-time estimate at or beyond this q-error counts as a mispredict in
+// the JSON/EXPLAIN quality fields.
+constexpr double kMispredictQError = 2.0;
 
 // Everything one join reports, keyed by the executor's post-order join id
 // (the numbering of Figure 12 and ExecOptions::join_overrides).
@@ -236,6 +271,7 @@ struct JoinMetrics {
   SpillMetrics spill;                   // only meaningful when spilled
   SkewDefenseMetrics skew;              // only meaningful when defense armed
   AdvisorMetrics advisor;               // only meaningful under kAuto
+  ReplanMetrics replan;                 // only meaningful when re-planning on
 };
 
 // The query-wide registry. One instance lives in ExecContext; the executor
@@ -305,6 +341,20 @@ class QueryMetrics {
   void SetSimdTier(std::string tier) { simd_tier_ = std::move(tier); }
   const std::string& simd_tier() const { return simd_tier_; }
 
+  // Statistics-catalog snapshot for this query's base tables (executor,
+  // after the run). The JSON section is emitted only when set — i.e. when
+  // PJOIN_STATS is enabled — keeping stats-off output byte-identical.
+  void SetStats(uint64_t tables, uint64_t columns, int buckets) {
+    stats_present_ = true;
+    stats_tables_ = tables;
+    stats_columns_ = columns;
+    stats_buckets_ = buckets;
+  }
+  bool stats_present() const { return stats_present_; }
+  uint64_t stats_tables() const { return stats_tables_; }
+  uint64_t stats_columns() const { return stats_columns_; }
+  int stats_buckets() const { return stats_buckets_; }
+
   // --- accessors -----------------------------------------------------------
 
   const std::deque<PipelineMetrics>& pipelines() const { return pipelines_; }
@@ -354,6 +404,10 @@ class QueryMetrics {
   uint64_t server_spill_pressure_ = 0;
   double server_queue_seconds_ = 0;
   std::string simd_tier_;
+  bool stats_present_ = false;
+  uint64_t stats_tables_ = 0;
+  uint64_t stats_columns_ = 0;
+  int stats_buckets_ = 0;
   PhaseTimer timer_;
   ByteCounter bytes_;
 };

@@ -1,0 +1,94 @@
+#include "stats/stats_catalog.h"
+
+#include <algorithm>
+
+#include "util/env.h"
+#include "util/hash.h"
+
+namespace pjoin {
+namespace {
+
+// Cache entries are keyed by Table address, and tests stack-allocate tables,
+// so an address can be reused by a different table. A cheap content
+// fingerprint (row count, schema width, a prefix/suffix slice of every
+// column) detects that and forces re-collection.
+uint64_t Fingerprint(const Table& table) {
+  uint64_t fp = HashInt64(table.num_rows() * 31 +
+                          static_cast<uint64_t>(table.schema().num_columns()));
+  for (int c = 0; c < table.schema().num_columns(); ++c) {
+    const Column& col = table.column(c);
+    const uint64_t bytes = col.size() * col.width();
+    const uint64_t slice = std::min<uint64_t>(bytes, 4096);
+    if (slice > 0) {
+      fp ^= HashBytes(col.data(), slice, /*seed=*/fp);
+      fp ^= HashBytes(col.data() + (bytes - slice), slice, /*seed=*/fp);
+    }
+  }
+  return fp;
+}
+
+}  // namespace
+
+StatsCatalog& StatsCatalog::Global() {
+  static StatsCatalog* catalog = new StatsCatalog();
+  return *catalog;
+}
+
+TableStats StatsCatalog::Collect(const Table& table, int buckets) {
+  TableStats ts;
+  ts.rows = table.num_rows();
+  ts.buckets = buckets;
+  ts.columns.resize(table.schema().num_columns());
+  for (int c = 0; c < table.schema().num_columns(); ++c) {
+    const Column& col = table.column(c);
+    ColumnStats& cs = ts.columns[c];
+    DistinctSketch sketch = DistinctSketch::Build(col);
+    cs.distinct = sketch.Estimate();
+    cs.distinct_exact = sketch.exact();
+    cs.histogram = EqualHeightHistogram::Build(col, buckets);
+    if (cs.histogram.valid()) {
+      cs.numeric = true;
+      cs.min = cs.histogram.min();
+      cs.max = cs.histogram.max();
+    }
+  }
+  return ts;
+}
+
+const TableStats* StatsCatalog::Get(const Table& table) {
+  if (!StatsEnabled()) return nullptr;
+  if (table.num_rows() == 0) return nullptr;
+  const int buckets = StatsBuckets();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(&table);
+  if (it != cache_.end()) {
+    const Entry& entry = it->second;
+    if (entry.stats->rows == table.num_rows() &&
+        entry.stats->buckets == buckets &&
+        entry.fingerprint == Fingerprint(table)) {
+      return entry.stats.get();
+    }
+  }
+  Entry fresh;
+  fresh.stats = std::make_unique<TableStats>(Collect(table, buckets));
+  fresh.fingerprint = Fingerprint(table);
+  const TableStats* out = fresh.stats.get();
+  cache_[&table] = std::move(fresh);
+  return out;
+}
+
+void StatsCatalog::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
+
+uint64_t ColumnDistinctCount(const Table& table, int col) {
+  const TableStats* ts = StatsCatalog::Global().Get(table);
+  if (ts == nullptr || col < 0 ||
+      col >= static_cast<int>(ts->columns.size())) {
+    return 0;
+  }
+  return ts->columns[col].distinct;
+}
+
+}  // namespace pjoin

@@ -130,6 +130,25 @@ uint64_t SkewSampleSize() {
   return v < 0 ? 0 : static_cast<uint64_t>(v);
 }
 
+bool StatsEnabled() { return GetEnvInt64("PJOIN_STATS", 1) != 0; }
+
+int StatsBuckets() {
+  int64_t v = GetEnvInt64("PJOIN_STATS_BUCKETS", 64);
+  if (v < 2) v = 2;
+  if (v > 4096) v = 4096;
+  return static_cast<int>(v);
+}
+
+double ReplanQErrorThreshold() {
+  double v = GetEnvDouble("PJOIN_REPLAN_QERROR", 0.0);
+  return v < 0.0 ? 0.0 : v;
+}
+
+double EstimateScale() {
+  double v = GetEnvDouble("PJOIN_EST_SCALE", 1.0);
+  return v <= 0.0 ? 1.0 : v;
+}
+
 SimdTier RequestedSimdTier(SimdTier def) {
   const char* v = std::getenv("PJOIN_SIMD");
   if (v == nullptr || *v == '\0') return def;

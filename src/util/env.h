@@ -74,6 +74,28 @@ uint64_t SkewSampleSize();
 // PJOIN_MEMORY_BUDGET, so a typo never silently changes the dispatch.
 SimdTier RequestedSimdTier(SimdTier def);
 
+// Table-statistics subsystem master switch (PJOIN_STATS, default 1).
+// 0 disables collection and lookups: estimation falls back to the
+// pre-statistics heuristics and the EXPLAIN/JSON output is byte-identical
+// to a build without the stats subsystem.
+bool StatsEnabled();
+
+// Equal-height histogram bucket target (PJOIN_STATS_BUCKETS, default 64,
+// clamped to [2, 4096]).
+int StatsBuckets();
+
+// Mid-query re-planning trigger (PJOIN_REPLAN_QERROR, default 0 = off).
+// When > 0, joins advised by the kAuto strategy defer their engine choice
+// to the probe phase and re-cost the strategy whenever the observed
+// build/probe cardinality q-error meets or exceeds this threshold.
+double ReplanQErrorThreshold();
+
+// Plan-time estimate corruption factor (PJOIN_EST_SCALE, default 1.0).
+// Multiplies every join's build-side cardinality estimate inside the
+// advisor walk — a fault-injection knob for testing and benchmarking the
+// re-planner; values <= 0 are treated as 1.0.
+double EstimateScale();
+
 }  // namespace pjoin
 
 #endif  // PJOIN_UTIL_ENV_H_
