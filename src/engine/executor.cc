@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "filter/blocked_bloom.h"
+#include "rewrite/bloom_ops.h"
+#include "rewrite/rewrite.h"
 #include "spill/memory_governor.h"
 #include "stats/stats_catalog.h"
 #include "util/check.h"
@@ -135,6 +138,10 @@ class Lowerer {
   void LowerQuery(const PlanNode& root);
   QueryResult Run(ThreadPool& pool, QueryStats* stats);
 
+  // Attaches the rewrite record (set only when the pass changed the plan);
+  // Run() adds the runtime drop counts and publishes it to the metrics.
+  void set_rewrite_info(const RewriteInfo* info) { rewrite_info_ = info; }
+
  private:
   struct Stream {
     Pipeline* pipeline = nullptr;
@@ -180,6 +187,12 @@ class Lowerer {
   std::vector<TableScanSource*> scans_;
   std::set<const Table*> scanned_tables_;  // for the stats metrics snapshot
   std::vector<RadixProbeSink*> radix_probe_sinks_;
+  // Rewrite-planted Bloom filters, keyed by BloomPlant::id. Created when
+  // the planting join's build side is lowered — always before the distant
+  // probe scan, which lives in that join's probe subtree.
+  std::map<int, std::unique_ptr<BlockedBloomFilter>> rewrite_blooms_;
+  std::vector<BloomProbeOp*> bloom_probe_ops_;
+  const RewriteInfo* rewrite_info_ = nullptr;
   std::vector<std::function<JoinAudit()>> audit_fns_;
   // Per-join observability collectors, invoked after the run (they read the
   // operator registry, so rows_out is only final once the pipelines stop).
@@ -237,6 +250,23 @@ Lowerer::Stream Lowerer::LowerScan(const PlanNode& node,
   scanned_tables_.insert(node.table);
   Pipeline* pipeline = NewPipeline(scan, JoinPhase::kProbePipeline,
                                    "scan " + node.table->name());
+  if (!node.bloom_probes.empty()) {
+    // Rewrite-planted semi-join filters: drop non-members right at the
+    // scan, before any intermediate join sees the row.
+    std::vector<BloomHook> hooks;
+    for (const auto& plant : node.bloom_probes) {
+      auto filter_it = rewrite_blooms_.find(plant.id);
+      PJOIN_CHECK_MSG(filter_it != rewrite_blooms_.end(),
+                      "bloom probe lowered before its build");
+      hooks.push_back(BloomHook{-1, plant.probe_column,
+                                filter_it->second.get()});
+    }
+    operators_.push_back(
+        std::make_unique<BloomProbeOp>(layout, std::move(hooks)));
+    auto* probe_op = static_cast<BloomProbeOp*>(operators_.back().get());
+    bloom_probe_ops_.push_back(probe_op);
+    pipeline->AddOperator(probe_op);
+  }
   return Stream{pipeline, layout};
 }
 
@@ -264,6 +294,31 @@ Lowerer::Stream Lowerer::LowerJoin(const PlanNode& node,
   }
 
   Stream build = Lower(*node.build, build_required);
+
+  // Rewrite-planted Bloom filters are populated on this build pipeline, so
+  // it must run before the distant scans that consult them — and those
+  // scans sit in the probe subtree, whose pipelines normally complete (and
+  // therefore run) ahead of this build. Completing the build pipeline here,
+  // before lowering the probe subtree, restores the ordering; the build
+  // sink appended further down still joins the chain because Pipeline::Run
+  // wires operators at run time.
+  bool build_completed = false;
+  if (!node.bloom_builds.empty()) {
+    std::vector<BloomHook> hooks;
+    for (const auto& plant : node.bloom_builds) {
+      auto filter = std::make_unique<BlockedBloomFilter>();
+      filter->Resize(node.build->EstimateRows() | 1);
+      hooks.push_back(BloomHook{-1, plant.build_column, filter.get()});
+      rewrite_blooms_[plant.id] = std::move(filter);
+    }
+    operators_.push_back(std::make_unique<BloomBuildOp>(
+        build.layout, std::move(hooks), node.bloom_builds[0].source_join));
+    build.pipeline->AddOperator(operators_.back().get());
+    build.pipeline->timing_phase = JoinPhase::kBuildPipeline;
+    CompletePipeline(build.pipeline);
+    build_completed = true;
+  }
+
   // Join ids assigned while lowering the probe subtree form the feedback
   // range a replan-armed join reads its corrected probe estimate from.
   const int probe_ids_begin = next_join_id_;
@@ -334,7 +389,7 @@ Lowerer::Stream Lowerer::LowerJoin(const PlanNode& node,
     operators_.push_back(std::make_unique<HashJoinBuildSink>(join));
     build.pipeline->AddOperator(operators_.back().get());
     build.pipeline->timing_phase = JoinPhase::kBuildPipeline;
-    CompletePipeline(build.pipeline);
+    if (!build_completed) CompletePipeline(build.pipeline);
 
     operators_.push_back(std::make_unique<HashJoinProbe>(join));
     Operator* probe_op = operators_.back().get();
@@ -414,7 +469,7 @@ Lowerer::Stream Lowerer::LowerJoin(const PlanNode& node,
     operators_.push_back(std::make_unique<AutoBuildSink>(rt));
     build.pipeline->AddOperator(operators_.back().get());
     build.pipeline->timing_phase = JoinPhase::kBuildPipeline;
-    CompletePipeline(build.pipeline);
+    if (!build_completed) CompletePipeline(build.pipeline);
 
     operators_.push_back(std::make_unique<AutoProbeSink>(rt));
     probe.pipeline->AddOperator(operators_.back().get());
@@ -445,7 +500,7 @@ Lowerer::Stream Lowerer::LowerJoin(const PlanNode& node,
   operators_.push_back(std::make_unique<RadixBuildSink>(join));
   build.pipeline->AddOperator(operators_.back().get());
   build.pipeline->timing_phase = JoinPhase::kBuildPipeline;
-  CompletePipeline(build.pipeline);
+  if (!build_completed) CompletePipeline(build.pipeline);
 
   operators_.push_back(std::make_unique<RadixProbeSink>(join));
   radix_probe_sinks_.push_back(
@@ -618,6 +673,17 @@ QueryResult Lowerer::Run(ThreadPool& pool, QueryStats* stats) {
     qm.SetGovernor(gov.budget(), gov.high_water(), gov.denials());
   }
   qm.SetSimdTier(SimdTierName(ActiveSimdTier()));
+  if (rewrite_info_ != nullptr && rewrite_info_->changed) {
+    uint64_t planted_dropped = 0;
+    for (const BloomProbeOp* op : bloom_probe_ops_) {
+      planted_dropped += op->dropped();
+    }
+    qm.SetRewrite(rewrite_info_->RulesLine(), rewrite_info_->order,
+                  rewrite_info_->filters_pulled,
+                  rewrite_info_->filters_pushed,
+                  rewrite_info_->joins_reordered,
+                  rewrite_info_->blooms_planted, planted_dropped);
+  }
   if (StatsEnabled()) {
     uint64_t stat_tables = 0;
     uint64_t stat_columns = 0;
@@ -703,8 +769,15 @@ QueryResult ExecuteQuery(const PlanNode& root, const ExecOptions& options,
   } else {
     threads = pool->num_threads();
   }
+  // The rewrite pass runs between plan construction and lowering. When it
+  // declines every rule (or is disabled) the original tree lowers as
+  // written, keeping pre-rewrite behavior byte-identical.
+  RewriteResult rewrite = RewritePlan(root, options.rewrite);
+  const PlanNode& exec_root =
+      rewrite.plan != nullptr ? *rewrite.plan : root;
   Lowerer lowerer(options, threads);
-  lowerer.LowerQuery(root);
+  if (rewrite.plan != nullptr) lowerer.set_rewrite_info(&rewrite.info);
+  lowerer.LowerQuery(exec_root);
   return lowerer.Run(*pool, stats);
 }
 

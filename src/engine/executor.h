@@ -17,6 +17,7 @@
 #include "exec/pipeline.h"
 #include "join/hash_join.h"
 #include "join/radix_join.h"
+#include "rewrite/rewrite.h"
 #include "util/byte_counter.h"
 
 namespace pjoin {
@@ -38,6 +39,13 @@ struct ExecOptions {
 
   // Cost-model knobs for JoinStrategy::kAuto (cache sizes, fallback factor).
   AdvisorOptions advisor;
+
+  // Algebraic rewrite pass applied before lowering (PJOIN_REWRITE, default
+  // on). The executor and EXPLAIN resolve the same options, so the rendered
+  // plan always matches the executed one. join_overrides keep their
+  // post-order ids on the *rewritten* tree; hand-tuned override maps should
+  // set `rewrite.enabled = 0` to pin the written plan shape.
+  RewriteOptions rewrite;
 };
 
 struct QueryStats {

@@ -188,6 +188,10 @@ void Render(const PlanNode& node, const ExecOptions& options,
       for (const auto& pred : node.predicates) {
         *out << ", " << pred.column << " " << PredicateOpName(pred.op);
       }
+      for (const auto& plant : node.bloom_probes) {
+        *out << ", bloom(j" << plant.source_join << "."
+             << plant.probe_column << ")";
+      }
       *out << "]\n";
       break;
     }
@@ -396,6 +400,10 @@ void RenderAnalyze(const PlanNode& node, const ExecOptions& options,
       for (const auto& pred : node.predicates) {
         *out << ", " << pred.column << " " << PredicateOpName(pred.op);
       }
+      for (const auto& plant : node.bloom_probes) {
+        *out << ", bloom(j" << plant.source_join << "."
+             << plant.probe_column << ")";
+      }
       *out << "]";
       if (state->scan_cursor < qm.scans().size() &&
           qm.scans()[state->scan_cursor].table == node.table->name()) {
@@ -413,31 +421,50 @@ void RenderAnalyze(const PlanNode& node, const ExecOptions& options,
 }  // namespace
 
 std::string ExplainPlan(const PlanNode& root, const ExecOptions& options) {
+  // EXPLAIN applies the same deterministic rewrite the executor applies, so
+  // the rendered tree, join ids, and advisor advice match the executed plan.
+  RewriteResult rewrite = RewritePlan(root, options.rewrite);
+  const PlanNode& plan = rewrite.plan != nullptr ? *rewrite.plan : root;
   std::map<const PlanNode*, int> ids;
   int next = 0;
-  NumberJoins(root, &ids, &next);
+  NumberJoins(plan, &ids, &next);
   std::map<int, JoinDecision> advice;
   if (UsesAuto(options)) {
-    advice = JoinAdvisor::AdvisePlan(root, options.advisor);
+    advice = JoinAdvisor::AdvisePlan(plan, options.advisor);
   }
   std::ostringstream out;
-  Render(root, options, ids, advice, 0, &out);
+  if (rewrite.info.changed) {
+    out << "rewrite: rules=" << rewrite.info.RulesLine();
+    if (!rewrite.info.order.empty()) out << " order=" << rewrite.info.order;
+    out << "\n";
+  }
+  Render(plan, options, ids, advice, 0, &out);
   return out.str();
 }
 
 std::string ExplainAnalyzePlan(const PlanNode& root, const ExecOptions& options,
                                const QueryStats& stats) {
+  RewriteResult rewrite = RewritePlan(root, options.rewrite);
+  const PlanNode& plan = rewrite.plan != nullptr ? *rewrite.plan : root;
   std::map<const PlanNode*, int> ids;
   int next = 0;
-  NumberJoins(root, &ids, &next);
+  NumberJoins(plan, &ids, &next);
   std::map<int, JoinDecision> advice;
   if (UsesAuto(options)) {
-    advice = JoinAdvisor::AdvisePlan(root, options.advisor);
+    advice = JoinAdvisor::AdvisePlan(plan, options.advisor);
   }
   std::ostringstream out;
+  if (rewrite.info.changed) {
+    out << "rewrite: rules=" << rewrite.info.RulesLine();
+    if (!rewrite.info.order.empty()) out << " order=" << rewrite.info.order;
+    if (stats.metrics.rewrite_present()) {
+      out << " bloom_dropped=" << stats.metrics.rewrite_bloom_dropped();
+    }
+    out << "\n";
+  }
   AnalyzeState state;
   state.metrics = &stats.metrics;
-  RenderAnalyze(root, options, ids, advice, &state, 0, &out);
+  RenderAnalyze(plan, options, ids, advice, &state, 0, &out);
 
   const QueryMetrics& qm = stats.metrics;
   out << "\ntotal: " << Fixed(qm.seconds() * 1e3, 3) << "ms"

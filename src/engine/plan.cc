@@ -145,6 +145,86 @@ int PlanNode::CountJoins() const {
   return 0;
 }
 
+std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  auto copy = std::make_unique<PlanNode>();
+  copy->kind = kind;
+  copy->table = table;
+  copy->predicates = predicates;
+  copy->bloom_probes = bloom_probes;
+  if (child != nullptr) copy->child = child->Clone();
+  copy->filter = filter;
+  copy->maps = maps;
+  if (build != nullptr) copy->build = build->Clone();
+  if (probe != nullptr) copy->probe = probe->Clone();
+  copy->keys = keys;
+  copy->join_kind = join_kind;
+  copy->mark_name = mark_name;
+  copy->bloom_builds = bloom_builds;
+  copy->group_by = group_by;
+  copy->aggs = aggs;
+  return copy;
+}
+
+namespace {
+
+bool FilterEquals(const FilterDef& a, const FilterDef& b) {
+  return a.label == b.label && a.inputs == b.inputs;
+}
+
+bool MapsEqual(const std::vector<MapDef>& a, const std::vector<MapDef>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].name != b[i].name || a[i].type != b[i].type ||
+        a[i].char_len != b[i].char_len || a[i].inputs != b[i].inputs) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool AggsEqual(const std::vector<AggDef>& a, const std::vector<AggDef>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].op != b[i].op || a[i].input != b[i].input ||
+        a[i].name != b[i].name) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SubtreeEquals(const PlanNode* a, const PlanNode* b) {
+  if (a == nullptr || b == nullptr) return a == b;
+  return a->Equals(*b);
+}
+
+}  // namespace
+
+bool PlanNode::Equals(const PlanNode& other) const {
+  if (kind != other.kind) return false;
+  switch (kind) {
+    case Kind::kScan:
+      return table == other.table && predicates == other.predicates &&
+             bloom_probes == other.bloom_probes;
+    case Kind::kFilter:
+      return FilterEquals(filter, other.filter) &&
+             SubtreeEquals(child.get(), other.child.get());
+    case Kind::kMap:
+      return MapsEqual(maps, other.maps) &&
+             SubtreeEquals(child.get(), other.child.get());
+    case Kind::kJoin:
+      return join_kind == other.join_kind && keys == other.keys &&
+             mark_name == other.mark_name &&
+             bloom_builds == other.bloom_builds &&
+             SubtreeEquals(build.get(), other.build.get()) &&
+             SubtreeEquals(probe.get(), other.probe.get());
+    case Kind::kAgg:
+      return group_by == other.group_by && AggsEqual(aggs, other.aggs) &&
+             SubtreeEquals(child.get(), other.child.get());
+  }
+  return false;
+}
+
 std::unique_ptr<PlanNode> ScanTable(const Table* table,
                                     std::vector<ScanPredicate> predicates) {
   auto node = std::make_unique<PlanNode>();

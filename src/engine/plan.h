@@ -22,6 +22,23 @@
 
 namespace pjoin {
 
+// A Bloom filter planted by the rewrite pass (semi-join pushdown): the build
+// side of join `source_join` populates a shared filter, and a distant probe
+// scan checks `probe_column` against it before any intermediate join runs.
+// The integer id pairs the two ends at lowering time.
+struct BloomPlant {
+  int id = 0;
+  std::string build_column;  // key column at the planting join's build side
+  std::string probe_column;  // base-scan column checked against the filter
+  int source_join = -1;      // post-order join id in the rewritten tree
+
+  bool operator==(const BloomPlant& other) const {
+    return id == other.id && build_column == other.build_column &&
+           probe_column == other.probe_column &&
+           source_join == other.source_join;
+  }
+};
+
 struct PlanNode {
   enum class Kind { kScan, kFilter, kMap, kJoin, kAgg };
   Kind kind = Kind::kScan;
@@ -29,6 +46,7 @@ struct PlanNode {
   // kScan
   const Table* table = nullptr;
   std::vector<ScanPredicate> predicates;
+  std::vector<BloomPlant> bloom_probes;  // filters checked after this scan
 
   // unary nodes (kFilter, kMap, kAgg)
   std::unique_ptr<PlanNode> child;
@@ -41,6 +59,7 @@ struct PlanNode {
   std::vector<std::pair<std::string, std::string>> keys;  // (build, probe)
   JoinKind join_kind = JoinKind::kInner;
   std::string mark_name;  // output column of a kMark join
+  std::vector<BloomPlant> bloom_builds;  // filters this build side populates
 
   // kAgg
   std::vector<std::string> group_by;
@@ -66,6 +85,17 @@ struct PlanNode {
 
   // Number of join nodes in this subtree.
   int CountJoins() const;
+
+  // Deep copy. FilterDef/MapDef lambdas are shared (std::function copies),
+  // which is safe: definitions are immutable once built.
+  std::unique_ptr<PlanNode> Clone() const;
+
+  // Structural equality. Filter and map definitions compare by their
+  // declared identity (label/name, inputs, types), not by lambda address —
+  // two filters with the same label and inputs are the same rewrite-level
+  // object even after a Clone. The rewrite pass uses this to detect no-op
+  // transformations and keep untouched plans byte-identical downstream.
+  bool Equals(const PlanNode& other) const;
 };
 
 // Traces output column `name` of the subtree at `node` back to the base

@@ -188,6 +188,13 @@ ScanPredicate ScanPredicate::ColNe(std::string col, std::string col2) {
   return p;
 }
 
+bool ScanPredicate::operator==(const ScanPredicate& other) const {
+  return column == other.column && op == other.op && i0 == other.i0 &&
+         i1 == other.i1 && d0 == other.d0 && d1 == other.d1 &&
+         is_double == other.is_double && iset == other.iset &&
+         s0 == other.s0 && sset == other.sset && column2 == other.column2;
+}
+
 bool EvalPredicate(const ScanPredicate& pred, const Table& table,
                    uint64_t row) {
   const Column& col = table.column(pred.column);
@@ -420,15 +427,30 @@ double EstimateSelectivity(const ScanPredicate& pred, const Table& table) {
   return 0.5;
 }
 
-double EstimateConjunctionSelectivity(const std::vector<ScanPredicate>& preds,
+double EstimateConjunctionSelectivity(const std::vector<ScanPredicate>& all,
                                       const Table& table) {
-  if (preds.empty()) return 1.0;
+  if (all.empty()) return 1.0;
+  // Exact duplicates are one predicate: a pushdown that replayed the same
+  // condition on a scan must not pay its selectivity twice (the product
+  // below would square it).
+  std::vector<const ScanPredicate*> preds;
+  preds.reserve(all.size());
+  for (const ScanPredicate& pred : all) {
+    bool duplicate = false;
+    for (const ScanPredicate* kept : preds) {
+      if (*kept == pred) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) preds.push_back(&pred);
+  }
   const TableStats* ts = StatsCatalog::Global().Get(table);
   if (ts == nullptr) {
     // Pre-statistics behavior: plain multiplicative independence.
     double s = 1.0;
-    for (const ScanPredicate& pred : preds) {
-      s *= EstimateSelectivity(pred, table);
+    for (const ScanPredicate* pred : preds) {
+      s *= EstimateSelectivity(*pred, table);
     }
     return Clamp01(s);
   }
@@ -436,9 +458,9 @@ double EstimateConjunctionSelectivity(const std::vector<ScanPredicate>& preds,
   // are never independent, so a group's selectivity is its minimum.
   // std::map keeps the grouping order deterministic.
   std::map<std::string, double> group;
-  for (const ScanPredicate& pred : preds) {
-    const double s = EstimateSelectivity(pred, table);
-    auto [it, inserted] = group.emplace(pred.column, s);
+  for (const ScanPredicate* pred : preds) {
+    const double s = EstimateSelectivity(*pred, table);
+    auto [it, inserted] = group.emplace(pred->column, s);
     if (!inserted) it->second = std::min(it->second, s);
   }
   if (group.size() == 1) return Clamp01(group.begin()->second);

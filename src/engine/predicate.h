@@ -50,6 +50,12 @@ struct ScanPredicate {
   std::vector<std::string> sset;
   std::string column2;  // second column for kCol* ops
 
+  // Structural equality: two predicates are equal when they test the same
+  // columns with the same operator and operands. The rewrite pass relies on
+  // this both for plan equality and to drop duplicate predicates a pushdown
+  // created before estimating conjunction selectivity.
+  bool operator==(const ScanPredicate& other) const;
+
   // --- factories ----------------------------------------------------------
   static ScanPredicate EqI(std::string col, int64_t v);
   static ScanPredicate NeI(std::string col, int64_t v);

@@ -308,6 +308,17 @@ std::string QueryMetrics::ToJson(bool include_timings) const {
     out << "}";
   }
   out << "]";
+  if (rewrite_present_) {
+    out << ",\"rewrite\":{\"rules\":";
+    AppendString(out, rewrite_rules_);
+    out << ",\"order\":";
+    AppendString(out, rewrite_order_);
+    out << ",\"filters_pulled\":" << rewrite_filters_pulled_
+        << ",\"filters_pushed\":" << rewrite_filters_pushed_
+        << ",\"joins_reordered\":" << rewrite_joins_reordered_
+        << ",\"blooms_planted\":" << rewrite_blooms_planted_
+        << ",\"bloom_dropped\":" << rewrite_bloom_dropped_ << "}";
+  }
   if (stats_present_) {
     out << ",\"stats\":{\"tables\":" << stats_tables_
         << ",\"columns\":" << stats_columns_

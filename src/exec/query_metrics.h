@@ -355,6 +355,32 @@ class QueryMetrics {
   uint64_t stats_columns() const { return stats_columns_; }
   int stats_buckets() const { return stats_buckets_; }
 
+  // Rewrite-pass record (executor, after the run): the fired rules, the
+  // chosen join order, and what the planted Bloom filters dropped. The JSON
+  // section and the EXPLAIN `rewrite:` line are emitted only when the pass
+  // actually changed the plan, so untouched plans — and every PJOIN_REWRITE=0
+  // run — stay byte-identical to the pre-rewrite engine.
+  void SetRewrite(std::string rules, std::string order, int filters_pulled,
+                  int filters_pushed, int joins_reordered, int blooms_planted,
+                  uint64_t bloom_dropped) {
+    rewrite_present_ = true;
+    rewrite_rules_ = std::move(rules);
+    rewrite_order_ = std::move(order);
+    rewrite_filters_pulled_ = filters_pulled;
+    rewrite_filters_pushed_ = filters_pushed;
+    rewrite_joins_reordered_ = joins_reordered;
+    rewrite_blooms_planted_ = blooms_planted;
+    rewrite_bloom_dropped_ = bloom_dropped;
+  }
+  bool rewrite_present() const { return rewrite_present_; }
+  const std::string& rewrite_rules() const { return rewrite_rules_; }
+  const std::string& rewrite_order() const { return rewrite_order_; }
+  int rewrite_filters_pulled() const { return rewrite_filters_pulled_; }
+  int rewrite_filters_pushed() const { return rewrite_filters_pushed_; }
+  int rewrite_joins_reordered() const { return rewrite_joins_reordered_; }
+  int rewrite_blooms_planted() const { return rewrite_blooms_planted_; }
+  uint64_t rewrite_bloom_dropped() const { return rewrite_bloom_dropped_; }
+
   // --- accessors -----------------------------------------------------------
 
   const std::deque<PipelineMetrics>& pipelines() const { return pipelines_; }
@@ -408,6 +434,14 @@ class QueryMetrics {
   uint64_t stats_tables_ = 0;
   uint64_t stats_columns_ = 0;
   int stats_buckets_ = 0;
+  bool rewrite_present_ = false;
+  std::string rewrite_rules_;
+  std::string rewrite_order_;
+  int rewrite_filters_pulled_ = 0;
+  int rewrite_filters_pushed_ = 0;
+  int rewrite_joins_reordered_ = 0;
+  int rewrite_blooms_planted_ = 0;
+  uint64_t rewrite_bloom_dropped_ = 0;
   PhaseTimer timer_;
   ByteCounter bytes_;
 };

@@ -63,13 +63,17 @@ class JoinEmitter {
     ZeroSide(dst, projection_->from_probe, *projection_->output);
   }
 
-  // Mark-join emission: probe columns plus the boolean marker.
+  // Mark-join emission: probe columns plus the boolean marker. mark_field
+  // is -1 when no ancestor references the mark column (the projection then
+  // dropped it), so the marker write must be skipped, not aimed at field -1.
   void EmitMark(const std::byte* probe_row, bool matched, ThreadContext& ctx) {
     std::byte* dst = Slot(ctx);
     ZeroSide(dst, projection_->from_build, *projection_->output);
     CopySide(dst, projection_->from_probe, *projection_->probe, probe_row);
-    projection_->output->SetInt64(dst, projection_->mark_field,
-                                  matched ? 1 : 0);
+    if (projection_->mark_field >= 0) {
+      projection_->output->SetInt64(dst, projection_->mark_field,
+                                    matched ? 1 : 0);
+    }
   }
 
   // Flushes the pending partial batch (call from Close).

@@ -1,0 +1,88 @@
+#include "rewrite/bloom_ops.h"
+
+#include <cstring>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace pjoin {
+
+void BloomBuildOp::Prepare(ExecContext& exec) {
+  (void)exec;
+  for (auto& hook : hooks_) {
+    hook.field = layout_->IndexOf(hook.column);
+    PJOIN_CHECK(hook.filter != nullptr && hook.filter->initialized());
+  }
+}
+
+void BloomBuildOp::Consume(Batch& batch, ThreadContext& ctx) {
+  MetricsIn(batch, ctx);
+  for (const auto& hook : hooks_) {
+    for (uint32_t i = 0; i < batch.size; ++i) {
+      const int64_t key = layout_->GetNumeric(batch.Row(i), hook.field);
+      hook.filter->InsertAtomic(HashInt64(static_cast<uint64_t>(key)));
+    }
+  }
+  PushNext(batch, ctx);
+}
+
+void BloomProbeOp::Prepare(ExecContext& exec) {
+  workers_.resize(exec.num_threads());
+  for (auto& hook : hooks_) {
+    hook.field = layout_->IndexOf(hook.column);
+    PJOIN_CHECK(hook.filter != nullptr && hook.filter->initialized());
+  }
+}
+
+void BloomProbeOp::Open(ThreadContext& ctx) {
+  Worker& w = workers_[ctx.thread_id];
+  w.scratch.Bind(layout_);
+  w.batch = w.scratch.Start();
+}
+
+void BloomProbeOp::Consume(Batch& batch, ThreadContext& ctx) {
+  MetricsIn(batch, ctx);
+  Worker& w = workers_[ctx.thread_id];
+  const uint32_t stride = layout_->stride();
+  for (uint32_t i = 0; i < batch.size; ++i) {
+    const std::byte* row = batch.Row(i);
+    bool keep = true;
+    for (const auto& hook : hooks_) {
+      const int64_t key = layout_->GetNumeric(row, hook.field);
+      if (!hook.filter->MayContain(HashInt64(static_cast<uint64_t>(key)))) {
+        keep = false;
+        break;
+      }
+    }
+    if (!keep) {
+      w.dropped++;
+      continue;
+    }
+    if (w.scratch.Full(w.batch)) {
+      PushNext(w.batch, ctx);
+      w.batch = w.scratch.Start();
+    }
+    std::memcpy(w.scratch.AppendSlot(w.batch), row, stride);
+  }
+}
+
+void BloomProbeOp::Close(ThreadContext& ctx) {
+  Worker& w = workers_[ctx.thread_id];
+  if (w.batch.size > 0) {
+    PushNext(w.batch, ctx);
+    w.batch = w.scratch.Start();
+  }
+  dropped_.fetch_add(w.dropped, std::memory_order_relaxed);
+  w.dropped = 0;
+}
+
+std::string BloomProbeOp::MetricsDetail() const {
+  std::string detail;
+  for (const auto& hook : hooks_) {
+    if (!detail.empty()) detail += ",";
+    detail += hook.column;
+  }
+  return detail;
+}
+
+}  // namespace pjoin

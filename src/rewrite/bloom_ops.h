@@ -1,0 +1,89 @@
+// Pipeline operators for rewrite-planted Bloom filters (semi-join pushdown).
+//
+// The rewrite pass pairs a BloomBuildOp on the planting join's build
+// pipeline with a BloomProbeOp on a distant base scan's pipeline. The
+// executor makes the pairing safe by completing the build pipeline before
+// any pipeline of the planting join's probe subtree, so every filter is
+// fully populated before the first probe against it.
+#ifndef PJOIN_REWRITE_BLOOM_OPS_H_
+#define PJOIN_REWRITE_BLOOM_OPS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/pipeline.h"
+#include "filter/blocked_bloom.h"
+#include "storage/row_layout.h"
+
+namespace pjoin {
+
+// One (row field -> shared filter) pairing; both operators take a list so a
+// single scan or join carrying several plants pays one operator.
+struct BloomHook {
+  int field = -1;                     // resolved at Prepare from the column
+  std::string column;
+  BlockedBloomFilter* filter = nullptr;
+};
+
+// Pass-through operator on a join's build pipeline: inserts the hash of
+// each row's key column into the shared filter, then forwards the batch
+// unchanged to the build sink.
+class BloomBuildOp : public Operator {
+ public:
+  BloomBuildOp(const RowLayout* layout, std::vector<BloomHook> hooks,
+               int source_join)
+      : layout_(layout), hooks_(std::move(hooks)),
+        source_join_(source_join) {}
+
+  void Prepare(ExecContext& exec) override;
+  void Consume(Batch& batch, ThreadContext& ctx) override;
+  const RowLayout* OutputLayout() const override { return layout_; }
+  const char* MetricsName() const override { return "bloom_build"; }
+  std::string MetricsDetail() const override {
+    return "j" + std::to_string(source_join_);
+  }
+
+ private:
+  const RowLayout* layout_;
+  std::vector<BloomHook> hooks_;
+  int source_join_;
+};
+
+// Compacting operator on a scan pipeline: drops every row whose key hash
+// misses any of its filters, long before the intermediate joins run.
+class BloomProbeOp : public Operator {
+ public:
+  BloomProbeOp(const RowLayout* layout, std::vector<BloomHook> hooks)
+      : layout_(layout), hooks_(std::move(hooks)) {}
+
+  void Prepare(ExecContext& exec) override;
+  void Open(ThreadContext& ctx) override;
+  void Consume(Batch& batch, ThreadContext& ctx) override;
+  void Close(ThreadContext& ctx) override;
+  const RowLayout* OutputLayout() const override { return layout_; }
+  const char* MetricsName() const override { return "bloom_probe"; }
+  std::string MetricsDetail() const override;
+
+  // Rows dropped across all workers; stable after the pipeline ran.
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Worker {
+    BatchScratch scratch;
+    Batch batch;
+    uint64_t dropped = 0;
+  };
+
+  const RowLayout* layout_;
+  std::vector<BloomHook> hooks_;
+  std::vector<Worker> workers_;
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace pjoin
+
+#endif  // PJOIN_REWRITE_BLOOM_OPS_H_

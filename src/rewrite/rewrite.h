@@ -1,0 +1,106 @@
+// Algebraic plan rewriting: the rule pass between plan construction and
+// lowering.
+//
+// Three rule families run, in order, over a clone of the input plan:
+//
+//   1. Predicate pullup/pushdown. Filters hoisted out of reordered join
+//      regions and filters written above a join sink to the lowest operator
+//      whose side provides all their inputs, subject to a per-join-kind
+//      legality matrix (an outer join's null-padded side must not be
+//      filtered below the join, a mark column exists only above its join,
+//      and probe-only kinds null-pad the build side, so a build-side
+//      predicate above them reads padding, not data).
+//
+//   2. Join reordering. Maximal regions of >= 2 connected inner joins are
+//      re-enumerated with DPsize over connected subgraphs, costed by C_out
+//      (the sum of intermediate result cardinalities under the same
+//      containment estimate EstimateJoinOutputRows uses). Regions larger
+//      than the DP cap fall back to a greedy left-deep order. A region is
+//      rebuilt only when the best order is STRICTLY cheaper than the
+//      original, so well-ordered plans pass through untouched.
+//
+//   3. Semi-join (Bloom) pushdown. A join whose build side is small and
+//      selective plants a Bloom filter: the build pipeline inserts its key
+//      column's hashes, and a *distant* probe-side base scan (at least one
+//      intermediate join below) drops non-members before any intermediate
+//      join sees them. Immediate probe scans are already covered by the
+//      bloom-accelerated radix join, so only distant plants pay off.
+//
+// The pass is deterministic: the same plan, statistics, and options always
+// produce the same rewritten tree, so EXPLAIN and execution agree. With
+// PJOIN_REWRITE=0 (or RewriteOptions::enabled = 0) the pass returns the
+// input untouched and every downstream byte matches the pre-rewrite engine.
+#ifndef PJOIN_REWRITE_REWRITE_H_
+#define PJOIN_REWRITE_REWRITE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/plan.h"
+
+namespace pjoin {
+
+struct RewriteOptions {
+  // Tri-state: -1 resolves from PJOIN_REWRITE (default on), 0 off, 1 on.
+  int enabled = -1;
+  // Tri-state: -1 resolves from PJOIN_REWRITE_DP_CAP (default 10).
+  int dp_cap = -1;
+
+  // Individual rule toggles (all on by default; tests isolate rules).
+  bool predicate_pushdown = true;
+  bool join_reorder = true;
+  bool bloom_pushdown = true;
+
+  // Bloom cost gate: never plant when the build side is estimated above
+  // this many rows, or when the estimated pass rate (d_build / d_probe)
+  // exceeds this fraction. Without statistics the gate falls back to
+  // requiring the build side to be at least 8x smaller than the target
+  // scan.
+  uint64_t bloom_max_build = 1ull << 20;
+  double bloom_max_pass = 0.75;
+
+  bool Enabled() const;
+  int DpCap() const;
+};
+
+// What the pass did, for EXPLAIN's `rewrite:` line and the metrics JSON.
+struct RewriteInfo {
+  bool enabled = false;
+  bool changed = false;       // rewritten tree differs from the input
+  int filters_pulled = 0;     // filters hoisted out of reordered regions
+  int filters_pushed = 0;     // filters sunk past at least one join/map
+  int joins_reordered = 0;    // inner joins inside rebuilt regions
+  int dp_regions = 0;         // regions ordered by exact DPsize
+  int greedy_regions = 0;     // regions ordered by the greedy fallback
+  int blooms_planted = 0;     // distant Bloom filters planted
+  std::vector<std::string> rules;  // fired rule names, in pass order
+  std::string order;          // rendered join order of the largest region
+
+  // "pushdown,reorder_dp,bloom" — empty when nothing fired.
+  std::string RulesLine() const;
+};
+
+struct RewriteResult {
+  // Rewritten plan, or null when the pass is disabled or declined every
+  // rule; callers fall back to the input plan in that case. The caller owns
+  // the clone and must keep it alive for the lifetime of the execution.
+  std::unique_ptr<PlanNode> plan;
+  RewriteInfo info;
+};
+
+// Runs the rewrite pass over `root` (a kAgg-rooted plan). Never mutates
+// `root`; all transformations happen on an internal clone.
+RewriteResult RewritePlan(const PlanNode& root,
+                          const RewriteOptions& options = {});
+
+// C_out cost of a join tree: the sum over every join node of its estimated
+// output cardinality (EstimateJoinOutputRows over estimated inputs). This
+// is exactly the objective DPsize minimizes, exposed so tests can check the
+// DP order against exhaustive enumeration.
+uint64_t EstimateJoinTreeCost(const PlanNode& root);
+
+}  // namespace pjoin
+
+#endif  // PJOIN_REWRITE_REWRITE_H_

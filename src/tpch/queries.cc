@@ -28,6 +28,11 @@ void AccumulateStats(QueryStats* total, const QueryStats& step) {
   total->bytes.Merge(step.bytes);
   total->bloom_dropped += step.bloom_dropped;
   total->partition_bytes += step.partition_bytes;
+  // Scalars accumulate; the full observability snapshot keeps the final
+  // (main) step, which carries the query's principal join tree and any
+  // rewrite-pass record. Intermediate subquery steps only contribute their
+  // renumbered audits below.
+  total->metrics = step.metrics;
 }
 
 class StepRunner {
@@ -44,6 +49,10 @@ class StepRunner {
         options.join_overrides[global_id - join_offset_] = strategy;
       }
     }
+    // Per-join overrides are numbered post-order on the hand-written trees
+    // (Figure 12). The rewrite pass may renumber joins by reordering, so a
+    // caller supplying overrides pins the written plan shape.
+    if (!base_.join_overrides.empty()) options.rewrite.enabled = 0;
     const int offset = join_offset_;
     join_offset_ += num_joins;
     QueryStats step;

@@ -149,6 +149,15 @@ double EstimateScale() {
   return v <= 0.0 ? 1.0 : v;
 }
 
+bool RewriteEnabledEnv() { return GetEnvInt64("PJOIN_REWRITE", 1) != 0; }
+
+int RewriteDpCapEnv() {
+  int64_t v = GetEnvInt64("PJOIN_REWRITE_DP_CAP", 10);
+  if (v < 2) v = 2;
+  if (v > 20) v = 20;
+  return static_cast<int>(v);
+}
+
 SimdTier RequestedSimdTier(SimdTier def) {
   const char* v = std::getenv("PJOIN_SIMD");
   if (v == nullptr || *v == '\0') return def;

@@ -90,6 +90,17 @@ int StatsBuckets();
 // build/probe cardinality q-error meets or exceeds this threshold.
 double ReplanQErrorThreshold();
 
+// Algebraic rewrite pass master switch (PJOIN_REWRITE, default 1).
+// 0 disables predicate pushdown, Bloom pushdown, and join reordering:
+// every plan lowers exactly as written and the EXPLAIN/JSON output is
+// byte-identical to the pre-rewrite engine.
+bool RewriteEnabledEnv();
+
+// Relation-count cap for exact DPsize join reordering
+// (PJOIN_REWRITE_DP_CAP, default 10, clamped to [2, 20]). Regions with more
+// relations fall back to the left-deep greedy order.
+int RewriteDpCapEnv();
+
 // Plan-time estimate corruption factor (PJOIN_EST_SCALE, default 1.0).
 // Multiplies every join's build-side cardinality estimate inside the
 // advisor walk — a fault-injection knob for testing and benchmarking the
