@@ -5,6 +5,7 @@
 #include <set>
 #include <string>
 
+#include "engine/coded_keys.h"
 #include "spill/memory_governor.h"
 #include "util/check.h"
 #include "util/cpu_info.h"
@@ -249,6 +250,14 @@ std::map<int, JoinDecision> JoinAdvisor::AdvisePlan(
                              : options.skew_sample_size;
   ctx.est_scale = ResolvedEstimateScale(options);
   CollectWidths(root, &ctx.width);
+  // Keys that execute as 4-byte dictionary codes (engine/coded_keys.h) are
+  // costed at the code width, so the advisor models the tuples the engine
+  // actually moves. Deterministic: the executor runs the same collection
+  // over the same plan, so EXPLAIN and execution decide identically.
+  for (const CodedKeyPlan& plan : CollectCodedJoinKeys(root)) {
+    ctx.width[plan.build_name] = 4;
+    ctx.width[plan.probe_name] = 4;
+  }
 
   std::set<std::string> root_required;
   for (const auto& name : root.group_by) root_required.insert(name);

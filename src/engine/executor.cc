@@ -1,7 +1,9 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <deque>
 
+#include "engine/coded_keys.h"
 #include "filter/blocked_bloom.h"
 #include "rewrite/bloom_ops.h"
 #include "rewrite/rewrite.h"
@@ -171,6 +173,12 @@ class Lowerer {
 
   std::map<std::string, ColumnRef> refs_;
   std::set<std::string> late_columns_;
+  // Join keys that travel as dictionary codes (engine/coded_keys.h): the
+  // plans, the probe->build remap tables (deque: scans hold pointers into
+  // them), and the per-table emit lists handed to the scans.
+  std::vector<CodedKeyPlan> coded_keys_;
+  std::deque<std::vector<uint32_t>> remaps_;
+  std::map<const Table*, std::vector<CodedKeyEmit>> scan_coded_;
   int next_join_id_ = 0;
   std::map<int, JoinDecision> advice_;  // kAuto decisions, by join id
 
@@ -243,8 +251,11 @@ Lowerer::Stream Lowerer::LowerScan(const PlanNode& node,
     }
   }
   const RowLayout* layout = MakeLayout(names);
-  sources_.push_back(std::make_unique<TableScanSource>(node.table, layout,
-                                                       node.predicates));
+  std::vector<CodedKeyEmit> coded;
+  auto coded_it = scan_coded_.find(node.table);
+  if (coded_it != scan_coded_.end()) coded = coded_it->second;
+  sources_.push_back(std::make_unique<TableScanSource>(
+      node.table, layout, node.predicates, std::move(coded)));
   auto* scan = static_cast<TableScanSource*>(sources_.back().get());
   scans_.push_back(scan);
   scanned_tables_.insert(node.table);
@@ -570,6 +581,23 @@ void Lowerer::LowerQuery(const PlanNode& root) {
   PJOIN_CHECK(root.kind == PlanNode::Kind::kAgg);
   CollectRefs(root, &refs_);
 
+  // Join-on-codes: qualifying CHAR key pairs travel as 4-byte dictionary
+  // codes. The ref overlay makes every layout built below carry the code
+  // field; the probe side additionally gets a remap into the build side's
+  // code space, applied inside the scan.
+  coded_keys_ = CollectCodedJoinKeys(root);
+  for (const CodedKeyPlan& plan : coded_keys_) {
+    refs_[plan.build_name].type = DataType::kInt32;
+    refs_[plan.build_name].width = 4;
+    refs_[plan.probe_name].type = DataType::kInt32;
+    refs_[plan.probe_name].width = 4;
+    remaps_.push_back(BuildCodeRemap(*plan.probe_enc, *plan.build_enc));
+    scan_coded_[plan.build_table].push_back(
+        CodedKeyEmit{plan.build_name, plan.build_enc, nullptr});
+    scan_coded_[plan.probe_table].push_back(
+        CodedKeyEmit{plan.probe_name, plan.probe_enc, &remaps_.back()});
+  }
+
   bool needs_advisor = options_.join_strategy == JoinStrategy::kAuto;
   for (const auto& [id, s] : options_.join_overrides) {
     needs_advisor = needs_advisor || s == JoinStrategy::kAuto;
@@ -663,9 +691,20 @@ QueryResult Lowerer::Run(ThreadPool& pool, QueryStats* stats) {
     sm.table = scan->MetricsDetail();
     sm.rows_scanned = scan->rows_scanned();
     sm.rows_passed = scan->rows_passed();
+    sm.encoded = scan->encoded();
+    sm.enc_read_width = scan->enc_read_width();
+    sm.plain_read_width = scan->plain_read_width();
+    sm.values_decoded = scan->values_decoded();
+    sm.codes_emitted = scan->codes_emitted();
     qm.AddScan(std::move(sm));
   }
-  for (const auto& fn : metrics_fns_) qm.AddJoin(fn());
+  for (const auto& fn : metrics_fns_) {
+    JoinMetrics m = fn();
+    for (const CodedKeyPlan& plan : coded_keys_) {
+      if (plan.join_index == m.join_id) ++m.coded_key_pairs;
+    }
+    qm.AddJoin(std::move(m));
+  }
   qm.SetSummary(seconds, exec.source_tuples(), root_agg_->result().num_rows(),
                 exec.timer(), exec.MergedBytes());
   {
@@ -696,6 +735,35 @@ QueryResult Lowerer::Run(ThreadPool& pool, QueryStats* stats) {
       }
     }
     qm.SetStats(stat_tables, stat_columns, StatsBuckets());
+  }
+  {
+    // Encoded-execution rollup, emitted only when encoding engaged somewhere
+    // (an encoded scan, a coded join key, or a compressed spill), so plain
+    // runs keep byte-identical JSON.
+    uint64_t scans_encoded = 0, values_decoded = 0, codes_emitted = 0;
+    uint64_t scan_read_bytes = 0, plain_read_bytes = 0;
+    for (TableScanSource* scan : scans_) {
+      if (!scan->encoded()) continue;
+      ++scans_encoded;
+      values_decoded += scan->values_decoded();
+      codes_emitted += scan->codes_emitted();
+      scan_read_bytes += scan->rows_scanned() * scan->enc_read_width();
+      plain_read_bytes += scan->rows_scanned() * scan->plain_read_width();
+    }
+    uint64_t spill_logical = 0, spill_physical = 0;
+    bool spill_compressed = false;
+    for (const JoinMetrics& j : qm.joins()) {
+      if (j.spill.spilled && j.spill.compressed) {
+        spill_compressed = true;
+        spill_logical += j.spill.bytes_written;
+        spill_physical += j.spill.physical_bytes_written;
+      }
+    }
+    if (scans_encoded > 0 || !coded_keys_.empty() || spill_compressed) {
+      qm.SetEncoding(scans_encoded, coded_keys_.size(), values_decoded,
+                     codes_emitted, scan_read_bytes, plain_read_bytes,
+                     spill_logical, spill_physical);
+    }
   }
 
   if (stats != nullptr) {

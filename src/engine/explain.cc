@@ -266,7 +266,11 @@ void RenderAnalyze(const PlanNode& node, const ExecOptions& options,
         *out << " (build=" << jm->build_tuples
              << " probe=" << jm->probe_tuples
              << " matched=" << jm->probe_matched
-             << " rows_out=" << jm->rows_out << ")";
+             << " rows_out=" << jm->rows_out;
+        if (jm->coded_key_pairs > 0) {
+          *out << " coded_keys=" << jm->coded_key_pairs;
+        }
+        *out << ")";
       }
       *out << "\n";
       if (adv != nullptr) {
@@ -350,7 +354,12 @@ void RenderAnalyze(const PlanNode& node, const ExecOptions& options,
              << " probe_tuples=" << sp.probe_tuples_spilled
              << " written=" << HumanBytes(sp.bytes_written)
              << " read=" << HumanBytes(sp.bytes_read)
-             << " depth=" << sp.max_recursion_depth << "\n";
+             << " depth=" << sp.max_recursion_depth;
+        if (sp.compressed) {
+          *out << " physical_written=" << HumanBytes(sp.physical_bytes_written)
+               << " physical_read=" << HumanBytes(sp.physical_bytes_read);
+        }
+        *out << "\n";
       }
       RenderAnalyze(*node.build, options, ids, advice, state, depth + 1, out);
       RenderAnalyze(*node.probe, options, ids, advice, state, depth + 1, out);
@@ -409,7 +418,13 @@ void RenderAnalyze(const PlanNode& node, const ExecOptions& options,
           qm.scans()[state->scan_cursor].table == node.table->name()) {
         const ScanMetrics& sm = qm.scans()[state->scan_cursor];
         *out << " (scanned=" << sm.rows_scanned
-             << " passed=" << sm.rows_passed << ")";
+             << " passed=" << sm.rows_passed;
+        if (sm.encoded) {
+          *out << " enc_width=" << sm.enc_read_width << "B/"
+               << sm.plain_read_width << "B decoded=" << sm.values_decoded
+               << " codes=" << sm.codes_emitted;
+        }
+        *out << ")";
       }
       ++state->scan_cursor;
       *out << "\n";

@@ -190,7 +190,14 @@ std::string QueryMetrics::ToJson(bool include_timings) const {
     out << "{\"table\":";
     AppendString(out, s.table);
     out << ",\"rows_scanned\":" << s.rows_scanned
-        << ",\"rows_passed\":" << s.rows_passed << "}";
+        << ",\"rows_passed\":" << s.rows_passed;
+    if (s.encoded) {
+      out << ",\"encoded\":true,\"read_width\":" << s.enc_read_width
+          << ",\"plain_width\":" << s.plain_read_width
+          << ",\"values_decoded\":" << s.values_decoded
+          << ",\"codes_emitted\":" << s.codes_emitted;
+    }
+    out << "}";
   }
   out << "]";
 
@@ -205,6 +212,9 @@ std::string QueryMetrics::ToJson(bool include_timings) const {
         << ",\"probe_tuples\":" << j.probe_tuples
         << ",\"probe_matched\":" << j.probe_matched
         << ",\"rows_out\":" << j.rows_out;
+    if (j.coded_key_pairs > 0) {
+      out << ",\"coded_key_pairs\":" << j.coded_key_pairs;
+    }
     if (j.has_hash_table) {
       const HashTableMetrics& h = j.hash_table;
       out << ",\"hash_table\":{\"build_tuples\":" << h.build_tuples
@@ -323,6 +333,19 @@ std::string QueryMetrics::ToJson(bool include_timings) const {
     out << ",\"stats\":{\"tables\":" << stats_tables_
         << ",\"columns\":" << stats_columns_
         << ",\"buckets\":" << stats_buckets_ << "}";
+  }
+  if (encoding_present_) {
+    out << ",\"encoding\":{\"scans_encoded\":" << encoding_scans_encoded_
+        << ",\"coded_join_pairs\":" << encoding_coded_join_pairs_
+        << ",\"values_decoded\":" << encoding_values_decoded_
+        << ",\"codes_emitted\":" << encoding_codes_emitted_
+        << ",\"scan_read_bytes\":" << encoding_scan_read_bytes_
+        << ",\"plain_read_bytes\":" << encoding_plain_read_bytes_;
+    if (encoding_spill_bytes_logical_ > 0) {
+      out << ",\"spill_bytes_logical\":" << encoding_spill_bytes_logical_
+          << ",\"spill_bytes_physical\":" << encoding_spill_bytes_physical_;
+    }
+    out << "}";
   }
   if (governor_budget_ > 0) {
     out << ",\"governor\":{\"budget\":" << governor_budget_

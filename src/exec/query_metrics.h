@@ -122,6 +122,15 @@ struct ScanMetrics {
   std::string table;
   uint64_t rows_scanned = 0;
   uint64_t rows_passed = 0;
+  // Encoded-segment actuals (storage/encoded_segment.h). `encoded` stays
+  // false when the scan ran on plain columns — the default for small tables
+  // and every PJOIN_ENCODING=0 run — and the JSON/EXPLAIN layers omit the
+  // fields, keeping pre-encoding output byte-identical.
+  bool encoded = false;
+  uint64_t enc_read_width = 0;    // bytes read per scanned row, with codes
+  uint64_t plain_read_width = 0;  // same, had every column stayed plain
+  uint64_t values_decoded = 0;    // dict gathers + FOR decodes performed
+  uint64_t codes_emitted = 0;     // join-key fields emitted as codes
 };
 
 // BHJ chaining-hash-table shape after Build().
@@ -179,6 +188,12 @@ struct SpillMetrics {
   uint64_t bytes_written = 0;
   uint64_t bytes_read = 0;
   uint64_t max_recursion_depth = 0;  // 1 = joined on first re-read
+  // Compressed spill pages (spill/spill_page.h). bytes_written/bytes_read
+  // above stay logical so spill accounting is comparable across modes; the
+  // file-level savings surface in the query's "encoding" section, not here.
+  bool compressed = false;
+  uint64_t physical_bytes_written = 0;
+  uint64_t physical_bytes_read = 0;
 };
 
 // Runtime skew-defense activity of one radix join. `enabled` stays false
@@ -272,6 +287,9 @@ struct JoinMetrics {
   SkewDefenseMetrics skew;              // only meaningful when defense armed
   AdvisorMetrics advisor;               // only meaningful under kAuto
   ReplanMetrics replan;                 // only meaningful when re-planning on
+  // Key pairs this join compared as dictionary codes (engine/coded_keys.h).
+  // Zero for plain joins; the JSON/EXPLAIN fields are omitted then.
+  uint32_t coded_key_pairs = 0;
 };
 
 // The query-wide registry. One instance lives in ExecContext; the executor
@@ -355,6 +373,47 @@ class QueryMetrics {
   uint64_t stats_columns() const { return stats_columns_; }
   int stats_buckets() const { return stats_buckets_; }
 
+  // Encoded-execution rollup (executor, after the run): how many scans ran
+  // on codes, how many join key pairs compared codes, the decode work done,
+  // the scan read traffic with codes vs the plain-width counterfactual, and
+  // the logical vs physical spill traffic. Set only when encoding actually
+  // engaged somewhere in the query, so plain runs — and every
+  // PJOIN_ENCODING=0 run — emit byte-identical JSON.
+  void SetEncoding(uint64_t scans_encoded, uint64_t coded_join_pairs,
+                   uint64_t values_decoded, uint64_t codes_emitted,
+                   uint64_t scan_read_bytes, uint64_t plain_read_bytes,
+                   uint64_t spill_bytes_logical,
+                   uint64_t spill_bytes_physical) {
+    encoding_present_ = true;
+    encoding_scans_encoded_ = scans_encoded;
+    encoding_coded_join_pairs_ = coded_join_pairs;
+    encoding_values_decoded_ = values_decoded;
+    encoding_codes_emitted_ = codes_emitted;
+    encoding_scan_read_bytes_ = scan_read_bytes;
+    encoding_plain_read_bytes_ = plain_read_bytes;
+    encoding_spill_bytes_logical_ = spill_bytes_logical;
+    encoding_spill_bytes_physical_ = spill_bytes_physical;
+  }
+  bool encoding_present() const { return encoding_present_; }
+  uint64_t encoding_scans_encoded() const { return encoding_scans_encoded_; }
+  uint64_t encoding_coded_join_pairs() const {
+    return encoding_coded_join_pairs_;
+  }
+  uint64_t encoding_values_decoded() const { return encoding_values_decoded_; }
+  uint64_t encoding_codes_emitted() const { return encoding_codes_emitted_; }
+  uint64_t encoding_scan_read_bytes() const {
+    return encoding_scan_read_bytes_;
+  }
+  uint64_t encoding_plain_read_bytes() const {
+    return encoding_plain_read_bytes_;
+  }
+  uint64_t encoding_spill_bytes_logical() const {
+    return encoding_spill_bytes_logical_;
+  }
+  uint64_t encoding_spill_bytes_physical() const {
+    return encoding_spill_bytes_physical_;
+  }
+
   // Rewrite-pass record (executor, after the run): the fired rules, the
   // chosen join order, and what the planted Bloom filters dropped. The JSON
   // section and the EXPLAIN `rewrite:` line are emitted only when the pass
@@ -434,6 +493,15 @@ class QueryMetrics {
   uint64_t stats_tables_ = 0;
   uint64_t stats_columns_ = 0;
   int stats_buckets_ = 0;
+  bool encoding_present_ = false;
+  uint64_t encoding_scans_encoded_ = 0;
+  uint64_t encoding_coded_join_pairs_ = 0;
+  uint64_t encoding_values_decoded_ = 0;
+  uint64_t encoding_codes_emitted_ = 0;
+  uint64_t encoding_scan_read_bytes_ = 0;
+  uint64_t encoding_plain_read_bytes_ = 0;
+  uint64_t encoding_spill_bytes_logical_ = 0;
+  uint64_t encoding_spill_bytes_physical_ = 0;
   bool rewrite_present_ = false;
   std::string rewrite_rules_;
   std::string rewrite_order_;

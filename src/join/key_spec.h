@@ -28,6 +28,22 @@ class KeySpec {
   const RowLayout* layout() const { return layout_; }
   const std::vector<int>& fields() const { return fields_; }
 
+  // One key field resolved to its placement in the row: the single source of
+  // the offset/width probing that SingleWordKey and Hash (and their callers
+  // in join staging) used to duplicate. `word` marks the 4-/8-byte fields
+  // the vector hash kernel handles — which covers the 4-byte code fields the
+  // encoding layer substitutes for dictionary-encoded keys with no special
+  // case, precisely because codes are plain words by construction.
+  struct KeyWord {
+    uint32_t offset = 0;
+    uint32_t width = 0;
+    bool word = false;  // width is 4 or 8
+  };
+  KeyWord Word(size_t i) const {
+    const RowField& fld = layout_->field(fields_[i]);
+    return {fld.offset, fld.width, fld.width == 4 || fld.width == 8};
+  }
+
   // True when the key is a single 4- or 8-byte field, the shape the
   // vectorized hash kernel handles (kernels/kernels.h). Hash() branches
   // purely on field width, so matching on width keeps the kernel bit-
@@ -35,10 +51,10 @@ class KeySpec {
   // the scalar path.
   bool SingleWordKey(uint32_t* offset, uint32_t* width) const {
     if (fields_.size() != 1) return false;
-    const RowField& fld = layout_->field(fields_[0]);
-    if (fld.width != 4 && fld.width != 8) return false;
-    *offset = fld.offset;
-    *width = fld.width;
+    const KeyWord w = Word(0);
+    if (!w.word) return false;
+    *offset = w.offset;
+    *width = w.width;
     return true;
   }
 
@@ -46,23 +62,21 @@ class KeySpec {
   // sides as long as field widths match (enforced by KeysEqual's contract).
   uint64_t Hash(const std::byte* row) const {
     uint64_t h = 0;
-    bool first = true;
-    for (int f : fields_) {
-      const RowField& fld = layout_->field(f);
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      const KeyWord w = Word(i);
       uint64_t piece;
-      if (fld.width == 8) {
+      if (w.width == 8) {
         uint64_t v;
-        std::memcpy(&v, row + fld.offset, 8);
+        std::memcpy(&v, row + w.offset, 8);
         piece = HashInt64(v);
-      } else if (fld.width == 4) {
+      } else if (w.width == 4) {
         uint32_t v;
-        std::memcpy(&v, row + fld.offset, 4);
+        std::memcpy(&v, row + w.offset, 4);
         piece = HashInt64(v);
       } else {
-        piece = HashBytes(row + fld.offset, fld.width);
+        piece = HashBytes(row + w.offset, w.width);
       }
-      h = first ? piece : HashCombine(h, piece);
-      first = false;
+      h = i == 0 ? piece : HashCombine(h, piece);
     }
     return h;
   }

@@ -57,6 +57,18 @@ struct SimdKernels {
   // two); the histogram is NOT cleared by the kernel.
   void (*histogram)(const std::byte* tuples, uint64_t n, uint32_t stride,
                     int shift, uint64_t mask, uint64_t* hist);
+
+  // Widens a packed run of little-endian codes (storage/encoded_segment.h)
+  // to 32-bit: out[i] = load(codes + i * code_width, code_width)
+  // zero-extended. code_width is 1, 2, or 4.
+  void (*unpack_codes)(const std::byte* codes, uint32_t code_width, uint32_t n,
+                       uint32_t* out);
+
+  // Dictionary gather for late materialization: copies the fixed-width
+  // dictionary value of each code into a dense output,
+  // out[i * value_width ...] = dict[codes[i] * value_width ...].
+  void (*dict_gather)(const std::byte* dict, uint32_t value_width,
+                      const uint32_t* codes, uint32_t n, std::byte* out);
 };
 
 // Table for an explicit tier; unavailable tiers (not compiled in, or the

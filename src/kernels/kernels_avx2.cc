@@ -214,6 +214,60 @@ PJOIN_AVX2 void HistogramAvx2(const std::byte* tuples, uint64_t n,
   HistogramScalarRange(tuples, i, n, stride, shift, mask, hist);
 }
 
+// External linkage: shared with the avx512 table, like HistogramAvx2 —
+// widening loads and gathers saturate the load ports at 256 bits already.
+PJOIN_AVX2 void UnpackCodesAvx2(const std::byte* codes, uint32_t code_width,
+                                uint32_t n, uint32_t* out) {
+  uint32_t i = 0;
+  if (code_width == 1) {
+    for (; i + 8 <= n; i += 8) {
+      __m128i b =
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(codes + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                          _mm256_cvtepu8_epi32(b));
+    }
+  } else if (code_width == 2) {
+    for (; i + 8 <= n; i += 8) {
+      __m128i b = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(codes + static_cast<size_t>(i) * 2));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                          _mm256_cvtepu16_epi32(b));
+    }
+  } else {
+    // 4-byte codes are already the output format.
+    std::memcpy(out, codes, static_cast<size_t>(n) * 4);
+    return;
+  }
+  UnpackCodesScalarRange(codes, code_width, i, n, out);
+}
+
+PJOIN_AVX2 void DictGatherAvx2(const std::byte* dict, uint32_t value_width,
+                               const uint32_t* codes, uint32_t n,
+                               std::byte* out) {
+  uint32_t i = 0;
+  if (value_width == 4) {
+    for (; i + 8 <= n; i += 8) {
+      __m256i idx =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes + i));
+      __m256i v = _mm256_i32gather_epi32(reinterpret_cast<const int*>(dict),
+                                         idx, 4);
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(out + static_cast<size_t>(i) * 4), v);
+    }
+  } else if (value_width == 8) {
+    for (; i + 4 <= n; i += 4) {
+      __m128i idx = _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i));
+      __m256i v = _mm256_i32gather_epi64(
+          reinterpret_cast<const long long*>(dict), idx, 8);
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(out + static_cast<size_t>(i) * 8), v);
+    }
+  }
+  // Other value widths (wide char dictionaries) copy scalar-wise; the
+  // per-value memcpy is already a couple of machine words.
+  DictGatherScalarRange(dict, value_width, codes, i, n, out);
+}
+
 #undef PJOIN_AVX2
 
 const SimdKernels kAvx2Kernels = {
@@ -221,6 +275,8 @@ const SimdKernels kAvx2Kernels = {
     DirTagProbeAvx2,
     HashRowsAvx2,
     HistogramAvx2,
+    UnpackCodesAvx2,
+    DictGatherAvx2,
 };
 
 }  // namespace kernels

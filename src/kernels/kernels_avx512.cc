@@ -144,6 +144,10 @@ const SimdKernels kAvx512Kernels = {
     // 256-bit on purpose: counter bumps are scalar either way, and 512-bit
     // index extraction measurably loses to frequency licensing.
     HistogramAvx2,
+    // Also 256-bit on purpose: widening loads and gathers are load-port
+    // bound, so the wider registers buy nothing (see kernels_internal.h).
+    UnpackCodesAvx2,
+    DictGatherAvx2,
 };
 
 }  // namespace kernels

@@ -38,6 +38,11 @@ void HashRowsScalarRange(const std::byte* rows, uint32_t stride,
 void HistogramScalarRange(const std::byte* tuples, uint64_t begin, uint64_t n,
                           uint32_t stride, int shift, uint64_t mask,
                           uint64_t* hist);
+void UnpackCodesScalarRange(const std::byte* codes, uint32_t code_width,
+                            uint32_t begin, uint32_t n, uint32_t* out);
+void DictGatherScalarRange(const std::byte* dict, uint32_t value_width,
+                           const uint32_t* codes, uint32_t begin, uint32_t n,
+                           std::byte* out);
 
 // Per-tier kernel tables. The AVX tables exist only when PJOIN_SIMD_X86.
 extern const SimdKernels kScalarKernels;
@@ -50,6 +55,14 @@ extern const SimdKernels kAvx512Kernels;
 // measurably loses to frequency licensing (see bench/micro_simd).
 void HistogramAvx2(const std::byte* tuples, uint64_t n, uint32_t stride,
                    int shift, uint64_t mask, uint64_t* hist);
+
+// The 256-bit encoding kernels, shared with the avx512 tier: widening loads
+// and gathers saturate the load ports at 256 bits already, so the wider
+// registers buy nothing here either.
+void UnpackCodesAvx2(const std::byte* codes, uint32_t code_width, uint32_t n,
+                     uint32_t* out);
+void DictGatherAvx2(const std::byte* dict, uint32_t value_width,
+                    const uint32_t* codes, uint32_t n, std::byte* out);
 #endif
 
 }  // namespace kernels

@@ -70,6 +70,26 @@ void HistogramScalarRange(const std::byte* tuples, uint64_t begin, uint64_t n,
   }
 }
 
+void UnpackCodesScalarRange(const std::byte* codes, uint32_t code_width,
+                            uint32_t begin, uint32_t n, uint32_t* out) {
+  for (uint32_t i = begin; i < n; ++i) {
+    uint32_t code = 0;
+    std::memcpy(&code, codes + static_cast<size_t>(i) * code_width,
+                code_width);
+    out[i] = code;
+  }
+}
+
+void DictGatherScalarRange(const std::byte* dict, uint32_t value_width,
+                           const uint32_t* codes, uint32_t begin, uint32_t n,
+                           std::byte* out) {
+  for (uint32_t i = begin; i < n; ++i) {
+    std::memcpy(out + static_cast<size_t>(i) * value_width,
+                dict + static_cast<size_t>(codes[i]) * value_width,
+                value_width);
+  }
+}
+
 namespace {
 
 void BloomProbeScalar(const uint64_t* blocks, uint64_t block_mask,
@@ -96,6 +116,16 @@ void HistogramScalar(const std::byte* tuples, uint64_t n, uint32_t stride,
   HistogramScalarRange(tuples, 0, n, stride, shift, mask, hist);
 }
 
+void UnpackCodesScalar(const std::byte* codes, uint32_t code_width, uint32_t n,
+                       uint32_t* out) {
+  UnpackCodesScalarRange(codes, code_width, 0, n, out);
+}
+
+void DictGatherScalar(const std::byte* dict, uint32_t value_width,
+                      const uint32_t* codes, uint32_t n, std::byte* out) {
+  DictGatherScalarRange(dict, value_width, codes, 0, n, out);
+}
+
 }  // namespace
 
 const SimdKernels kScalarKernels = {
@@ -103,6 +133,8 @@ const SimdKernels kScalarKernels = {
     DirTagProbeScalar,
     HashRowsScalar,
     HistogramScalar,
+    UnpackCodesScalar,
+    DictGatherScalar,
 };
 
 }  // namespace kernels

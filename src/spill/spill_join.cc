@@ -4,20 +4,65 @@
 #include <memory>
 
 #include "hash_table/robin_hood.h"
+#include "spill/spill_page.h"
 #include "util/check.h"
+#include "util/env.h"
 
 namespace pjoin {
 
-void SpillPartition::Init(uint32_t tuple_stride, SpillStats* stats) {
+void SpillPartition::Init(uint32_t tuple_stride, SpillStats* stats,
+                          bool compressed) {
   PJOIN_CHECK(tuple_stride >= 8);
   stride_ = tuple_stride;
   stats_ = stats;
+  compressed_ = compressed;
   scratch_.assign(tuple_stride, std::byte{0});
+}
+
+void SpillPartition::AppendLocked(const std::byte* data, size_t bytes) {
+  if (!compressed_) {
+    file_.Append(data, bytes);
+    return;
+  }
+  // Whole tuples only cross the page boundary, so a page always holds a
+  // multiple of stride_ bytes.
+  const size_t cap = std::max<size_t>(kSpillPageBytes / stride_, 1) * stride_;
+  size_t pos = 0;
+  while (pos < bytes) {
+    const size_t take = std::min(bytes - pos, cap - page_.size());
+    page_.insert(page_.end(), data + pos, data + pos + take);
+    pos += take;
+    if (page_.size() == cap) FlushPageLocked();
+  }
+}
+
+void SpillPartition::FlushPageLocked() {
+  if (page_.empty()) return;
+  std::vector<std::byte> frame(8);
+  EncodeSpillPage(page_.data(), page_.size(), stride_, &frame);
+  const uint32_t raw = static_cast<uint32_t>(page_.size());
+  const uint32_t enc = static_cast<uint32_t>(frame.size() - 8);
+  std::memcpy(frame.data(), &raw, 4);
+  std::memcpy(frame.data() + 4, &enc, 4);
+  file_.Append(frame.data(), frame.size());
+  if (stats_ != nullptr) {
+    stats_->physical_bytes_written.fetch_add(frame.size(),
+                                             std::memory_order_relaxed);
+  }
+  page_.clear();
+}
+
+void SpillPartition::NoteRead(uint64_t logical, uint64_t physical) const {
+  if (stats_ == nullptr) return;
+  stats_->bytes_read.fetch_add(logical, std::memory_order_relaxed);
+  if (compressed_) {
+    stats_->physical_bytes_read.fetch_add(physical, std::memory_order_relaxed);
+  }
 }
 
 void SpillPartition::AppendTuple(const std::byte* tuple) {
   std::lock_guard<std::mutex> lock(mu_);
-  file_.Append(tuple, stride_);
+  AppendLocked(tuple, stride_);
   tuples_.fetch_add(1, std::memory_order_relaxed);
   if (stats_ != nullptr) {
     stats_->bytes_written.fetch_add(stride_, std::memory_order_relaxed);
@@ -30,7 +75,7 @@ void SpillPartition::AppendHashRow(uint64_t hash, const std::byte* row,
   std::lock_guard<std::mutex> lock(mu_);
   std::memcpy(scratch_.data(), &hash, 8);
   std::memcpy(scratch_.data() + 8, row, row_bytes);
-  file_.Append(scratch_.data(), stride_);
+  AppendLocked(scratch_.data(), stride_);
   tuples_.fetch_add(1, std::memory_order_relaxed);
   if (stats_ != nullptr) {
     stats_->bytes_written.fetch_add(stride_, std::memory_order_relaxed);
@@ -40,11 +85,78 @@ void SpillPartition::AppendHashRow(uint64_t hash, const std::byte* row,
 void SpillPartition::AppendRaw(const void* data, size_t bytes) {
   PJOIN_DCHECK(bytes % stride_ == 0);
   std::lock_guard<std::mutex> lock(mu_);
-  file_.Append(data, bytes);
+  AppendLocked(static_cast<const std::byte*>(data), bytes);
   tuples_.fetch_add(bytes / stride_, std::memory_order_relaxed);
   if (stats_ != nullptr) {
     stats_->bytes_written.fetch_add(bytes, std::memory_order_relaxed);
   }
+}
+
+void SpillPartition::FinishWrite() {
+  if (compressed_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    FlushPageLocked();
+  }
+  file_.FinishWrite();
+}
+
+void SpillPartition::ForEachTuple(
+    const std::function<void(const std::byte*)>& fn) const {
+  // Probe tuples are streamed through a bounded chunk so the probe side
+  // never has to fit in memory (1 MiB in plain mode, one page when
+  // compressed).
+  constexpr size_t kStreamChunkBytes = 1 << 20;
+  const uint64_t total = file_.size();
+  if (!compressed_) {
+    const size_t tuples_per_chunk =
+        std::max<size_t>(1, kStreamChunkBytes / stride_);
+    std::vector<std::byte> chunk(tuples_per_chunk * stride_);
+    uint64_t offset = 0;
+    while (offset < total) {
+      size_t take = static_cast<size_t>(
+          std::min<uint64_t>(chunk.size(), total - offset));
+      file_.Read(offset, chunk.data(), take);
+      NoteRead(take, take);
+      for (size_t p = 0; p < take; p += stride_) fn(chunk.data() + p);
+      offset += take;
+    }
+    return;
+  }
+  std::vector<std::byte> enc;
+  std::vector<std::byte> raw;
+  uint64_t offset = 0;
+  while (offset < total) {
+    uint32_t raw_bytes = 0;
+    uint32_t enc_bytes = 0;
+    std::byte header[8];
+    file_.Read(offset, header, 8);
+    std::memcpy(&raw_bytes, header, 4);
+    std::memcpy(&enc_bytes, header + 4, 4);
+    PJOIN_CHECK(offset + 8 + enc_bytes <= total);
+    enc.resize(enc_bytes);
+    file_.Read(offset + 8, enc.data(), enc_bytes);
+    raw.resize(raw_bytes);
+    DecodeSpillPage(enc.data(), enc_bytes, raw_bytes, stride_, raw.data());
+    NoteRead(raw_bytes, 8 + static_cast<uint64_t>(enc_bytes));
+    for (size_t p = 0; p < raw_bytes; p += stride_) fn(raw.data() + p);
+    offset += 8 + enc_bytes;
+  }
+}
+
+void SpillPartition::ReadAllTuples(std::vector<std::byte>* out) const {
+  out->resize(static_cast<size_t>(logical_bytes()));
+  if (out->empty()) return;
+  if (!compressed_) {
+    file_.Read(0, out->data(), out->size());
+    NoteRead(out->size(), out->size());
+    return;
+  }
+  size_t pos = 0;
+  ForEachTuple([&](const std::byte* tuple) {
+    std::memcpy(out->data() + pos, tuple, stride_);
+    pos += stride_;
+  });
+  PJOIN_CHECK(pos == out->size());
 }
 
 namespace {
@@ -57,45 +169,15 @@ constexpr int kRecurseBits = 4;
 constexpr int kRecurseFanout = 1 << kRecurseBits;
 constexpr int kMaxDepth = 6;
 
-// Probe tuples are streamed through a bounded chunk so the probe side never
-// has to fit in memory.
-constexpr size_t kStreamChunkBytes = 1 << 20;
-
-// Streams a spill file chunk-wise and invokes fn(tuple) per tuple.
-template <typename Fn>
-void ForEachSpilledTuple(const SpillFile& file, uint32_t stride,
-                         SpillStats* stats, Fn&& fn) {
-  const uint64_t total = file.size();
-  const size_t tuples_per_chunk =
-      std::max<size_t>(1, kStreamChunkBytes / stride);
-  std::vector<std::byte> chunk(tuples_per_chunk * stride);
-  uint64_t offset = 0;
-  while (offset < total) {
-    size_t take =
-        static_cast<size_t>(std::min<uint64_t>(chunk.size(), total - offset));
-    file.Read(offset, chunk.data(), take);
-    if (stats != nullptr) {
-      stats->bytes_read.fetch_add(take, std::memory_order_relaxed);
-    }
-    for (size_t p = 0; p < take; p += stride) fn(chunk.data() + p);
-    offset += take;
-  }
-}
-
 // In-memory join of one pair: build side loaded, probe side streamed.
 uint64_t JoinLoadedPair(const SpillJoinSpec& spec, SpillPartition& build,
                         SpillPartition& probe, SpillEmitter& emit) {
-  const uint64_t build_bytes = build.bytes();
+  const uint64_t build_bytes = build.logical_bytes();
   const uint64_t bcount = build.tuples();
   const uint32_t bstride = build.stride();
 
-  std::vector<std::byte> bdata(static_cast<size_t>(build_bytes));
-  if (build_bytes > 0) {
-    build.file().Read(0, bdata.data(), static_cast<size_t>(build_bytes));
-    if (spec.stats != nullptr) {
-      spec.stats->bytes_read.fetch_add(build_bytes, std::memory_order_relaxed);
-    }
-  }
+  std::vector<std::byte> bdata;
+  build.ReadAllTuples(&bdata);
 
   RobinHoodTable table;
   table.Reset(bcount);
@@ -114,8 +196,8 @@ uint64_t JoinLoadedPair(const SpillJoinSpec& spec, SpillPartition& build,
   if (track) matched_slots.assign(table.capacity(), 0);
 
   uint64_t matched_tuples = 0;
-  ForEachSpilledTuple(
-      probe.file(), probe.stride(), spec.stats, [&](const std::byte* ptuple) {
+  probe.ForEachTuple(
+      [&](const std::byte* ptuple) {
         const uint64_t hash = SpillTupleHash(ptuple);
         const std::byte* probe_row = SpillTupleRow(ptuple);
         bool matched = false;
@@ -189,6 +271,7 @@ SpillJoinState::SpillJoinState(int fanout, uint32_t build_stride,
       build_parts_(fanout),
       probe_parts_(fanout) {
   stats.partitions_total = static_cast<uint32_t>(fanout);
+  stats.compressed = EncodingEnabled();
 }
 
 void SpillJoinState::MarkSpilled(int p) {
@@ -196,9 +279,9 @@ void SpillJoinState::MarkSpilled(int p) {
   spilled_[p] = 1;
   spilled_list_.push_back(p);
   build_parts_[p] = std::make_unique<SpillPartition>();
-  build_parts_[p]->Init(build_stride_, &stats);
+  build_parts_[p]->Init(build_stride_, &stats, stats.compressed);
   probe_parts_[p] = std::make_unique<SpillPartition>();
-  probe_parts_[p]->Init(probe_stride_, &stats);
+  probe_parts_[p]->Init(probe_stride_, &stats, stats.compressed);
   stats.partitions_spilled = static_cast<uint32_t>(spilled_list_.size());
 }
 
@@ -229,8 +312,10 @@ uint64_t ProcessSpilledPair(const SpillJoinSpec& spec, SpillPartition& build,
   }
   // Estimated resident footprint: build tuples plus the robin-hood table at
   // its <= 2/3 load factor (~1.5 slots of 16 bytes per tuple, rounded up).
+  // Pages are decoded before loading, so the budget is sized on the logical
+  // (decoded) bytes either way.
   const uint64_t need =
-      build.bytes() + build.tuples() * 2 * sizeof(RobinHoodTable::Slot);
+      build.logical_bytes() + build.tuples() * 2 * sizeof(RobinHoodTable::Slot);
   const int shift = spec.hash_shift + depth * kRecurseBits;
   const bool bits_left = shift + kRecurseBits <= 48;
   const bool fits = spec.governor == nullptr || spec.governor->WouldFit(need);
@@ -243,21 +328,19 @@ uint64_t ProcessSpilledPair(const SpillJoinSpec& spec, SpillPartition& build,
   std::vector<std::unique_ptr<SpillPartition>> sub_probe(kRecurseFanout);
   for (int f = 0; f < kRecurseFanout; ++f) {
     sub_build[f] = std::make_unique<SpillPartition>();
-    sub_build[f]->Init(build.stride(), spec.stats);
+    sub_build[f]->Init(build.stride(), spec.stats, build.compressed());
     sub_probe[f] = std::make_unique<SpillPartition>();
-    sub_probe[f]->Init(probe.stride(), spec.stats);
+    sub_probe[f]->Init(probe.stride(), spec.stats, probe.compressed());
   }
   const uint64_t mask = kRecurseFanout - 1;
-  ForEachSpilledTuple(build.file(), build.stride(), spec.stats,
-                      [&](const std::byte* tuple) {
-                        uint64_t f = (SpillTupleHash(tuple) >> shift) & mask;
-                        sub_build[f]->AppendTuple(tuple);
-                      });
-  ForEachSpilledTuple(probe.file(), probe.stride(), spec.stats,
-                      [&](const std::byte* tuple) {
-                        uint64_t f = (SpillTupleHash(tuple) >> shift) & mask;
-                        sub_probe[f]->AppendTuple(tuple);
-                      });
+  build.ForEachTuple([&](const std::byte* tuple) {
+    uint64_t f = (SpillTupleHash(tuple) >> shift) & mask;
+    sub_build[f]->AppendTuple(tuple);
+  });
+  probe.ForEachTuple([&](const std::byte* tuple) {
+    uint64_t f = (SpillTupleHash(tuple) >> shift) & mask;
+    sub_probe[f]->AppendTuple(tuple);
+  });
   uint64_t matched = 0;
   for (int f = 0; f < kRecurseFanout; ++f) {
     sub_build[f]->FinishWrite();

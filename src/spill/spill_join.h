@@ -20,6 +20,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -37,6 +38,12 @@ namespace pjoin {
 struct SpillStats {
   std::atomic<uint64_t> bytes_written{0};
   std::atomic<uint64_t> bytes_read{0};
+  // File bytes actually written/read when pages are compressed
+  // (spill/spill_page.h); bytes_written/bytes_read stay logical (stride per
+  // tuple) so spill accounting is comparable across modes.
+  std::atomic<uint64_t> physical_bytes_written{0};
+  std::atomic<uint64_t> physical_bytes_read{0};
+  bool compressed = false;
   std::atomic<uint64_t> build_tuples_spilled{0};
   std::atomic<uint64_t> probe_tuples_spilled{0};
   std::atomic<uint64_t> max_depth{0};
@@ -56,11 +63,20 @@ struct SpillStats {
 // path is I/O-bound, so the lock is invisible next to the write() calls.
 class SpillPartition {
  public:
-  void Init(uint32_t tuple_stride, SpillStats* stats);
+  // `compressed` switches the file format to [raw][enc][payload] page frames
+  // (spill/spill_page.h): tuples buffer into a page and are encoded on
+  // flush, decoded on replay. Plain mode keeps the flat-file format (and
+  // byte-identical files) of the pre-encoding engine.
+  void Init(uint32_t tuple_stride, SpillStats* stats, bool compressed = false);
 
   uint32_t stride() const { return stride_; }
+  bool compressed() const { return compressed_; }
   uint64_t tuples() const { return tuples_.load(std::memory_order_relaxed); }
   uint64_t bytes() const { return file_.size(); }
+  // Tuple payload bytes, independent of the on-disk encoding; equals
+  // bytes() in plain mode. Budget math sizes the decoded data, so it uses
+  // this.
+  uint64_t logical_bytes() const { return tuples() * stride_; }
   SpillFile& file() { return file_; }
   const SpillFile& file() const { return file_; }
 
@@ -74,13 +90,27 @@ class SpillPartition {
   // Thread-safe.
   void AppendRaw(const void* data, size_t bytes);
 
-  void FinishWrite() { file_.FinishWrite(); }
+  // Flushes the pending page (compressed mode) and the file write buffer.
+  void FinishWrite();
+
+  // Streams every spilled tuple through `fn`, decoding pages as needed.
+  // Call after FinishWrite; accounts logical bytes into stats bytes_read.
+  void ForEachTuple(const std::function<void(const std::byte*)>& fn) const;
+
+  // Reads (and decodes) the whole partition: logical_bytes() bytes.
+  void ReadAllTuples(std::vector<std::byte>* out) const;
 
  private:
+  void AppendLocked(const std::byte* data, size_t bytes);
+  void FlushPageLocked();
+  void NoteRead(uint64_t logical, uint64_t physical) const;
+
   SpillFile file_;
   std::mutex mu_;
   std::vector<std::byte> scratch_;
+  std::vector<std::byte> page_;  // compressed mode: pending raw tuples
   uint32_t stride_ = 0;
+  bool compressed_ = false;
   std::atomic<uint64_t> tuples_{0};
   SpillStats* stats_ = nullptr;
 };
@@ -194,6 +224,10 @@ inline SpillMetrics SnapshotSpill(const SpillJoinState* state) {
   m.bytes_written = s.bytes_written.load(std::memory_order_relaxed);
   m.bytes_read = s.bytes_read.load(std::memory_order_relaxed);
   m.max_recursion_depth = s.max_depth.load(std::memory_order_relaxed);
+  m.compressed = s.compressed;
+  m.physical_bytes_written =
+      s.physical_bytes_written.load(std::memory_order_relaxed);
+  m.physical_bytes_read = s.physical_bytes_read.load(std::memory_order_relaxed);
   return m;
 }
 

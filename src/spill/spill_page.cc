@@ -1,0 +1,82 @@
+#include "spill/spill_page.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace pjoin {
+namespace {
+
+constexpr std::byte kModeRaw{0};
+constexpr std::byte kModePlaneRle{1};
+
+// Plane-RLE encodes `data` into `out` (which already holds the mode byte).
+// Returns false (leaving `out` truncated back to just the mode byte) as soon
+// as the encoding would reach raw size — no point finishing a losing page.
+bool TryEncodePlaneRle(const std::byte* data, size_t bytes, uint32_t stride,
+                       std::vector<std::byte>* out) {
+  const size_t mode_pos = out->size() - 1;
+  const size_t budget = mode_pos + bytes;  // must stay strictly below
+  const size_t tuples = bytes / stride;
+  for (uint32_t b = 0; b < stride; ++b) {
+    size_t i = 0;
+    while (i < tuples) {
+      const std::byte v = data[i * stride + b];
+      size_t run = 1;
+      while (run < 255 && i + run < tuples &&
+             data[(i + run) * stride + b] == v) {
+        ++run;
+      }
+      if (out->size() + 2 > budget) {
+        out->resize(mode_pos + 1);
+        return false;
+      }
+      out->push_back(static_cast<std::byte>(run));
+      out->push_back(v);
+      i += run;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void EncodeSpillPage(const std::byte* data, size_t bytes, uint32_t stride,
+                     std::vector<std::byte>* out) {
+  PJOIN_DCHECK(bytes % stride == 0);
+  out->push_back(kModePlaneRle);
+  if (TryEncodePlaneRle(data, bytes, stride, out)) return;
+  out->back() = kModeRaw;
+  const size_t old = out->size();
+  out->resize(old + bytes);
+  std::memcpy(out->data() + old, data, bytes);
+}
+
+void DecodeSpillPage(const std::byte* src, size_t enc_bytes, size_t raw_bytes,
+                     uint32_t stride, std::byte* dst) {
+  PJOIN_CHECK(enc_bytes >= 1);
+  const std::byte mode = src[0];
+  if (mode == kModeRaw) {
+    PJOIN_CHECK(enc_bytes == raw_bytes + 1);
+    std::memcpy(dst, src + 1, raw_bytes);
+    return;
+  }
+  PJOIN_CHECK(mode == kModePlaneRle);
+  const size_t tuples = raw_bytes / stride;
+  size_t pos = 1;
+  for (uint32_t b = 0; b < stride; ++b) {
+    size_t i = 0;
+    while (i < tuples) {
+      PJOIN_CHECK(pos + 2 <= enc_bytes);
+      const size_t run = static_cast<size_t>(src[pos]);
+      const std::byte v = src[pos + 1];
+      pos += 2;
+      PJOIN_CHECK(run >= 1 && i + run <= tuples);
+      for (size_t r = 0; r < run; ++r) dst[(i + r) * stride + b] = v;
+      i += run;
+    }
+  }
+  PJOIN_CHECK(pos == enc_bytes);
+}
+
+}  // namespace pjoin

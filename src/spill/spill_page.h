@@ -1,0 +1,42 @@
+// Compressed spill page codec.
+//
+// A page is a block of fixed-stride spill tuples ([hash:8B][row][pad]).
+// Encoding is a byte-plane transpose followed by run-length coding of each
+// plane: byte b of every tuple forms one plane, and spill tuples are wide
+// rows whose individual byte positions (key bytes, padding, code bytes from
+// the encoding layer) repeat heavily down a partition. Planes that do not
+// compress leave the page in raw mode, so the encoded size never exceeds
+// raw size + 1 — the cheap-bandwidth-win argument of the robust hybrid hash
+// join literature, applied to the spill path.
+//
+// The codec is framing-agnostic: callers (spill/spill_join.cc) store
+// [raw_bytes:u32][enc_bytes:u32][payload] frames in the spill file and hand
+// the payload here. Payload format: one mode byte (0 = raw, 1 = plane-RLE)
+// followed by the data; plane-RLE data is, per plane, a sequence of
+// (run_length:u8, value:u8) pairs covering the page's tuple count.
+#ifndef PJOIN_SPILL_SPILL_PAGE_H_
+#define PJOIN_SPILL_SPILL_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pjoin {
+
+// Logical page capacity used by SpillPartition (bytes of raw tuples).
+constexpr size_t kSpillPageBytes = 64 * 1024;
+
+// Appends the encoded payload of one page (`bytes` raw bytes, a multiple of
+// `stride`) to `out`. Picks plane-RLE when it is strictly smaller, raw mode
+// otherwise.
+void EncodeSpillPage(const std::byte* data, size_t bytes, uint32_t stride,
+                     std::vector<std::byte>* out);
+
+// Decodes a payload produced by EncodeSpillPage back into `raw_bytes` bytes
+// at `dst`.
+void DecodeSpillPage(const std::byte* src, size_t enc_bytes, size_t raw_bytes,
+                     uint32_t stride, std::byte* dst);
+
+}  // namespace pjoin
+
+#endif  // PJOIN_SPILL_SPILL_PAGE_H_

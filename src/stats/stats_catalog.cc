@@ -2,32 +2,11 @@
 
 #include <algorithm>
 
+#include "storage/encoded_segment.h"
 #include "util/env.h"
 #include "util/hash.h"
 
 namespace pjoin {
-namespace {
-
-// Cache entries are keyed by Table address, and tests stack-allocate tables,
-// so an address can be reused by a different table. A cheap content
-// fingerprint (row count, schema width, a prefix/suffix slice of every
-// column) detects that and forces re-collection.
-uint64_t Fingerprint(const Table& table) {
-  uint64_t fp = HashInt64(table.num_rows() * 31 +
-                          static_cast<uint64_t>(table.schema().num_columns()));
-  for (int c = 0; c < table.schema().num_columns(); ++c) {
-    const Column& col = table.column(c);
-    const uint64_t bytes = col.size() * col.width();
-    const uint64_t slice = std::min<uint64_t>(bytes, 4096);
-    if (slice > 0) {
-      fp ^= HashBytes(col.data(), slice, /*seed=*/fp);
-      fp ^= HashBytes(col.data() + (bytes - slice), slice, /*seed=*/fp);
-    }
-  }
-  return fp;
-}
-
-}  // namespace
 
 StatsCatalog& StatsCatalog::Global() {
   static StatsCatalog* catalog = new StatsCatalog();
@@ -42,9 +21,17 @@ TableStats StatsCatalog::Collect(const Table& table, int buckets) {
   for (int c = 0; c < table.schema().num_columns(); ++c) {
     const Column& col = table.column(c);
     ColumnStats& cs = ts.columns[c];
-    DistinctSketch sketch = DistinctSketch::Build(col);
-    cs.distinct = sketch.Estimate();
-    cs.distinct_exact = sketch.exact();
+    // A dictionary, when the encoding layer built one, is an exact distinct
+    // count for free; otherwise fall back to the sketch estimate.
+    const EncodedColumn* enc = EncodingCatalog::Global().GetColumn(table, c);
+    if (enc != nullptr && enc->kind == EncodedColumn::Kind::kDict) {
+      cs.distinct = enc->ndv;
+      cs.distinct_exact = true;
+    } else {
+      DistinctSketch sketch = DistinctSketch::Build(col);
+      cs.distinct = sketch.Estimate();
+      cs.distinct_exact = sketch.exact();
+    }
     cs.histogram = EqualHeightHistogram::Build(col, buckets);
     if (cs.histogram.valid()) {
       cs.numeric = true;
@@ -65,13 +52,13 @@ const TableStats* StatsCatalog::Get(const Table& table) {
     const Entry& entry = it->second;
     if (entry.stats->rows == table.num_rows() &&
         entry.stats->buckets == buckets &&
-        entry.fingerprint == Fingerprint(table)) {
+        entry.fingerprint == TableFingerprint(table)) {
       return entry.stats.get();
     }
   }
   Entry fresh;
   fresh.stats = std::make_unique<TableStats>(Collect(table, buckets));
-  fresh.fingerprint = Fingerprint(table);
+  fresh.fingerprint = TableFingerprint(table);
   const TableStats* out = fresh.stats.get();
   cache_[&table] = std::move(fresh);
   return out;
@@ -80,6 +67,11 @@ const TableStats* StatsCatalog::Get(const Table& table) {
 void StatsCatalog::Invalidate() {
   std::lock_guard<std::mutex> lock(mu_);
   cache_.clear();
+}
+
+void StatsCatalog::InvalidateTable(const Table& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.erase(&table);
 }
 
 uint64_t ColumnDistinctCount(const Table& table, int col) {

@@ -56,6 +56,11 @@ class StatsCatalog {
   // addresses can be reused).
   void Invalidate();
 
+  // Drops the cached entry for one table. Get() already detects content
+  // changes via the fingerprint; this is for callers that mutate a table
+  // in place and want the stale entry released immediately.
+  void InvalidateTable(const Table& table);
+
  private:
   // The fingerprint lives beside the stats (not inside a TableStats
   // subclass): TableStats has no virtual destructor, so deleting a derived

@@ -1,0 +1,159 @@
+#include "storage/encoded_segment.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/env.h"
+
+namespace pjoin {
+namespace {
+
+// Dictionaries above this many distinct values stop paying for themselves
+// (the dictionary itself becomes the working set) and are abandoned.
+constexpr uint64_t kMaxDictEntries = 1ull << 20;
+
+void AppendCode(std::vector<std::byte>* out, uint32_t code,
+                uint32_t code_width) {
+  size_t old = out->size();
+  out->resize(old + code_width);
+  std::memcpy(out->data() + old, &code, code_width);
+}
+
+uint32_t CodeWidthFor(uint64_t range) {
+  if (range < (1ull << 8)) return 1;
+  if (range < (1ull << 16)) return 2;
+  if (range < (1ull << 32)) return 4;
+  return 0;
+}
+
+// Dictionary-encodes a kChar column. The dictionary is sorted by raw byte
+// order (std::map over the padded fixed-width strings), so equal plain
+// values map to equal codes and code order matches memcmp order.
+std::unique_ptr<EncodedColumn> EncodeDict(const ColumnDef& def,
+                                          const Column& col, uint64_t rows) {
+  std::map<std::string, uint32_t> values;
+  for (uint64_t r = 0; r < rows; ++r) {
+    values.emplace(col.GetString(r), 0);
+    if (values.size() > kMaxDictEntries) return nullptr;
+  }
+  const uint64_t ndv = values.size();
+  const uint32_t code_width = CodeWidthFor(ndv == 0 ? 0 : ndv - 1);
+  // Codes must be strictly narrower than the values they replace.
+  if (code_width == 0 || code_width >= col.width()) return nullptr;
+
+  auto enc = std::make_unique<EncodedColumn>();
+  enc->kind = EncodedColumn::Kind::kDict;
+  enc->value_width = col.width();
+  enc->code_width = code_width;
+  enc->rows = rows;
+  enc->ndv = ndv;
+  enc->dict = std::make_unique<Table>(
+      "dict", Schema({{def.name, DataType::kChar, col.width()}}));
+  enc->dict->Reserve(ndv);
+  uint32_t next = 0;
+  for (auto& [value, code] : values) {
+    code = next++;
+    enc->dict->column(0).AppendString(value);
+    enc->dict->FinishRow();
+  }
+  enc->codes.reserve(rows * code_width);
+  for (uint64_t r = 0; r < rows; ++r) {
+    AppendCode(&enc->codes, values.find(col.GetString(r))->second, code_width);
+  }
+  return enc;
+}
+
+// Frame-of-reference encodes an integer column: value = min + code.
+std::unique_ptr<EncodedColumn> EncodeFor(const Column& col, uint64_t rows) {
+  const bool wide = col.width() == 8;
+  int64_t min = wide ? col.GetInt64(0) : col.GetInt32(0);
+  int64_t max = min;
+  for (uint64_t r = 1; r < rows; ++r) {
+    const int64_t v = wide ? col.GetInt64(r) : col.GetInt32(r);
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  const uint64_t range =
+      static_cast<uint64_t>(max) - static_cast<uint64_t>(min);
+  const uint32_t code_width = CodeWidthFor(range);
+  if (code_width == 0 || code_width >= col.width()) return nullptr;
+
+  auto enc = std::make_unique<EncodedColumn>();
+  enc->kind = EncodedColumn::Kind::kFor;
+  enc->value_width = col.width();
+  enc->code_width = code_width;
+  enc->rows = rows;
+  enc->ref = min;
+  enc->codes.reserve(rows * code_width);
+  for (uint64_t r = 0; r < rows; ++r) {
+    const int64_t v = wide ? col.GetInt64(r) : col.GetInt32(r);
+    AppendCode(&enc->codes,
+               static_cast<uint32_t>(static_cast<uint64_t>(v) -
+                                     static_cast<uint64_t>(min)),
+               code_width);
+  }
+  return enc;
+}
+
+}  // namespace
+
+EncodingCatalog& EncodingCatalog::Global() {
+  static EncodingCatalog* catalog = new EncodingCatalog();
+  return *catalog;
+}
+
+EncodedTable EncodingCatalog::Encode(const Table& table) {
+  EncodedTable et;
+  et.rows = table.num_rows();
+  et.columns.resize(table.schema().num_columns());
+  if (et.rows == 0) return et;
+  for (int c = 0; c < table.schema().num_columns(); ++c) {
+    const ColumnDef& def = table.schema().column(c);
+    const Column& col = table.column(c);
+    switch (def.type) {
+      case DataType::kChar:
+        et.columns[c] = EncodeDict(def, col, et.rows);
+        break;
+      case DataType::kInt64:
+      case DataType::kInt32:
+      case DataType::kDate:
+        et.columns[c] = EncodeFor(col, et.rows);
+        break;
+      case DataType::kFloat64:
+        break;  // doubles stay plain
+    }
+  }
+  return et;
+}
+
+const EncodedTable* EncodingCatalog::Get(const Table& table) {
+  if (!EncodingEnabled()) return nullptr;
+  if (table.num_rows() < EncodingMinRows()) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(&table);
+  if (it != cache_.end()) {
+    const Entry& entry = it->second;
+    if (entry.fingerprint == TableFingerprint(table)) {
+      return entry.encoded->any_encoded() ? entry.encoded.get() : nullptr;
+    }
+  }
+  Entry fresh;
+  fresh.encoded = std::make_unique<EncodedTable>(Encode(table));
+  fresh.fingerprint = TableFingerprint(table);
+  const EncodedTable* out =
+      fresh.encoded->any_encoded() ? fresh.encoded.get() : nullptr;
+  cache_[&table] = std::move(fresh);
+  return out;
+}
+
+const EncodedColumn* EncodingCatalog::GetColumn(const Table& table, int col) {
+  const EncodedTable* et = Get(table);
+  return et == nullptr ? nullptr : et->column(col);
+}
+
+void EncodingCatalog::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
+
+}  // namespace pjoin

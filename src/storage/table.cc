@@ -1,6 +1,9 @@
 #include "storage/table.h"
 
+#include <algorithm>
+
 #include "util/check.h"
+#include "util/hash.h"
 
 namespace pjoin {
 
@@ -30,6 +33,21 @@ uint64_t Table::TotalBytes() const {
   uint64_t total = 0;
   for (const auto& col : columns_) total += col.size() * col.width();
   return total;
+}
+
+uint64_t TableFingerprint(const Table& table) {
+  uint64_t fp = HashInt64(table.num_rows() * 31 +
+                          static_cast<uint64_t>(table.schema().num_columns()));
+  for (int c = 0; c < table.schema().num_columns(); ++c) {
+    const Column& col = table.column(c);
+    const uint64_t bytes = col.size() * col.width();
+    const uint64_t slice = std::min<uint64_t>(bytes, 4096);
+    if (slice > 0) {
+      fp ^= HashBytes(col.data(), slice, /*seed=*/fp);
+      fp ^= HashBytes(col.data() + (bytes - slice), slice, /*seed=*/fp);
+    }
+  }
+  return fp;
 }
 
 }  // namespace pjoin

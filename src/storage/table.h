@@ -43,6 +43,12 @@ class Table {
   uint64_t num_rows_ = 0;
 };
 
+// Cheap content fingerprint (row count, schema width, a prefix/suffix slice
+// of every column). Catalogs keyed by Table address use it to detect both
+// address reuse (tests stack-allocate tables) and in-place appends, forcing
+// re-collection when the content changes mid-session.
+uint64_t TableFingerprint(const Table& table);
+
 }  // namespace pjoin
 
 #endif  // PJOIN_STORAGE_TABLE_H_

@@ -139,6 +139,13 @@ int StatsBuckets() {
   return static_cast<int>(v);
 }
 
+bool EncodingEnabled() { return GetEnvInt64("PJOIN_ENCODING", 1) != 0; }
+
+uint64_t EncodingMinRows() {
+  int64_t v = GetEnvInt64("PJOIN_ENCODING_MIN_ROWS", 256);
+  return v < 1 ? 1 : static_cast<uint64_t>(v);
+}
+
 double ReplanQErrorThreshold() {
   double v = GetEnvDouble("PJOIN_REPLAN_QERROR", 0.0);
   return v < 0.0 ? 0.0 : v;

@@ -84,6 +84,17 @@ bool StatsEnabled();
 // clamped to [2, 4096]).
 int StatsBuckets();
 
+// Encoded-segment layer master switch (PJOIN_ENCODING, default 1).
+// 0 disables dictionary/FOR encoding, join-on-codes, and compressed spill
+// pages: scans read plain columns and the EXPLAIN/JSON output is
+// byte-identical to a build without the encoding layer.
+bool EncodingEnabled();
+
+// Minimum table row count before a table is considered for encoding
+// (PJOIN_ENCODING_MIN_ROWS, default 256, clamped >= 1). Tiny tables gain
+// nothing from codes and keep their plain-path goldens.
+uint64_t EncodingMinRows();
+
 // Mid-query re-planning trigger (PJOIN_REPLAN_QERROR, default 0 = off).
 // When > 0, joins advised by the kAuto strategy defer their engine choice
 // to the probe phase and re-cost the strategy whenever the observed

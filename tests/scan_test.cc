@@ -2,6 +2,9 @@
 // accounting, and morsel coverage.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "engine/executor.h"
 #include "engine/plan.h"
 #include "engine/scan.h"
@@ -82,6 +85,12 @@ TEST(TableScan, TidColumnIsOneBasedRowId) {
 }
 
 TEST(TableScan, CountsReadBytes) {
+  // Plain-column accounting: encoding off for the scope (with it on, the
+  // scan reads narrow codes and the counter shrinks accordingly —
+  // encoding_test.cc covers that side).
+  const char* old_enc = getenv("PJOIN_ENCODING");
+  const std::string saved = old_enc != nullptr ? old_enc : "";
+  setenv("PJOIN_ENCODING", "0", 1);
   Table t = MakeNumbers(10000);
   RowLayout layout = RowLayout::FromSchema(t.schema(), {"n_val"});
   // Predicate column n_mod is read even though not emitted.
@@ -95,6 +104,11 @@ TEST(TableScan, CountsReadBytes) {
   p.Run(exec);
   uint64_t read = exec.MergedBytes().phase(JoinPhase::kProbePipeline).read;
   EXPECT_EQ(read, 10000u * 16u);  // 8 B emitted column + 8 B predicate column
+  if (old_enc != nullptr) {
+    setenv("PJOIN_ENCODING", saved.c_str(), 1);
+  } else {
+    unsetenv("PJOIN_ENCODING");
+  }
 }
 
 TEST(LateMaterialization, OuterJoinNullTidsFetchAsZero) {

@@ -266,6 +266,36 @@ TEST(StatsCatalogTest, BucketKnobRespected) {
             wide.columns[0].histogram.buckets().size());
 }
 
+TEST(StatsCatalogTest, AppendRefreshesCachedStats) {
+  Table t = IntTable("sc_append", "v", {1, 2, 3, 4, 5});
+  StatsCatalog& cat = StatsCatalog::Global();
+  const TableStats* ts = cat.Get(t);
+  ASSERT_NE(ts, nullptr);
+  EXPECT_EQ(ts->rows, 5u);
+  EXPECT_EQ(ts->columns[0].distinct, 5u);
+
+  // In-place append: the cached entry's content fingerprint no longer
+  // matches, so the next Get() rebuilds instead of serving stale rows.
+  for (int64_t v : {6, 7, 8}) {
+    t.column(0).AppendInt64(v);
+    t.FinishRow();
+  }
+  const TableStats* fresh = cat.Get(t);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->rows, 8u);
+  EXPECT_EQ(fresh->columns[0].distinct, 8u);
+  EXPECT_EQ(fresh->columns[0].max, 8.0);
+
+  // Explicit invalidation releases the entry immediately; the next Get()
+  // recollects from scratch and lands on the same statistics.
+  cat.InvalidateTable(t);
+  const TableStats* again = cat.Get(t);
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(again->rows, 8u);
+  EXPECT_EQ(again->columns[0].distinct, 8u);
+  cat.Invalidate();
+}
+
 // ---- Estimator wiring ----------------------------------------------------
 
 TEST(StatsEstimate, ScanEstimateUsesHistogram) {
